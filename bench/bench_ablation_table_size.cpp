@@ -1,0 +1,59 @@
+// Ablation A: slope-table granularity.
+//
+// How many calibration points does the slope model actually need?  The
+// tables are refit with 3/5/9/17-point ratio grids and compared against
+// a dense 33-point reference, both as max table deviation and as
+// end-to-end accuracy on an inverter chain with a slow input.
+#include <iostream>
+
+#include "calib/calibrate.h"
+#include "compare/harness.h"
+#include "delay/slope.h"
+#include "timing/analyzer.h"
+#include "util/interp.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+int main() {
+  using namespace sldm;
+  std::cout << "Ablation A: slope-table granularity (nMOS)\n\n";
+
+  const Tech base = nmos4();
+  CalibrationOptions dense_opts;
+  dense_opts.ratios = log_spaced(0.05, 20.0, 33);
+  const CalibrationResult dense = calibrate(base, Style::kNmos, dense_opts);
+
+  // Reference circuit and its simulated delay.
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 4, 2);
+  const SimulateOnlyResult sim = run_simulation(g, dense.tech, 6e-9);
+
+  TextTable table({"table points", "max |m - m_dense|", "chain delay (ns)",
+                   "err vs sim%"});
+  for (std::size_t n : {3u, 5u, 9u, 17u, 33u}) {
+    CalibrationOptions o;
+    o.ratios = log_spaced(0.05, 20.0, n);
+    const CalibrationResult r = calibrate(base, Style::kNmos, o);
+
+    double worst = 0.0;
+    for (const CalibrationCurve& c : dense.curves) {
+      const SlopeEntry& coarse = r.tables.entry(c.type, c.dir);
+      const SlopeEntry& ref = dense.tables.entry(c.type, c.dir);
+      worst = std::max(worst,
+                       coarse.delay_mult.max_abs_difference(ref.delay_mult));
+    }
+
+    const SlopeModel model(r.tables);
+    TimingAnalyzer an(g.netlist, r.tech, model);
+    an.add_input_event(g.input, Transition::kRise, 0.0, 6e-9);
+    an.run();
+    const auto worst_arrival = an.worst_arrival(true);
+    const Seconds delay = worst_arrival ? worst_arrival->time : 0.0;
+    table.add_row({std::to_string(n), format("%.4f", worst),
+                   format("%.3f", to_ns(delay)),
+                   format("%+.1f", 100.0 * (delay - sim.delay) / sim.delay)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\n(simulated chain delay: " << format("%.3f", to_ns(sim.delay))
+            << " ns)\n";
+  return 0;
+}

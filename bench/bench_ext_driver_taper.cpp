@@ -1,0 +1,50 @@
+// Extension: tapered driver ("superbuffer") optimization.
+//
+// Driving a large capacitance through a chain of geometrically widened
+// inverters is the classic sizing problem (optimal taper near e).  This
+// bench sweeps the taper at a fixed stage count and load and asks
+// whether the models reproduce the simulator's optimum -- a design
+// decision a 1984 user would have made with Crystal.
+#include <iostream>
+
+#include "compare/harness.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+int main() {
+  using namespace sldm;
+  std::cout << "Extension: driver-chain taper sweep (CMOS, 4 stages, 500 fF "
+               "load, 1 ns edge)\n\n";
+  const CompareContext& ctx = CompareContext::get(Style::kCmos);
+
+  TextTable table({"taper", "sim (ns)", "rc-tree (ns)", "slope (ns)",
+                   "slope err%"});
+  double best_sim = 1e9;
+  double best_sim_taper = 0.0;
+  double best_slope = 1e9;
+  double best_slope_taper = 0.0;
+  for (double taper : {1.5, 2.0, 2.7, 3.5, 5.0, 7.0}) {
+    const ComparisonResult r = run_comparison(
+        driver_chain(Style::kCmos, 4, taper, 500.0), ctx, 1e-9);
+    table.add_row({format("%.1f", taper),
+                   format("%.3f", to_ns(r.reference_delay)),
+                   format("%.3f", to_ns(r.model("rc-tree").delay)),
+                   format("%.3f", to_ns(r.model("slope").delay)),
+                   format("%+.0f", r.model("slope").error_pct)});
+    if (r.reference_delay < best_sim) {
+      best_sim = r.reference_delay;
+      best_sim_taper = taper;
+    }
+    if (r.model("slope").delay < best_slope) {
+      best_slope = r.model("slope").delay;
+      best_slope_taper = taper;
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << format(
+      "\noptimal taper: simulator %.1f, slope model %.1f  (same design "
+      "choice: %s)\n",
+      best_sim_taper, best_slope_taper,
+      best_sim_taper == best_slope_taper ? "yes" : "no");
+  return 0;
+}

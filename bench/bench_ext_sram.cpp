@@ -1,0 +1,38 @@
+// Extension: RAM read-path timing vs column height.
+//
+// The historically motivating Crystal workload: a precharged bit line
+// loaded by N access transistors, read through one selected cell.  The
+// bit-line load grows linearly with N; the discharge path stays two
+// transistors long.  Models vs simulator across column heights.
+#include <iostream>
+
+#include "compare/harness.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+int main() {
+  using namespace sldm;
+  std::cout << "Extension: SRAM read column, bit-line discharge vs rows "
+               "(nMOS, 1 ns wordline edge)\n\n";
+  const CompareContext& ctx = CompareContext::get(Style::kNmos);
+
+  TextTable table({"rows", "devices", "sim (ns)", "lumped (ns)", "err%",
+                   "rc-tree (ns)", "err%", "slope (ns)", "err%"});
+  for (int rows : {4, 8, 16, 32, 64}) {
+    const ComparisonResult r =
+        run_comparison(sram_read_column(Style::kNmos, rows), ctx, 1e-9);
+    const ModelResult& lumped = r.model("lumped-rc");
+    const ModelResult& rctree = r.model("rc-tree");
+    const ModelResult& slope = r.model("slope");
+    table.add_row({std::to_string(rows), std::to_string(r.devices),
+                   format("%.2f", to_ns(r.reference_delay)),
+                   format("%.2f", to_ns(lumped.delay)),
+                   format("%+.0f", lumped.error_pct),
+                   format("%.2f", to_ns(rctree.delay)),
+                   format("%+.0f", rctree.error_pct),
+                   format("%.2f", to_ns(slope.delay)),
+                   format("%+.0f", slope.error_pct)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 1 (reconstruction): the slope-model calibration curves.
+//
+// Effective-resistance (delay) multiplier and output-slope multiplier as
+// functions of the slope ratio rho = input_slope / stage Elmore
+// constant, per device type and transition -- the curves at the heart of
+// the paper's model, regenerated with a dense ratio grid and rendered as
+// ASCII series suitable for replotting.
+#include <iostream>
+
+#include "calib/calibrate.h"
+#include "tech/tech.h"
+#include "util/interp.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+namespace {
+
+void run_style(sldm::Style style) {
+  using namespace sldm;
+  const Tech base = style == Style::kNmos ? nmos4() : cmos3();
+  CalibrationOptions options;
+  options.ratios = log_spaced(0.05, 20.0, 13);
+  const CalibrationResult result = calibrate(base, style, options);
+
+  std::cout << "== " << base.name() << " ==\n";
+  for (const CalibrationCurve& curve : result.curves) {
+    std::cout << "\ndevice " << to_string(curve.type) << ", output "
+              << to_string(curve.dir) << ":\n";
+    TextTable table({"rho", "delay mult m(rho)", "slope mult s(rho)",
+                     "m bar"});
+    for (const auto& p : curve.points) {
+      std::string bar(static_cast<std::size_t>(p.delay_mult * 10.0), '#');
+      table.add_row({format("%.3f", p.rho), format("%.3f", p.delay_mult),
+                     format("%.3f", p.slope_mult), bar});
+    }
+    std::cout << table.to_string();
+  }
+  std::cout << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 1 (reconstructed): slope-model calibration curves, "
+               "multiplier vs slope ratio\n\n";
+  run_style(sldm::Style::kNmos);
+  run_style(sldm::Style::kCmos);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 3 (reconstruction): error distribution across the benchmark suite.
+//
+// Every circuit family of the evaluation (inverter chains, gates, pass
+// chains, driver chains, shifter, carry chain, precharged bus) is run
+// through all three models; per-model signed-error statistics and ASCII
+// histograms reproduce the paper's accuracy survey.
+#include <iostream>
+#include <map>
+
+#include "compare/harness.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+namespace {
+
+void run_style(sldm::Style style) {
+  using namespace sldm;
+  const CompareContext& ctx = CompareContext::get(style);
+  std::map<std::string, std::vector<double>> errors;
+
+  std::cout << "== " << to_string(style) << " ==\n";
+  TextTable rows({"circuit", "sim (ns)", "lumped err%", "rc-tree err%",
+                  "slope err%"});
+  for (const GeneratedCircuit& g : accuracy_suite(style)) {
+    const ComparisonResult r = run_comparison(g, ctx, 2e-9);
+    rows.add_row({g.name, format("%.2f", to_ns(r.reference_delay)),
+                  format("%+.0f", r.model("lumped-rc").error_pct),
+                  format("%+.0f", r.model("rc-tree").error_pct),
+                  format("%+.0f", r.model("slope").error_pct)});
+    for (const ModelResult& m : r.models) {
+      errors[m.model].push_back(m.error_pct);
+    }
+  }
+  std::cout << rows.to_string() << '\n';
+
+  TextTable summary({"model", "mean err%", "|err| mean", "stddev", "min",
+                     "max"});
+  for (const auto& [model, errs] : errors) {
+    std::vector<double> abs_errs;
+    for (double e : errs) abs_errs.push_back(std::abs(e));
+    const Summary s = summarize(errs);
+    const Summary sa = summarize(abs_errs);
+    summary.add_row({model, format("%+.1f", s.mean),
+                     format("%.1f", sa.mean), format("%.1f", s.stddev),
+                     format("%+.1f", s.min), format("%+.1f", s.max)});
+  }
+  std::cout << summary.to_string() << '\n';
+
+  for (const auto& [model, errs] : errors) {
+    Histogram h(-100.0, 100.0, 10);
+    for (double e : errs) h.add(e);
+    std::cout << model << " signed error histogram (%):\n"
+              << h.to_ascii(40) << '\n';
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 3 (reconstructed): model error distribution across the "
+               "benchmark suite (2 ns edges)\n\n";
+  run_style(sldm::Style::kNmos);
+  run_style(sldm::Style::kCmos);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Fig. 5 (reconstruction): precharged-bus discharge vs fanout.
+//
+// A shared dynamic bus with 2-16 attached pull-down stacks: every extra
+// driver adds diffusion and wiring load, stretching the worst-case
+// discharge.  Models vs simulator across the sweep.
+#include <iostream>
+
+#include "compare/harness.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+int main() {
+  using namespace sldm;
+  std::cout << "Fig. 5 (reconstructed): precharged bus discharge vs number "
+               "of drivers (nMOS, 1 ns edge)\n\n";
+  const CompareContext& ctx = CompareContext::get(Style::kNmos);
+
+  TextTable table({"drivers", "devices", "sim (ns)", "lumped (ns)", "err%",
+                   "rc-tree (ns)", "err%", "slope (ns)", "err%"});
+  for (int drivers : {2, 4, 8, 12, 16}) {
+    const ComparisonResult r =
+        run_comparison(precharged_bus(Style::kNmos, drivers), ctx, 1e-9);
+    const ModelResult& lumped = r.model("lumped-rc");
+    const ModelResult& rctree = r.model("rc-tree");
+    const ModelResult& slope = r.model("slope");
+    table.add_row({std::to_string(drivers), std::to_string(r.devices),
+                   format("%.2f", to_ns(r.reference_delay)),
+                   format("%.2f", to_ns(lumped.delay)),
+                   format("%+.0f", lumped.error_pct),
+                   format("%.2f", to_ns(rctree.delay)),
+                   format("%+.0f", rctree.error_pct),
+                   format("%.2f", to_ns(slope.delay)),
+                   format("%+.0f", slope.error_pct)});
+  }
+  std::cout << table.to_string();
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Fig. 6 (extension): address-decoder delay vs decoder size.
+//
+// RAM/ROM periphery was a standard Crystal workload: the true/complement
+// address lines fan out to 2^(bits-1) NOR rows, so the driving stage's
+// load grows exponentially with decoder width.  Models vs simulator
+// across 2-5 address bits (4-32 rows).
+#include <iostream>
+
+#include "compare/harness.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+namespace {
+
+void run_style(sldm::Style style) {
+  using namespace sldm;
+  const CompareContext& ctx = CompareContext::get(style);
+  std::cout << "== " << to_string(style) << " ==\n";
+  TextTable table({"addr bits", "rows", "devices", "sim (ns)",
+                   "lumped (ns)", "err%", "rc-tree (ns)", "err%",
+                   "slope (ns)", "err%"});
+  for (int bits : {2, 3, 4, 5}) {
+    const ComparisonResult r =
+        run_comparison(address_decoder(style, bits), ctx, 1e-9);
+    const ModelResult& lumped = r.model("lumped-rc");
+    const ModelResult& rctree = r.model("rc-tree");
+    const ModelResult& slope = r.model("slope");
+    table.add_row({std::to_string(bits), std::to_string(1 << bits),
+                   std::to_string(r.devices),
+                   format("%.2f", to_ns(r.reference_delay)),
+                   format("%.2f", to_ns(lumped.delay)),
+                   format("%+.0f", lumped.error_pct),
+                   format("%.2f", to_ns(rctree.delay)),
+                   format("%+.0f", rctree.error_pct),
+                   format("%.2f", to_ns(slope.delay)),
+                   format("%+.0f", slope.error_pct)});
+  }
+  std::cout << table.to_string() << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Fig. 6 (extension): NOR address decoder, delay vs width "
+               "(1 ns edge)\n\n";
+  run_style(sldm::Style::kNmos);
+  run_style(sldm::Style::kCmos);
+  return 0;
+}

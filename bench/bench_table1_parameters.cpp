@@ -1,0 +1,56 @@
+// Table 1 (reconstruction): calibrated model parameters per technology.
+//
+// The paper's models are parameterized by per-device-type effective
+// resistances (fit from SPICE).  This bench prints the analytic seeds,
+// the calibrated values, and the slope-table breakpoints for both
+// built-in processes -- the reproduction of the paper's parameter table.
+#include <iostream>
+
+#include "compare/harness.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+namespace {
+
+void print_style(sldm::Style style) {
+  using namespace sldm;
+  const CompareContext& ctx = CompareContext::get(style);
+  const Tech base = style == Style::kNmos ? nmos4() : cmos3();
+  const Tech& cal = ctx.tech();
+
+  std::cout << "== " << cal.name() << " (" << to_string(style)
+            << ", vdd = " << cal.vdd() << " V) ==\n\n";
+
+  TextTable table({"device", "transition", "R/sq analytic (kOhm)",
+                   "R/sq calibrated (kOhm)", "change"});
+  for (const CalibrationCurve& curve : ctx.calibration().curves) {
+    const Ohms seed = base.resistance_sq(curve.type, curve.dir);
+    const Ohms fit = cal.resistance_sq(curve.type, curve.dir);
+    table.add_row({to_string(curve.type), to_string(curve.dir),
+                   format("%.2f", to_kohm(seed)),
+                   format("%.2f", to_kohm(fit)),
+                   format("%+.1f%%", 100.0 * (fit - seed) / seed)});
+  }
+  std::cout << table.to_string() << '\n';
+
+  std::cout << "slope-model tables (delay multiplier m(rho)):\n";
+  TextTable tt({"device", "transition", "rho", "m(rho)", "s(rho)"});
+  for (const CalibrationCurve& curve : ctx.calibration().curves) {
+    for (const auto& p : curve.points) {
+      tt.add_row({to_string(curve.type), to_string(curve.dir),
+                  format("%.2f", p.rho), format("%.3f", p.delay_mult),
+                  format("%.3f", p.slope_mult)});
+    }
+  }
+  std::cout << tt.to_string() << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table 1 (reconstructed): technology parameters for the "
+               "switch-level delay models\n\n";
+  print_style(sldm::Style::kNmos);
+  print_style(sldm::Style::kCmos);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Table 2 (reconstruction): inverter-chain delay accuracy.
+//
+// Chains of 2-8 inverters at fanouts 1/2/4/8, both processes.  Each row
+// compares the three models' predicted input-to-output delay against
+// the analog simulator, exactly the comparison methodology of the
+// paper's evaluation section.
+#include <iostream>
+
+#include "compare/harness.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+namespace {
+
+void run_style(sldm::Style style) {
+  using namespace sldm;
+  const CompareContext& ctx = CompareContext::get(style);
+  const Seconds input_slope = 2e-9;
+
+  std::cout << "== " << to_string(style) << " ==\n";
+  TextTable table({"stages", "fanout", "sim (ns)", "lumped (ns)", "err%",
+                   "rc-tree (ns)", "err%", "slope (ns)", "err%"});
+  for (int stages : {2, 4, 6, 8}) {
+    for (int fanout : {1, 2, 4, 8}) {
+      const ComparisonResult r = run_comparison(
+          inverter_chain(style, stages, fanout), ctx, input_slope);
+      const ModelResult& lumped = r.model("lumped-rc");
+      const ModelResult& rctree = r.model("rc-tree");
+      const ModelResult& slope = r.model("slope");
+      table.add_row({std::to_string(stages), std::to_string(fanout),
+                     format("%.2f", to_ns(r.reference_delay)),
+                     format("%.2f", to_ns(lumped.delay)),
+                     format("%+.0f", lumped.error_pct),
+                     format("%.2f", to_ns(rctree.delay)),
+                     format("%+.0f", rctree.error_pct),
+                     format("%.2f", to_ns(slope.delay)),
+                     format("%+.0f", slope.error_pct)});
+    }
+  }
+  std::cout << table.to_string() << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table 2 (reconstructed): inverter-chain delays, models vs "
+               "analog simulation (2 ns input edge)\n\n";
+  run_style(sldm::Style::kNmos);
+  run_style(sldm::Style::kCmos);
+  return 0;
+}

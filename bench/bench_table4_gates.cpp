@@ -1,0 +1,49 @@
+// Table 4 (reconstruction): logic-gate delay accuracy.
+//
+// NAND2/3/4 and NOR2/3/4 in both processes.  The stimulated input is the
+// worst-case one; the output is observed through an inverter so both a
+// gate edge and a restoring edge are exercised.
+#include <iostream>
+
+#include "compare/harness.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+namespace {
+
+void run_style(sldm::Style style) {
+  using namespace sldm;
+  const CompareContext& ctx = CompareContext::get(style);
+  const Seconds input_slope = 2e-9;
+
+  std::cout << "== " << to_string(style) << " ==\n";
+  TextTable table({"gate", "devices", "sim (ns)", "lumped (ns)", "err%",
+                   "rc-tree (ns)", "err%", "slope (ns)", "err%"});
+  auto add = [&](const GeneratedCircuit& g) {
+    const ComparisonResult r = run_comparison(g, ctx, input_slope);
+    const ModelResult& lumped = r.model("lumped-rc");
+    const ModelResult& rctree = r.model("rc-tree");
+    const ModelResult& slope = r.model("slope");
+    table.add_row({g.name, std::to_string(r.devices),
+                   format("%.2f", to_ns(r.reference_delay)),
+                   format("%.2f", to_ns(lumped.delay)),
+                   format("%+.0f", lumped.error_pct),
+                   format("%.2f", to_ns(rctree.delay)),
+                   format("%+.0f", rctree.error_pct),
+                   format("%.2f", to_ns(slope.delay)),
+                   format("%+.0f", slope.error_pct)});
+  };
+  for (int k : {2, 3, 4}) add(nand_chain(style, k));
+  for (int k : {2, 3, 4}) add(nor_chain(style, k));
+  std::cout << table.to_string() << '\n';
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Table 4 (reconstructed): logic gates, models vs analog "
+               "simulation (2 ns input edge)\n\n";
+  run_style(sldm::Style::kNmos);
+  run_style(sldm::Style::kCmos);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Calibration workflow: fit the effective resistances and slope tables
+// for a technology against the built-in analog simulator and persist
+// both as text files, the way a user would prepare a process for
+// production timing runs.
+//
+// usage: calibrate_tech [nmos|cmos] [output_prefix]
+#include <cstring>
+#include <iostream>
+
+#include "calib/calibrate.h"
+#include "delay/slope_table.h"
+#include "tech/tech.h"
+#include "tech/tech_io.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+int main(int argc, char** argv) {
+  using namespace sldm;
+  const std::string which = argc > 1 ? argv[1] : "nmos";
+  const std::string prefix = argc > 2 ? argv[2] : "calibrated";
+  if (which != "nmos" && which != "cmos") {
+    std::cerr << "usage: calibrate_tech [nmos|cmos] [output_prefix]\n";
+    return 2;
+  }
+  try {
+    const Style style = which == "nmos" ? Style::kNmos : Style::kCmos;
+    const Tech base = style == Style::kNmos ? nmos4() : cmos3();
+    std::cout << "calibrating " << base.name()
+              << " against the analog simulator...\n";
+
+    const CalibrationResult result = calibrate(base, style);
+
+    TextTable table({"device", "transition", "R/sq (kOhm)",
+                     "table points"});
+    for (const CalibrationCurve& c : result.curves) {
+      table.add_row(
+          {to_string(c.type), to_string(c.dir),
+           format("%.2f", to_kohm(result.tech.resistance_sq(c.type, c.dir))),
+           std::to_string(c.points.size())});
+    }
+    std::cout << table.to_string() << '\n';
+
+    const std::string tech_path = prefix + "_" + which + ".tech";
+    const std::string table_path = prefix + "_" + which + ".slopes";
+    write_tech_file(result.tech, tech_path);
+    result.tables.write_file(table_path);
+    std::cout << "wrote " << tech_path << " and " << table_path << '\n';
+
+    // Round-trip sanity: a production run would load these back.
+    const Tech reloaded = read_tech_file(tech_path);
+    const SlopeTables tables = SlopeTables::read_file(table_path);
+    std::cout << "reloaded tech '" << reloaded.name() << "', tables ok: "
+              << (tables.has(TransistorType::kNEnhancement,
+                             Transition::kFall)
+                      ? "yes"
+                      : "no")
+              << '\n';
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

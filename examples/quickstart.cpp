@@ -1,0 +1,58 @@
+// Quickstart: build an nMOS inverter chain, calibrate the models, and
+// compare all three delay models against the analog simulator.
+//
+// This is the smallest end-to-end tour of the library:
+//   generator -> calibration -> timing analysis -> analog reference.
+#include <cstdio>
+#include <iostream>
+
+#include "compare/harness.h"
+#include "delay/slope.h"
+#include "timing/report.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+int main() {
+  using namespace sldm;
+  try {
+    // A calibrated context: nmos4 technology, slope tables fit against
+    // the built-in analog simulator.
+    const CompareContext& ctx = CompareContext::get(Style::kNmos);
+    std::cout << "technology: " << ctx.tech().name()
+              << "  (vdd = " << ctx.tech().vdd() << " V)\n\n";
+
+    // A 4-stage inverter chain with fanout 2, driven by a 2 ns edge.
+    const GeneratedCircuit g = inverter_chain(Style::kNmos, 4, 2);
+    const Seconds input_slope = 2e-9;
+    const ComparisonResult r = run_comparison(g, ctx, input_slope);
+
+    std::cout << "circuit: " << g.name << "  (" << r.devices
+              << " transistors)\n";
+    std::cout << "analog reference delay: "
+              << format("%.3f ns", to_ns(r.reference_delay)) << "\n\n";
+
+    TextTable table({"model", "delay (ns)", "error vs sim"});
+    for (const ModelResult& m : r.models) {
+      table.add_row({m.model, format("%.3f", to_ns(m.delay)),
+                     format("%+.1f%%", m.error_pct)});
+    }
+    std::cout << table.to_string() << '\n';
+
+    // Show the slope model's critical path through the chain.
+    SlopeModel slope(ctx.calibration().tables);
+    TimingAnalyzer analyzer(g.netlist, ctx.tech(), slope);
+    analyzer.add_input_event(g.input, Transition::kRise, 0.0, input_slope);
+    analyzer.run();
+    const auto worst = analyzer.worst_arrival(/*outputs_only=*/true);
+    if (worst) {
+      std::cout << "critical path (slope model):\n"
+                << format_path(g.netlist,
+                               analyzer.critical_path(worst->node,
+                                                      worst->dir));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,70 @@
+// Barrel-shifter timing: the pass-transistor array workload that
+// motivated distributed RC analysis in the paper.
+//
+// Builds an N x N barrel shifter, runs the analyzer with each delay
+// model, prints the critical path through the array, and (for moderate
+// N) cross-checks the slope model against the analog simulator.
+#include <cstdlib>
+#include <iostream>
+
+#include "compare/harness.h"
+#include "delay/lumped.h"
+#include "delay/rctree.h"
+#include "delay/slope.h"
+#include "timing/report.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+
+int main(int argc, char** argv) {
+  using namespace sldm;
+  const int bits = argc > 1 ? std::atoi(argv[1]) : 4;
+  if (bits < 1 || bits > 16) {
+    std::cerr << "usage: shifter_timing [bits 1..16]\n";
+    return 2;
+  }
+  try {
+    const CompareContext& ctx = CompareContext::get(Style::kNmos);
+    const GeneratedCircuit g = barrel_shifter(Style::kNmos, bits);
+    std::cout << "circuit: " << g.name << "  ("
+              << g.netlist.device_count() << " transistors, "
+              << g.netlist.node_count() << " nodes)\n\n";
+
+    const Seconds input_slope = 1e-9;
+    TextTable table({"model", "critical path arrival (ns)"});
+    for (const DelayModel* model : ctx.models()) {
+      TimingAnalyzer an(g.netlist, ctx.tech(), *model);
+      an.add_input_event(g.input, Transition::kRise, 0.0, input_slope);
+      an.run();
+      const auto worst = an.worst_arrival(true);
+      table.add_row({model->name(),
+                     worst ? format("%.3f", to_ns(worst->time)) : "-"});
+    }
+    std::cout << table.to_string() << '\n';
+
+    // Critical path under the slope model.
+    SlopeModel slope(ctx.calibration().tables);
+    TimingAnalyzer an(g.netlist, ctx.tech(), slope);
+    an.add_input_event(g.input, Transition::kRise, 0.0, input_slope);
+    an.run();
+    if (const auto worst = an.worst_arrival(true)) {
+      std::cout << "critical path (slope model):\n"
+                << format_path(g.netlist,
+                               an.critical_path(worst->node, worst->dir))
+                << '\n';
+    }
+
+    if (bits <= 8) {
+      const ComparisonResult r = run_comparison(g, ctx, input_slope);
+      std::cout << "analog reference: "
+                << format("%.3f ns", to_ns(r.reference_delay))
+                << "   (slope model "
+                << format("%+.1f%%", r.model("slope").error_pct) << ")\n";
+    } else {
+      std::cout << "(analog cross-check skipped for bits > 8)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,126 @@
+// Analyze a .sim netlist from disk: census, structural checks, charge
+// sharing, timing with constraints, slack, and k-worst paths -- the
+// "Crystal command-line" workflow end to end.
+//
+// usage: sim_file_analysis [file.sim] [constraints.ct] [nmos|cmos]
+// With no arguments, a demo .sim + constraint file are written and
+// analyzed so the example runs out of the box.
+#include <fstream>
+#include <iostream>
+
+#include "compare/harness.h"
+#include "delay/slope.h"
+#include "netlist/checks.h"
+#include "netlist/sim_io.h"
+#include "netlist/stats.h"
+#include "timing/charge_sharing.h"
+#include "timing/constraints.h"
+#include "timing/report.h"
+#include "timing/slack.h"
+#include "util/strings.h"
+
+namespace {
+
+const char* kDemoSim = R"(| units: 100  demo: nMOS buffer + pass gate + dynamic bit line
+e in  gnd s1 4 8
+d s1  s1  vdd 8 4
+e s1  gnd s2 4 8
+d s2  s2  vdd 8 4
+e sel s2  s3 4 8
+c s3 25
+e s3  gnd out 4 8
+d out out  vdd 8 4
+e sel bit s3 4 8
+c bit 40
+@in in sel
+@out out
+@precharged bit
+)";
+
+const char* kDemoConstraints =
+    "input in rise at 0 slope 1\n"
+    "input sel rise at 0.5 slope 2\n"
+    "require 25\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sldm;
+  try {
+    std::string sim_path;
+    std::string ct_path;
+    if (argc > 1) {
+      sim_path = argv[1];
+    } else {
+      sim_path = "demo_buffer.sim";
+      std::ofstream(sim_path) << kDemoSim;
+      ct_path = "demo_buffer.ct";
+      std::ofstream(ct_path) << kDemoConstraints;
+      std::cout << "(no input given; wrote and analyzing " << sim_path
+                << " with " << ct_path << ")\n\n";
+    }
+    if (argc > 2) ct_path = argv[2];
+    const std::string which = argc > 3 ? argv[3] : "nmos";
+
+    const Netlist nl = read_sim_file(sim_path);
+    std::cout << "== census ==\n" << to_string(compute_stats(nl)) << '\n';
+
+    const auto diagnostics = check(nl);
+    if (!diagnostics.empty()) {
+      std::cout << "== structural diagnostics ==\n"
+                << to_string(nl, diagnostics) << '\n';
+    }
+    if (!all_ok(diagnostics)) {
+      std::cerr << "errors present; not analyzing\n";
+      return 1;
+    }
+
+    const Style style = which == "cmos" ? Style::kCmos : Style::kNmos;
+    const CompareContext& ctx = CompareContext::get(style);
+
+    // Charge-sharing audit of every dynamic node.
+    const auto sharing = analyze_all_charge_sharing(nl, ctx.tech());
+    if (!sharing.empty()) {
+      std::cout << "== charge sharing ==\n"
+                << format_charge_sharing(nl, sharing, ctx.tech().v_switch())
+                << '\n';
+    }
+
+    // Timing under the constraint file (or a default all-inputs event).
+    SlopeModel model(ctx.calibration().tables);
+    TimingAnalyzer an(nl, ctx.tech(), model);
+    Constraints constraints;
+    if (!ct_path.empty()) {
+      constraints = read_constraints_file(ct_path);
+      constraints.apply(nl, an);
+    } else {
+      an.add_all_input_events(1e-9);
+    }
+    an.run();
+
+    std::cout << "== arrivals at outputs (slope model) ==\n"
+              << format_output_arrivals(nl, an) << '\n';
+
+    if (constraints.required) {
+      const SlackReport slack = compute_slack(nl, an, *constraints.required);
+      std::cout << "== slack ==\n" << format_slack(nl, an, slack) << '\n';
+    }
+
+    if (const auto worst = an.worst_arrival(true)) {
+      const auto paths = an.k_worst_paths(worst->node, worst->dir, 3);
+      std::cout << "== " << paths.size() << " worst path(s) to "
+                << nl.node(worst->node).name << ' ' << to_string(worst->dir)
+                << " ==\n";
+      for (const auto& p : paths) {
+        std::cout << format("arrival %.3f ns:\n", to_ns(p.arrival))
+                  << format_path(nl, p.steps) << '\n';
+      }
+    } else {
+      std::cout << "no output arrivals (are outputs marked with @out?)\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,11 @@
+// The `sldm` command-line tool: thin wrapper over src/cli.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return sldm::run_cli(args, std::cout, std::cerr);
+}

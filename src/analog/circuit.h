@@ -1,0 +1,119 @@
+// Analog circuit representation for the mini-SPICE substrate.
+//
+// This is the circuit-level model the paper's delay estimates are judged
+// against.  Elements: linear resistors and grounded/floating capacitors,
+// independent (piecewise-linear) voltage sources, and level-1
+// (Shichman-Hodges) MOSFETs.  Node 0 is ground.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tech/tech.h"
+#include "util/units.h"
+
+namespace sldm {
+
+/// Index of an analog node.  0 is always ground.
+using AnalogNode = std::size_t;
+inline constexpr AnalogNode kGround = 0;
+
+/// An independent voltage source value as a piecewise-linear function of
+/// time, held constant before the first and after the last breakpoint.
+class PwlSource {
+ public:
+  /// DC source.
+  static PwlSource dc(Volts v);
+  /// A single edge: holds v0 until t_start, ramps linearly to v1 over
+  /// `ramp` (ramp > 0), then holds v1.
+  static PwlSource edge(Volts v0, Volts v1, Seconds t_start, Seconds ramp);
+  /// Arbitrary breakpoints.  Precondition: non-empty, strictly
+  /// increasing times.
+  static PwlSource points(std::vector<std::pair<Seconds, Volts>> pts);
+
+  Volts at(Seconds t) const;
+  /// Times at which the slope changes; the integrator never steps across
+  /// one of these.
+  const std::vector<Seconds>& breakpoints() const { return breaks_; }
+
+ private:
+  std::vector<Seconds> breaks_;
+  std::vector<Volts> values_;
+};
+
+struct Resistor {
+  AnalogNode a = kGround;
+  AnalogNode b = kGround;
+  Ohms resistance = 0.0;
+};
+
+struct Capacitor {
+  AnalogNode a = kGround;
+  AnalogNode b = kGround;
+  Farads capacitance = 0.0;
+};
+
+struct VSource {
+  AnalogNode pos = kGround;
+  AnalogNode neg = kGround;
+  PwlSource value;
+};
+
+struct Mosfet {
+  /// Electrical parameters (threshold sign distinguishes dep from enh).
+  DeviceParams params;
+  bool is_p = false;
+  AnalogNode drain = kGround;
+  AnalogNode gate = kGround;
+  AnalogNode source = kGround;
+  Meters width = 0.0;
+  Meters length = 0.0;
+};
+
+/// Operating-point evaluation of a MOSFET: drain current and its partial
+/// derivatives with respect to the three terminal voltages.
+struct MosfetOp {
+  Amperes id = 0.0;  ///< current into the drain terminal
+  double d_vg = 0.0;
+  double d_vd = 0.0;
+  double d_vs = 0.0;
+};
+
+/// Level-1 I/V evaluation at terminal voltages (vd, vg, vs).
+/// Handles source/drain symmetry and p-type mirroring.
+MosfetOp eval_mosfet(const Mosfet& m, Volts vd, Volts vg, Volts vs);
+
+/// The circuit under simulation.
+class Circuit {
+ public:
+  Circuit();
+
+  /// Creates a node.  Names are for diagnostics only and need not be
+  /// unique (elaborate() keeps the netlist mapping).
+  AnalogNode add_node(std::string name = {});
+
+  std::size_t node_count() const { return names_.size(); }
+  const std::string& node_name(AnalogNode n) const;
+
+  void add_resistor(AnalogNode a, AnalogNode b, Ohms r);
+  void add_capacitor(AnalogNode a, AnalogNode b, Farads c);
+  /// Returns the source's index (used to look up branch current).
+  std::size_t add_vsource(AnalogNode pos, AnalogNode neg, PwlSource v);
+  void add_mosfet(Mosfet m);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<Capacitor>& capacitors() const { return capacitors_; }
+  const std::vector<VSource>& vsources() const { return vsources_; }
+  const std::vector<Mosfet>& mosfets() const { return mosfets_; }
+
+ private:
+  void check_node(AnalogNode n) const;
+
+  std::vector<std::string> names_;
+  std::vector<Resistor> resistors_;
+  std::vector<Capacitor> capacitors_;
+  std::vector<VSource> vsources_;
+  std::vector<Mosfet> mosfets_;
+};
+
+}  // namespace sldm

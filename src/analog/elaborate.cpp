@@ -1,0 +1,91 @@
+#include "analog/elaborate.h"
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace sldm {
+
+AnalogNode Elaboration::analog(NodeId n) const {
+  SLDM_EXPECTS(n.valid() && n.index() < node_map_.size());
+  return node_map_[n.index()];
+}
+
+void Elaboration::apply_precharge(const Netlist& nl, Volts v,
+                                  TransientOptions& options) const {
+  for (NodeId n : nl.node_ids()) {
+    if (nl.node(n).is_precharged) {
+      options.initial_conditions[analog(n)] = v;
+    }
+  }
+}
+
+Elaboration elaborate(const Netlist& nl, const Tech& tech,
+                      const std::vector<Stimulus>& stimuli) {
+  Circuit circuit;
+  std::vector<AnalogNode> node_map(nl.node_count(), kGround);
+
+  // Nodes: ground maps to the analog ground; everything else gets its
+  // own analog node.
+  for (NodeId n : nl.node_ids()) {
+    const Node& info = nl.node(n);
+    if (info.is_ground) {
+      node_map[n.index()] = kGround;
+    } else {
+      node_map[n.index()] = circuit.add_node(info.name);
+    }
+  }
+
+  // Rails and inputs become voltage sources.
+  std::unordered_map<NodeId, const PwlSource*> stim_by_node;
+  for (const Stimulus& s : stimuli) {
+    SLDM_EXPECTS(nl.node(s.node).is_input);
+    const bool inserted = stim_by_node.emplace(s.node, &s.source).second;
+    SLDM_EXPECTS(inserted);  // one stimulus per input
+  }
+  for (NodeId n : nl.node_ids()) {
+    const Node& info = nl.node(n);
+    if (info.is_ground) continue;
+    if (info.is_power) {
+      circuit.add_vsource(node_map[n.index()], kGround,
+                          PwlSource::dc(tech.vdd()));
+    } else if (info.is_input) {
+      const auto it = stim_by_node.find(n);
+      circuit.add_vsource(node_map[n.index()], kGround,
+                          it != stim_by_node.end() ? *it->second
+                                                   : PwlSource::dc(0.0));
+    }
+  }
+
+  // Lumped node capacitances (skip source-driven nodes: a cap across an
+  // ideal source is invisible and only slows the integrator).
+  for (NodeId n : nl.node_ids()) {
+    const Node& info = nl.node(n);
+    if (info.is_ground || info.is_power || info.is_input) continue;
+    const Farads c = tech.node_capacitance(nl, n);
+    if (c > 0.0) {
+      circuit.add_capacitor(node_map[n.index()], kGround, c);
+    }
+  }
+
+  // Transistors.
+  for (DeviceId d : nl.device_ids()) {
+    const Transistor& t = nl.device(d);
+    if (!tech.has(t.type)) {
+      throw Error("technology '" + tech.name() + "' has no device type " +
+                  to_string(t.type));
+    }
+    Mosfet m;
+    m.params = tech.params(t.type);
+    m.is_p = t.type == TransistorType::kPEnhancement;
+    m.drain = node_map[t.drain.index()];
+    m.gate = node_map[t.gate.index()];
+    m.source = node_map[t.source.index()];
+    m.width = t.width;
+    m.length = t.length;
+    circuit.add_mosfet(std::move(m));
+  }
+
+  return Elaboration(std::move(circuit), std::move(node_map));
+}
+
+}  // namespace sldm

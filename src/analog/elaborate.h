@@ -1,0 +1,57 @@
+// Elaboration of a switch-level netlist into an analog circuit.
+//
+// Every transistor becomes a level-1 MOSFET; every node's lumped
+// capacitance (explicit + gate + diffusion, exactly the "C" the delay
+// models use) becomes a grounded capacitor; rails become DC sources and
+// chip inputs become piecewise-linear sources.  Using the same lumped
+// capacitances on both sides keeps the model-vs-simulation comparison
+// about the *delay models*, not about parasitic extraction.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "analog/circuit.h"
+#include "analog/transient.h"
+#include "netlist/netlist.h"
+#include "tech/tech.h"
+
+namespace sldm {
+
+/// A waveform to drive one chip input with.
+struct Stimulus {
+  NodeId node;
+  PwlSource source;
+};
+
+/// The elaborated circuit plus the netlist-to-analog node mapping.
+class Elaboration {
+ public:
+  Elaboration(Circuit circuit, std::vector<AnalogNode> node_map)
+      : circuit_(std::move(circuit)), node_map_(std::move(node_map)) {}
+
+  const Circuit& circuit() const { return circuit_; }
+
+  /// Analog node corresponding to a netlist node.
+  AnalogNode analog(NodeId n) const;
+
+  /// Initial-condition map entry helper: precharged nodes start at
+  /// `v`.  Adds ICs for every netlist node marked precharged.
+  void apply_precharge(const Netlist& nl, Volts v,
+                       TransientOptions& options) const;
+
+ private:
+  Circuit circuit_;
+  std::vector<AnalogNode> node_map_;
+};
+
+/// Elaborates `nl` under `tech`.
+///
+/// `stimuli` drives input nodes; inputs without a stimulus are held at
+/// 0 V.  Preconditions: the netlist passes structural checks well enough
+/// to simulate (at least one rail if it has transistors); every stimulus
+/// node is marked is_input.
+Elaboration elaborate(const Netlist& nl, const Tech& tech,
+                      const std::vector<Stimulus>& stimuli);
+
+}  // namespace sldm

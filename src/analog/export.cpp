@@ -1,0 +1,119 @@
+#include "analog/export.h"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sldm {
+
+void write_waveforms_csv(const std::vector<WaveformColumn>& columns,
+                         std::ostream& out) {
+  SLDM_EXPECTS(!columns.empty());
+  for (const WaveformColumn& c : columns) {
+    SLDM_EXPECTS(c.waveform != nullptr && !c.waveform->empty());
+  }
+
+  std::set<Seconds> times;
+  for (const WaveformColumn& c : columns) {
+    for (std::size_t i = 0; i < c.waveform->size(); ++i) {
+      times.insert(c.waveform->time(i));
+    }
+  }
+
+  out << "time_ns";
+  for (const WaveformColumn& c : columns) out << ',' << c.label;
+  out << '\n';
+  for (Seconds t : times) {
+    out << format("%.6f", to_ns(t));
+    for (const WaveformColumn& c : columns) {
+      out << format(",%.6f", c.waveform->at(t));
+    }
+    out << '\n';
+  }
+}
+
+void write_waveforms_csv_file(const std::vector<WaveformColumn>& columns,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot create waveform CSV: " + path);
+  write_waveforms_csv(columns, out);
+}
+
+namespace {
+
+char digitize(Volts v, Volts vdd) {
+  if (v >= 0.7 * vdd) return '1';
+  if (v <= 0.3 * vdd) return '0';
+  return 'x';
+}
+
+}  // namespace
+
+void write_waveforms_vcd(const std::vector<WaveformColumn>& columns,
+                         Volts vdd, std::ostream& out) {
+  SLDM_EXPECTS(!columns.empty());
+  SLDM_EXPECTS(columns.size() <= 90);  // one printable VCD code each
+  SLDM_EXPECTS(vdd > 0.0);
+  for (const WaveformColumn& c : columns) {
+    SLDM_EXPECTS(c.waveform != nullptr && !c.waveform->empty());
+  }
+
+  out << "$timescale 1ps $end\n$scope module sldm $end\n";
+  // VCD identifier codes: printable chars from '!'.
+  std::vector<char> codes;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    const char code = static_cast<char>('!' + i);
+    codes.push_back(code);
+    out << "$var wire 1 " << code << ' ' << columns[i].label << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  std::set<Seconds> times;
+  for (const WaveformColumn& c : columns) {
+    for (std::size_t i = 0; i < c.waveform->size(); ++i) {
+      times.insert(c.waveform->time(i));
+    }
+  }
+  std::vector<char> last(columns.size(), '?');
+  for (Seconds t : times) {
+    bool stamped = false;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      const char bit = digitize(columns[i].waveform->at(t), vdd);
+      if (bit == last[i]) continue;
+      if (!stamped) {
+        out << '#' << static_cast<long long>(t / 1e-12) << '\n';
+        stamped = true;
+      }
+      out << bit << codes[i] << '\n';
+      last[i] = bit;
+    }
+  }
+}
+
+void write_waveforms_vcd_file(const std::vector<WaveformColumn>& columns,
+                              Volts vdd, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot create VCD file: " + path);
+  write_waveforms_vcd(columns, vdd, out);
+}
+
+void write_transient_csv(const TransientResult& result,
+                         const std::vector<AnalogNode>& nodes,
+                         const std::vector<std::string>& labels,
+                         std::ostream& out) {
+  SLDM_EXPECTS(!nodes.empty());
+  SLDM_EXPECTS(nodes.size() == labels.size());
+  std::vector<WaveformColumn> columns;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    SLDM_EXPECTS(nodes[i] < result.waveforms.size());
+    columns.push_back({labels[i], &result.waveforms[nodes[i]]});
+  }
+  write_waveforms_csv(columns, out);
+}
+
+}  // namespace sldm

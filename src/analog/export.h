@@ -1,0 +1,50 @@
+// Waveform export for offline inspection/plotting.
+//
+// CSV: one time column plus one column per selected node, resampled
+// onto the union of sample times so external tools get a rectangular
+// table.  VCD-style dumps are intentionally out of scope (analog
+// values), but the CSV covers the plotting workflow.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analog/transient.h"
+
+namespace sldm {
+
+/// One exported column.
+struct WaveformColumn {
+  std::string label;
+  const Waveform* waveform = nullptr;  ///< non-owning; must outlive export
+};
+
+/// Writes a CSV with header "time_ns,<labels...>"; times are the sorted
+/// union of all columns' sample times, values linearly interpolated.
+/// Precondition: at least one column; all waveforms non-empty.
+void write_waveforms_csv(const std::vector<WaveformColumn>& columns,
+                         std::ostream& out);
+
+/// File convenience; throws Error if the file cannot be created.
+void write_waveforms_csv_file(const std::vector<WaveformColumn>& columns,
+                              const std::string& path);
+
+/// Convenience: export selected analog nodes of a transient result.
+/// Precondition: nodes/labels parallel and non-empty; nodes in range.
+void write_transient_csv(const TransientResult& result,
+                         const std::vector<AnalogNode>& nodes,
+                         const std::vector<std::string>& labels,
+                         std::ostream& out);
+
+/// Digitizing VCD export: each analog waveform becomes a 1-bit VCD
+/// signal that is '1' above 70% of `vdd`, '0' below 30%, and 'x' in
+/// between -- enough to eyeball switching order in any VCD viewer.
+/// Timescale is 1 ps.  Same preconditions as write_waveforms_csv.
+void write_waveforms_vcd(const std::vector<WaveformColumn>& columns,
+                         Volts vdd, std::ostream& out);
+
+void write_waveforms_vcd_file(const std::vector<WaveformColumn>& columns,
+                              Volts vdd, const std::string& path);
+
+}  // namespace sldm

@@ -1,0 +1,101 @@
+#include "analog/matrix.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace sldm {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  SLDM_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  SLDM_EXPECTS(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+void Matrix::set_zero() {
+  for (double& v : data_) v = 0.0;
+}
+
+LuFactorization::LuFactorization(const Matrix& a) : lu_(a) {
+  SLDM_EXPECTS(a.rows() == a.cols());
+  SLDM_EXPECTS(a.rows() > 0);
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  double max_pivot = 0.0;
+  double min_pivot = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest magnitude in column k.
+    std::size_t pivot_row = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double mag = std::abs(lu_(r, k));
+      if (mag > best) {
+        best = mag;
+        pivot_row = r;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      throw NumericalError("singular matrix in LU factorization (column " +
+                           std::to_string(k) + ")");
+    }
+    if (pivot_row != k) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(lu_(k, c), lu_(pivot_row, c));
+      }
+      std::swap(perm_[k], perm_[pivot_row]);
+    }
+    if (k == 0) {
+      max_pivot = min_pivot = best;
+    } else {
+      max_pivot = std::max(max_pivot, best);
+      min_pivot = std::min(min_pivot, best);
+    }
+    const double pivot = lu_(k, k);
+    for (std::size_t r = k + 1; r < n; ++r) {
+      const double factor = lu_(r, k) / pivot;
+      lu_(r, k) = factor;
+      if (factor == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) {
+        lu_(r, c) -= factor * lu_(k, c);
+      }
+    }
+  }
+  min_pivot_ratio_ = max_pivot > 0.0 ? min_pivot / max_pivot : 0.0;
+}
+
+std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
+  const std::size_t n = lu_.rows();
+  SLDM_EXPECTS(b.size() == n);
+  std::vector<double> x(n);
+  // Apply the permutation, then forward substitution (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      x[i] -= lu_(i, j) * x[j];
+    }
+  }
+  // Back substitution.
+  for (std::size_t ii = n; ii-- > 0;) {
+    for (std::size_t j = ii + 1; j < n; ++j) {
+      x[ii] -= lu_(ii, j) * x[j];
+    }
+    x[ii] /= lu_(ii, ii);
+  }
+  return x;
+}
+
+std::vector<double> solve_dense(const Matrix& a, const std::vector<double>& b) {
+  return LuFactorization(a).solve(b);
+}
+
+}  // namespace sldm

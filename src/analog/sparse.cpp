@@ -1,0 +1,136 @@
+#include "analog/sparse.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace sldm {
+
+SparseMatrix::SparseMatrix(std::size_t n) : rows_(n) {
+  SLDM_EXPECTS(n > 0);
+}
+
+void SparseMatrix::add(std::size_t r, std::size_t c, double v) {
+  SLDM_EXPECTS(r < rows_.size() && c < rows_.size());
+  if (v == 0.0) return;
+  rows_[r][c] += v;
+}
+
+double SparseMatrix::at(std::size_t r, std::size_t c) const {
+  SLDM_EXPECTS(r < rows_.size() && c < rows_.size());
+  const auto it = rows_[r].find(c);
+  return it == rows_[r].end() ? 0.0 : it->second;
+}
+
+void SparseMatrix::set_zero() {
+  for (auto& row : rows_) row.clear();
+}
+
+std::size_t SparseMatrix::nonzeros() const {
+  std::size_t total = 0;
+  for (const auto& row : rows_) total += row.size();
+  return total;
+}
+
+const std::map<std::size_t, double>& SparseMatrix::row(std::size_t r) const {
+  SLDM_EXPECTS(r < rows_.size());
+  return rows_[r];
+}
+
+SparseLu::SparseLu(const SparseMatrix& a) {
+  const std::size_t n = a.dimension();
+  // Working copy of the active rows.
+  std::vector<std::map<std::size_t, double>> work(n);
+  for (std::size_t r = 0; r < n; ++r) work[r] = a.row(r);
+
+  lower_.resize(n);
+  upper_.resize(n);
+  perm_.resize(n);
+  // row_of[i]: which working row currently sits at elimination slot i.
+  std::vector<std::size_t> row_of(n);
+  for (std::size_t i = 0; i < n; ++i) row_of[i] = i;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: among not-yet-eliminated rows, take the largest
+    // magnitude in column k.
+    std::size_t best_slot = k;
+    double best = 0.0;
+    for (std::size_t s = k; s < n; ++s) {
+      const auto& row = work[row_of[s]];
+      const auto it = row.find(k);
+      if (it == row.end()) continue;
+      const double mag = std::abs(it->second);
+      if (mag > best) {
+        best = mag;
+        best_slot = s;
+      }
+    }
+    if (best == 0.0 || !std::isfinite(best)) {
+      throw NumericalError("singular sparse matrix (column " +
+                           std::to_string(k) + ")");
+    }
+    std::swap(row_of[k], row_of[best_slot]);
+    const std::size_t prow = row_of[k];
+    const double pivot = work[prow].at(k);
+
+    for (std::size_t s = k + 1; s < n; ++s) {
+      auto& row = work[row_of[s]];
+      const auto it = row.find(k);
+      if (it == row.end()) continue;
+      const double factor = it->second / pivot;
+      row.erase(it);
+      lower_[s][k] = factor;
+      if (factor == 0.0) continue;
+      // row -= factor * pivot_row (columns > k).
+      for (const auto& [c, v] : work[prow]) {
+        if (c <= k) continue;
+        auto [pos, inserted] = row.try_emplace(c, 0.0);
+        pos->second -= factor * v;
+        if (pos->second == 0.0) row.erase(pos);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    perm_[i] = row_of[i];
+    // Move the eliminated row into U (entries >= i only remain).
+    upper_[i] = std::move(work[row_of[i]]);
+  }
+}
+
+std::vector<double> SparseLu::solve(const std::vector<double>& b) const {
+  const std::size_t n = upper_.size();
+  SLDM_EXPECTS(b.size() == n);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = b[perm_[i]];
+  // Forward substitution with unit-diagonal L.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = x[i];
+    for (const auto& [c, f] : lower_[i]) v -= f * x[c];
+    x[i] = v;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = x[ii];
+    double diag = 0.0;
+    for (const auto& [c, u] : upper_[ii]) {
+      if (c == ii) {
+        diag = u;
+      } else if (c > ii) {
+        v -= u * x[c];
+      }
+    }
+    SLDM_ASSERT(diag != 0.0);
+    x[ii] = v / diag;
+  }
+  return x;
+}
+
+std::size_t SparseLu::factor_nonzeros() const {
+  std::size_t total = 0;
+  for (const auto& row : lower_) total += row.size();
+  for (const auto& row : upper_) total += row.size();
+  return total;
+}
+
+}  // namespace sldm

@@ -1,0 +1,62 @@
+// Sparse LU factorization for the MNA system.
+//
+// Circuit Jacobians are extremely sparse (a handful of entries per
+// row); above a modest size the dense kernel wastes almost all of its
+// work on zeros.  This is a map-per-row Gaussian elimination with
+// partial pivoting -- not a supernodal powerhouse, but asymptotically
+// far better than dense on circuit matrices and exactly equivalent in
+// results (tests enforce agreement with the dense solver).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+namespace sldm {
+
+/// A sparse square matrix assembled by coordinate updates.
+class SparseMatrix {
+ public:
+  explicit SparseMatrix(std::size_t n);
+
+  std::size_t dimension() const { return rows_.size(); }
+
+  /// Adds `v` to entry (r, c).
+  void add(std::size_t r, std::size_t c, double v);
+
+  /// Reads entry (r, c) (0 if absent).
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Drops all stored values but keeps nothing else (fresh assembly).
+  void set_zero();
+
+  /// Number of stored entries.
+  std::size_t nonzeros() const;
+
+  const std::map<std::size_t, double>& row(std::size_t r) const;
+
+ private:
+  std::vector<std::map<std::size_t, double>> rows_;
+};
+
+/// LU factorization with partial pivoting of a SparseMatrix.
+/// Throws NumericalError if singular to working precision.
+class SparseLu {
+ public:
+  explicit SparseLu(const SparseMatrix& a);
+
+  /// Solves A x = b.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  std::size_t dimension() const { return lower_.size(); }
+  /// Fill-in diagnostic: stored entries in L + U.
+  std::size_t factor_nonzeros() const;
+
+ private:
+  // Row-major factors; lower_ rows exclude the unit diagonal.
+  std::vector<std::map<std::size_t, double>> lower_;
+  std::vector<std::map<std::size_t, double>> upper_;
+  std::vector<std::size_t> perm_;  // row permutation
+};
+
+}  // namespace sldm

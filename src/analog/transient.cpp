@@ -1,0 +1,441 @@
+#include "analog/transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "analog/matrix.h"
+#include "analog/sparse.h"
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace sldm {
+namespace {
+
+/// Conductance from every node to ground, for numerical robustness with
+/// momentarily floating nodes (all switches off).
+constexpr double kGmin = 1e-12;
+
+/// Integration method for the capacitor companion model.
+enum class Method { kBackwardEuler, kTrapezoidal };
+
+/// Per-capacitor dynamic state carried between time points.
+struct CapState {
+  Volts v_prev = 0.0;    ///< capacitor voltage at the last accepted point
+  Amperes i_prev = 0.0;  ///< capacitor current at the last accepted point
+};
+
+/// Assembles and solves the MNA system.
+class Solver {
+ public:
+  Solver(const Circuit& circuit, const TransientOptions& options)
+      : circuit_(circuit),
+        options_(options),
+        n_nodes_(circuit.node_count()),
+        n_unknowns_(circuit.node_count() - 1 + circuit.vsources().size()),
+        sparse_(options.matrix == MatrixKind::kSparse ||
+                (options.matrix == MatrixKind::kAuto && n_unknowns_ > 100)),
+        jac_(sparse_ ? 1 : n_unknowns_, sparse_ ? 1 : n_unknowns_),
+        sjac_(sparse_ ? n_unknowns_ : 1) {
+    SLDM_EXPECTS(circuit.node_count() > 1);
+  }
+
+  std::size_t unknown_count() const { return n_unknowns_; }
+
+  /// Newton-solves the circuit equations at time `t`.
+  ///
+  /// `x` holds node voltages (entry per node, ground included and pinned
+  /// to 0) and is updated in place on success.  `branch` receives source
+  /// branch currents.  In transient mode (`with_caps`), capacitor
+  /// companions use step `h` from `states`.  `source_scale` scales all
+  /// source values (used for DC continuation).
+  /// Returns the number of Newton iterations, or -1 on divergence.
+  int newton(std::vector<Volts>& x, std::vector<Amperes>& branch, Seconds t,
+             bool with_caps, Method method, Seconds h,
+             const std::vector<CapState>& states, double source_scale,
+             double gmin = kGmin) {
+    const std::size_t n = n_unknowns_;
+    std::vector<double> f(n);
+    std::vector<double> u(n);  // packed unknowns
+    pack(x, branch, u);
+
+    for (int iter = 1; iter <= options_.newton_max_iter; ++iter) {
+      if (sparse_) {
+        sjac_.set_zero();
+      } else {
+        jac_.set_zero();
+      }
+      std::fill(f.begin(), f.end(), 0.0);
+      assemble(u, t, with_caps, method, h, states, source_scale, gmin, f);
+
+      std::vector<double> rhs(n);
+      for (std::size_t i = 0; i < n; ++i) rhs[i] = -f[i];
+      std::vector<double> delta;
+      try {
+        delta = sparse_ ? SparseLu(sjac_).solve(rhs)
+                        : LuFactorization(jac_).solve(rhs);
+      } catch (const NumericalError&) {
+        return -1;
+      }
+
+      double max_dv = 0.0;
+      for (std::size_t i = 0; i + circuit_.vsources().size() < n; ++i) {
+        max_dv = std::max(max_dv, std::abs(delta[i]));
+      }
+      // Damp: limit the voltage update magnitude per iteration.
+      double scale = 1.0;
+      if (max_dv > options_.newton_damping) {
+        scale = options_.newton_damping / max_dv;
+      }
+      bool converged = true;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double step = scale * delta[i];
+        u[i] += step;
+        if (!std::isfinite(u[i])) return -1;
+        const bool is_voltage = i + circuit_.vsources().size() < n;
+        const double tol =
+            is_voltage
+                ? options_.newton_abstol +
+                      options_.newton_reltol * std::abs(u[i])
+                : 1e-9 + options_.newton_reltol * std::abs(u[i]);
+        if (std::abs(step) > tol) converged = false;
+      }
+      if (converged && scale == 1.0 && iter >= 2) {
+        unpack(u, x, branch);
+        return iter;
+      }
+    }
+    return -1;
+  }
+
+  /// Capacitor voltage from a node-voltage vector.
+  static Volts cap_voltage(const Capacitor& c, const std::vector<Volts>& x) {
+    return x[c.a] - x[c.b];
+  }
+
+ private:
+  std::size_t vindex(AnalogNode node) const {
+    SLDM_ASSERT(node != kGround);
+    return node - 1;
+  }
+
+  void pack(const std::vector<Volts>& x, const std::vector<Amperes>& branch,
+            std::vector<double>& u) const {
+    SLDM_ASSERT(x.size() == n_nodes_);
+    for (AnalogNode node = 1; node < n_nodes_; ++node) {
+      u[vindex(node)] = x[node];
+    }
+    for (std::size_t k = 0; k < branch.size(); ++k) {
+      u[n_nodes_ - 1 + k] = branch[k];
+    }
+  }
+
+  void unpack(const std::vector<double>& u, std::vector<Volts>& x,
+              std::vector<Amperes>& branch) const {
+    x[kGround] = 0.0;
+    for (AnalogNode node = 1; node < n_nodes_; ++node) {
+      x[node] = u[vindex(node)];
+    }
+    for (std::size_t k = 0; k < branch.size(); ++k) {
+      branch[k] = u[n_nodes_ - 1 + k];
+    }
+  }
+
+  double voltage_of(const std::vector<double>& u, AnalogNode node) const {
+    return node == kGround ? 0.0 : u[vindex(node)];
+  }
+
+  /// Adds `g` to the Jacobian entry (row, col), in whichever matrix
+  /// representation is active.
+  void stamp_rc(std::size_t r, std::size_t c, double g) {
+    if (sparse_) {
+      sjac_.add(r, c, g);
+    } else {
+      jac_(r, c) += g;
+    }
+  }
+
+  /// Adds `g` to the Jacobian entry (row eq of node `at`, column of node
+  /// `wrt`), skipping ground rows/columns.
+  void stamp_j(AnalogNode at, AnalogNode wrt, double g) {
+    if (at == kGround || wrt == kGround) return;
+    stamp_rc(vindex(at), vindex(wrt), g);
+  }
+
+  void stamp_f(std::vector<double>& f, AnalogNode at, double current) {
+    if (at == kGround) return;
+    f[vindex(at)] += current;
+  }
+
+  void assemble(const std::vector<double>& u, Seconds t, bool with_caps,
+                Method method, Seconds h, const std::vector<CapState>& states,
+                double source_scale, double gmin, std::vector<double>& f) {
+    // Gmin to ground on every node equation.
+    for (AnalogNode node = 1; node < n_nodes_; ++node) {
+      stamp_j(node, node, gmin);
+      stamp_f(f, node, gmin * voltage_of(u, node));
+    }
+
+    for (const Resistor& r : circuit_.resistors()) {
+      const double g = 1.0 / r.resistance;
+      const double i = g * (voltage_of(u, r.a) - voltage_of(u, r.b));
+      stamp_f(f, r.a, i);
+      stamp_f(f, r.b, -i);
+      stamp_j(r.a, r.a, g);
+      stamp_j(r.a, r.b, -g);
+      stamp_j(r.b, r.a, -g);
+      stamp_j(r.b, r.b, g);
+    }
+
+    if (with_caps) {
+      SLDM_ASSERT(states.size() == circuit_.capacitors().size());
+      for (std::size_t k = 0; k < circuit_.capacitors().size(); ++k) {
+        const Capacitor& c = circuit_.capacitors()[k];
+        const CapState& s = states[k];
+        const double geq = (method == Method::kTrapezoidal ? 2.0 : 1.0) *
+                           c.capacitance / h;
+        const double ieq =
+            method == Method::kTrapezoidal
+                ? -geq * s.v_prev - s.i_prev
+                : -geq * s.v_prev;
+        const double vc = voltage_of(u, c.a) - voltage_of(u, c.b);
+        const double i = geq * vc + ieq;
+        stamp_f(f, c.a, i);
+        stamp_f(f, c.b, -i);
+        stamp_j(c.a, c.a, geq);
+        stamp_j(c.a, c.b, -geq);
+        stamp_j(c.b, c.a, -geq);
+        stamp_j(c.b, c.b, geq);
+      }
+    }
+
+    for (const Mosfet& m : circuit_.mosfets()) {
+      const MosfetOp op = eval_mosfet(m, voltage_of(u, m.drain),
+                                      voltage_of(u, m.gate),
+                                      voltage_of(u, m.source));
+      // op.id leaves the drain node and enters the source node.
+      stamp_f(f, m.drain, op.id);
+      stamp_f(f, m.source, -op.id);
+      stamp_j(m.drain, m.drain, op.d_vd);
+      stamp_j(m.drain, m.gate, op.d_vg);
+      stamp_j(m.drain, m.source, op.d_vs);
+      stamp_j(m.source, m.drain, -op.d_vd);
+      stamp_j(m.source, m.gate, -op.d_vg);
+      stamp_j(m.source, m.source, -op.d_vs);
+    }
+
+    for (std::size_t k = 0; k < circuit_.vsources().size(); ++k) {
+      const VSource& src = circuit_.vsources()[k];
+      const std::size_t br = n_nodes_ - 1 + k;
+      const double ib = u[br];
+      // Branch current leaves `pos`, enters `neg`.
+      stamp_f(f, src.pos, ib);
+      stamp_f(f, src.neg, -ib);
+      if (src.pos != kGround) {
+        stamp_rc(vindex(src.pos), br, 1.0);
+      }
+      if (src.neg != kGround) {
+        stamp_rc(vindex(src.neg), br, -1.0);
+      }
+      // Branch equation: v_pos - v_neg = V(t).
+      f[br] = voltage_of(u, src.pos) - voltage_of(u, src.neg) -
+              source_scale * src.value.at(t);
+      if (src.pos != kGround) stamp_rc(br, vindex(src.pos), 1.0);
+      if (src.neg != kGround) stamp_rc(br, vindex(src.neg), -1.0);
+    }
+  }
+
+  const Circuit& circuit_;
+  const TransientOptions& options_;
+  std::size_t n_nodes_;
+  std::size_t n_unknowns_;
+  bool sparse_;
+  Matrix jac_;        // used when !sparse_ (1x1 placeholder otherwise)
+  SparseMatrix sjac_;  // used when sparse_ (1x1 placeholder otherwise)
+};
+
+std::vector<Seconds> collect_breakpoints(const Circuit& circuit,
+                                         Seconds t_stop) {
+  std::set<Seconds> points;
+  for (const VSource& src : circuit.vsources()) {
+    for (Seconds b : src.value.breakpoints()) {
+      if (b > 0.0 && b < t_stop) points.insert(b);
+    }
+  }
+  return {points.begin(), points.end()};
+}
+
+}  // namespace
+
+const Waveform& TransientResult::at(AnalogNode n) const {
+  SLDM_EXPECTS(n < waveforms.size());
+  return waveforms[n];
+}
+
+std::vector<Volts> dc_operating_point(const Circuit& circuit,
+                                      const TransientOptions& options) {
+  Solver solver(circuit, options);
+  std::vector<Volts> x(circuit.node_count(), 0.0);
+  std::vector<Amperes> branch(circuit.vsources().size(), 0.0);
+  const std::vector<CapState> no_caps;
+
+  // Direct attempt from a flat-zero guess.
+  if (solver.newton(x, branch, 0.0, /*with_caps=*/false,
+                    Method::kBackwardEuler, 1.0, no_caps,
+                    /*source_scale=*/1.0) > 0) {
+    return x;
+  }
+
+  // Gmin stepping: solve with a strong leak to ground (which makes the
+  // system strongly diagonally dominant), then relax the leak decade by
+  // decade, reusing each solution as the next starting point.  This is
+  // the classic SPICE fallback and converges on the bistable-prone CMOS
+  // stacks where plain Newton oscillates.
+  std::fill(x.begin(), x.end(), 0.0);
+  std::fill(branch.begin(), branch.end(), 0.0);
+  bool ok = true;
+  for (double gmin = 1e-3; gmin >= kGmin; gmin /= 10.0) {
+    if (solver.newton(x, branch, 0.0, false, Method::kBackwardEuler, 1.0,
+                      no_caps, 1.0, gmin) < 0) {
+      ok = false;
+      break;
+    }
+  }
+  if (ok && solver.newton(x, branch, 0.0, false, Method::kBackwardEuler, 1.0,
+                          no_caps, 1.0) > 0) {
+    return x;
+  }
+
+  // Source-stepping continuation as the last resort.
+  std::fill(x.begin(), x.end(), 0.0);
+  std::fill(branch.begin(), branch.end(), 0.0);
+  for (int pct = 2; pct <= 100; pct += 2) {
+    const double scale = static_cast<double>(pct) / 100.0;
+    if (solver.newton(x, branch, 0.0, false, Method::kBackwardEuler, 1.0,
+                      no_caps, scale) < 0) {
+      throw NumericalError(
+          "DC operating point failed at source continuation step " +
+          std::to_string(pct) + "%");
+    }
+  }
+  return x;
+}
+
+TransientResult simulate(const Circuit& circuit,
+                         const TransientOptions& options) {
+  SLDM_EXPECTS(options.t_stop > 0.0);
+  SLDM_EXPECTS(options.dt_init > 0.0);
+
+  Solver solver(circuit, options);
+  const Seconds dt_max =
+      options.dt_max > 0.0 ? options.dt_max : options.t_stop / 200.0;
+
+  // Initial state.
+  std::vector<Volts> x(circuit.node_count(), 0.0);
+  if (options.start_from_dc) {
+    x = dc_operating_point(circuit, options);
+  }
+  for (const auto& [node, v] : options.initial_conditions) {
+    SLDM_EXPECTS(node < circuit.node_count());
+    x[node] = v;
+  }
+  x[kGround] = 0.0;
+  std::vector<Amperes> branch(circuit.vsources().size(), 0.0);
+
+  std::vector<CapState> states(circuit.capacitors().size());
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    states[k].v_prev = Solver::cap_voltage(circuit.capacitors()[k], x);
+    states[k].i_prev = 0.0;
+  }
+
+  TransientResult result;
+  result.waveforms.resize(circuit.node_count());
+  auto record = [&](Seconds t) {
+    for (AnalogNode n = 0; n < circuit.node_count(); ++n) {
+      result.waveforms[n].append(t, x[n]);
+    }
+  };
+  // t = 0 sample uses a tiny negative epsilon-free convention: record the
+  // initial state directly.
+  for (AnalogNode n = 0; n < circuit.node_count(); ++n) {
+    result.waveforms[n].append(0.0, x[n]);
+  }
+
+  const std::vector<Seconds> breakpoints =
+      collect_breakpoints(circuit, options.t_stop);
+  std::size_t next_bp = 0;
+
+  Seconds t = 0.0;
+  Seconds h = options.dt_init;
+  bool first_step = true;
+  const Seconds t_eps = options.t_stop * 1e-12;
+
+  while (t < options.t_stop - t_eps) {
+    while (next_bp < breakpoints.size() && breakpoints[next_bp] <= t + t_eps) {
+      ++next_bp;
+    }
+    Seconds h_try = std::min({h, dt_max, options.t_stop - t});
+    if (next_bp < breakpoints.size() &&
+        t + h_try > breakpoints[next_bp] - t_eps) {
+      h_try = breakpoints[next_bp] - t;
+      first_step = true;  // restart integration method at the corner
+    }
+    SLDM_ASSERT(h_try > 0.0);
+
+    std::vector<Volts> x_new = x;
+    std::vector<Amperes> branch_new = branch;
+    const Method method =
+        first_step ? Method::kBackwardEuler : Method::kTrapezoidal;
+    const int iters = solver.newton(x_new, branch_new, t + h_try,
+                                    /*with_caps=*/true, method, h_try, states,
+                                    /*source_scale=*/1.0);
+
+    double max_dv = 0.0;
+    if (iters > 0) {
+      for (AnalogNode n = 1; n < circuit.node_count(); ++n) {
+        max_dv = std::max(max_dv, std::abs(x_new[n] - x[n]));
+      }
+    }
+    const bool too_big = iters > 0 && max_dv > options.dv_max;
+    if (iters < 0 || (too_big && h_try > 4.0 * options.dt_min)) {
+      ++result.rejected_steps;
+      h = h_try / 2.0;
+      if (h < options.dt_min) {
+        throw NumericalError("transient step size underflow at t = " +
+                             std::to_string(t));
+      }
+      continue;
+    }
+
+    // Accept the step: update capacitor histories.
+    result.newton_iterations += static_cast<std::size_t>(iters);
+    for (std::size_t k = 0; k < states.size(); ++k) {
+      const Capacitor& c = circuit.capacitors()[k];
+      const double v_new = Solver::cap_voltage(c, x_new);
+      const double geq =
+          (method == Method::kTrapezoidal ? 2.0 : 1.0) * c.capacitance /
+          h_try;
+      const double i_new =
+          method == Method::kTrapezoidal
+              ? geq * (v_new - states[k].v_prev) - states[k].i_prev
+              : geq * (v_new - states[k].v_prev);
+      states[k].v_prev = v_new;
+      states[k].i_prev = i_new;
+    }
+    x = std::move(x_new);
+    branch = std::move(branch_new);
+    t += h_try;
+    first_step = false;
+    ++result.accepted_steps;
+    record(t);
+
+    // Grow the step when the solution is moving slowly.
+    h = h_try;
+    if (max_dv < 0.3 * options.dv_max) {
+      h = std::min(h * 1.5, dt_max);
+    }
+  }
+  return result;
+}
+
+}  // namespace sldm

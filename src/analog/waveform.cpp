@@ -1,0 +1,120 @@
+#include "analog/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace sldm {
+
+void Waveform::append(Seconds t, Volts v) {
+  SLDM_EXPECTS(times_.empty() || t > times_.back());
+  times_.push_back(t);
+  values_.push_back(v);
+}
+
+Seconds Waveform::time(std::size_t i) const {
+  SLDM_EXPECTS(i < times_.size());
+  return times_[i];
+}
+
+Volts Waveform::value(std::size_t i) const {
+  SLDM_EXPECTS(i < values_.size());
+  return values_[i];
+}
+
+Seconds Waveform::t_begin() const {
+  SLDM_EXPECTS(!times_.empty());
+  return times_.front();
+}
+
+Seconds Waveform::t_end() const {
+  SLDM_EXPECTS(!times_.empty());
+  return times_.back();
+}
+
+Volts Waveform::at(Seconds t) const {
+  SLDM_EXPECTS(!times_.empty());
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const auto hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double frac = (t - times_[lo]) / (times_[hi] - times_[lo]);
+  return values_[lo] + frac * (values_[hi] - values_[lo]);
+}
+
+Volts Waveform::min_value() const {
+  SLDM_EXPECTS(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+Volts Waveform::max_value() const {
+  SLDM_EXPECTS(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+std::optional<Seconds> Waveform::cross(Volts threshold, Transition dir,
+                                       Seconds after) const {
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    if (times_[i] < after) continue;
+    const Volts v0 = values_[i - 1];
+    const Volts v1 = values_[i];
+    const bool crossed = dir == Transition::kRise
+                             ? (v0 < threshold && v1 >= threshold)
+                             : (v0 > threshold && v1 <= threshold);
+    if (!crossed) continue;
+    const double frac = (threshold - v0) / (v1 - v0);
+    const Seconds t =
+        times_[i - 1] + frac * (times_[i] - times_[i - 1]);
+    if (t >= after) return t;
+  }
+  return std::nullopt;
+}
+
+std::optional<Seconds> Waveform::transition_time(Volts v_lo, Volts v_hi,
+                                                 Transition dir,
+                                                 Seconds after) const {
+  SLDM_EXPECTS(v_hi > v_lo);
+  const Volts swing = v_hi - v_lo;
+  const Volts v10 = v_lo + 0.1 * swing;
+  const Volts v90 = v_lo + 0.9 * swing;
+  if (dir == Transition::kRise) {
+    const auto t10 = cross(v10, Transition::kRise, after);
+    if (!t10) return std::nullopt;
+    const auto t90 = cross(v90, Transition::kRise, *t10);
+    if (!t90) return std::nullopt;
+    return (*t90 - *t10) / 0.8;
+  }
+  const auto t90 = cross(v90, Transition::kFall, after);
+  if (!t90) return std::nullopt;
+  const auto t10 = cross(v10, Transition::kFall, *t90);
+  if (!t10) return std::nullopt;
+  return (*t10 - *t90) / 0.8;
+}
+
+std::optional<Seconds> measure_delay(const Waveform& input,
+                                     Transition input_dir,
+                                     const Waveform& output,
+                                     Transition output_dir, Volts v_mid,
+                                     Seconds after) {
+  const auto t_in = input.cross(v_mid, input_dir, after);
+  if (!t_in) return std::nullopt;
+  const auto t_out = output.cross(v_mid, output_dir, *t_in);
+  if (!t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+std::optional<Seconds> measure_delay_signed(const Waveform& input,
+                                            Transition input_dir,
+                                            const Waveform& output,
+                                            Transition output_dir,
+                                            Volts v_mid, Seconds after) {
+  const auto t_in = input.cross(v_mid, input_dir, after);
+  if (!t_in) return std::nullopt;
+  const auto t_out = output.cross(v_mid, output_dir, after);
+  if (!t_out) return std::nullopt;
+  return *t_out - *t_in;
+}
+
+}  // namespace sldm

@@ -1,0 +1,73 @@
+// Time-series voltage waveforms and the measurements the experiments use:
+// threshold-crossing times, 50%-to-50% delays, and transition-time (slope)
+// extraction.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "netlist/types.h"
+#include "util/units.h"
+
+namespace sldm {
+
+/// A sampled waveform: strictly increasing times with one value each.
+class Waveform {
+ public:
+  Waveform() = default;
+
+  /// Appends a sample.  Precondition: t strictly greater than the last
+  /// sample's time (or the waveform is empty).
+  void append(Seconds t, Volts v);
+
+  bool empty() const { return times_.empty(); }
+  std::size_t size() const { return times_.size(); }
+  Seconds time(std::size_t i) const;
+  Volts value(std::size_t i) const;
+  Seconds t_begin() const;
+  Seconds t_end() const;
+
+  /// Linear interpolation; clamps outside the sampled range.
+  Volts at(Seconds t) const;
+
+  Volts min_value() const;
+  Volts max_value() const;
+
+  /// First time >= `after` at which the waveform crosses `threshold`
+  /// moving in direction `dir` (kRise: from below to >=; kFall: from
+  /// above to <=).  Linear interpolation between samples.
+  std::optional<Seconds> cross(Volts threshold, Transition dir,
+                               Seconds after = 0.0) const;
+
+  /// The transition containing the crossing of `threshold` in direction
+  /// `dir` after `after`: measures the 10%..90% traversal of [v_lo, v_hi]
+  /// around that edge and returns it scaled to a full-swing equivalent
+  /// ramp time (t_10_90 / 0.8).  This is the library's "slope" metric.
+  std::optional<Seconds> transition_time(Volts v_lo, Volts v_hi,
+                                         Transition dir, Seconds after = 0.0)
+      const;
+
+ private:
+  std::vector<Seconds> times_;
+  std::vector<Volts> values_;
+};
+
+/// 50%-crossing delay from an input edge to an output edge.  The output
+/// crossing is searched from the input crossing, so the result is
+/// non-negative.  Returns nullopt if either waveform never crosses.
+std::optional<Seconds> measure_delay(const Waveform& input,
+                                     Transition input_dir,
+                                     const Waveform& output,
+                                     Transition output_dir, Volts v_mid,
+                                     Seconds after = 0.0);
+
+/// Signed 50%-crossing delay: both crossings are searched independently
+/// from `after`, so a slow input whose receiver switches early yields a
+/// negative delay (a real effect the slope model's tables must clamp).
+std::optional<Seconds> measure_delay_signed(const Waveform& input,
+                                            Transition input_dir,
+                                            const Waveform& output,
+                                            Transition output_dir,
+                                            Volts v_mid, Seconds after = 0.0);
+
+}  // namespace sldm

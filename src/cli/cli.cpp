@@ -1,0 +1,313 @@
+#include "cli/cli.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+
+#include "analog/elaborate.h"
+#include "analog/export.h"
+#include "analog/transient.h"
+#include "calib/calibrate.h"
+#include "delay/bounds.h"
+#include "delay/lumped.h"
+#include "delay/rctree.h"
+#include "delay/slope.h"
+#include "delay/unit.h"
+#include "netlist/checks.h"
+#include "netlist/sim_io.h"
+#include "netlist/stats.h"
+#include "tech/tech_io.h"
+#include "timing/charge_sharing.h"
+#include "timing/constraints.h"
+#include "timing/report.h"
+#include "timing/slack.h"
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sldm {
+namespace {
+
+/// Bad invocation (wrong arguments), as opposed to analysis failures.
+class UsageError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Parsed --key value options plus positional arguments.
+struct Options {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> values;
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values.find(key);
+    if (it == values.end()) return std::nullopt;
+    return it->second;
+  }
+};
+
+Options parse_options(const std::vector<std::string>& args,
+                      std::size_t first) {
+  Options out;
+  for (std::size_t i = first; i < args.size(); ++i) {
+    if (starts_with(args[i], "--")) {
+      const std::string key = args[i].substr(2);
+      if (i + 1 >= args.size()) {
+        throw UsageError("option --" + key + " needs a value");
+      }
+      out.values[key] = args[++i];
+    } else {
+      out.positional.push_back(args[i]);
+    }
+  }
+  return out;
+}
+
+/// Loads a technology: a preset name or a .tech file path.
+Tech load_tech(const Options& opts) {
+  const std::string spec = opts.get("tech").value_or("nmos");
+  if (spec == "nmos") return nmos4();
+  if (spec == "cmos") return cmos3();
+  return read_tech_file(spec);
+}
+
+Style style_for(const Tech& tech) {
+  return tech.has(TransistorType::kPEnhancement) ? Style::kCmos
+                                                 : Style::kNmos;
+}
+
+/// Builds the requested delay model; calibrates if the slope model is
+/// requested without a tables file.  `tech` may be updated by
+/// calibration.
+std::unique_ptr<DelayModel> make_model(const Options& opts, Tech& tech,
+                                       std::ostream& err) {
+  const std::string name = opts.get("model").value_or("slope");
+  if (name == "lumped") return std::make_unique<LumpedRcModel>();
+  if (name == "rc-tree") return std::make_unique<RcTreeModel>();
+  if (name == "rph-upper") {
+    return std::make_unique<RphBoundsModel>(RphBoundsModel::Mode::kUpper);
+  }
+  if (name == "unit") return std::make_unique<UnitDelayModel>(1e-9);
+  if (name != "slope") throw Error("unknown model '" + name + "'");
+  if (const auto tables = opts.get("tables")) {
+    return std::make_unique<SlopeModel>(SlopeTables::read_file(*tables));
+  }
+  err << "(no --tables given; calibrating " << tech.name()
+      << " in-process)\n";
+  CalibrationResult cal = calibrate(tech, style_for(tech));
+  tech = cal.tech;
+  return std::make_unique<SlopeModel>(std::move(cal.tables));
+}
+
+int cmd_check(const Options& opts, std::ostream& out) {
+  if (opts.positional.size() != 1) throw UsageError("usage: check <file.sim>");
+  const Netlist nl = read_sim_file(opts.positional[0]);
+  const auto ds = check(nl);
+  out << to_string(nl, ds);
+  out << (all_ok(ds) ? "ok" : "errors found") << '\n';
+  return all_ok(ds) ? 0 : 1;
+}
+
+int cmd_stats(const Options& opts, std::ostream& out) {
+  if (opts.positional.size() != 1) throw UsageError("usage: stats <file.sim>");
+  const Netlist nl = read_sim_file(opts.positional[0]);
+  out << to_string(compute_stats(nl));
+  return 0;
+}
+
+int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (opts.positional.size() != 1) {
+    throw UsageError("usage: time <file.sim> [options]");
+  }
+  const Netlist nl = read_sim_file(opts.positional[0]);
+  Tech tech = load_tech(opts);
+  const std::unique_ptr<DelayModel> model = make_model(opts, tech, err);
+
+  TimingAnalyzer analyzer(nl, tech, *model);
+  Constraints constraints;
+  if (const auto ct = opts.get("constraints")) {
+    constraints = read_constraints_file(*ct);
+    constraints.apply(nl, analyzer);
+  } else {
+    const auto slope_opt = opts.get("slope-ns");
+    double slope_ns = 1.0;
+    if (slope_opt) {
+      const auto v = parse_double(*slope_opt);
+      if (!v || *v < 0.0) throw Error("bad --slope-ns value");
+      slope_ns = *v;
+    }
+    analyzer.add_all_input_events(slope_ns * 1e-9);
+  }
+  analyzer.run();
+
+  out << "model: " << model->name() << "\n\n"
+      << format_output_arrivals(nl, analyzer) << '\n';
+  if (constraints.required) {
+    const SlackReport slack =
+        compute_slack(nl, analyzer, *constraints.required);
+    out << format_slack(nl, analyzer, slack) << '\n';
+    if (!slack.violations().empty()) return 1;
+  }
+  if (const auto k_opt = opts.get("paths")) {
+    const auto k = parse_long(*k_opt);
+    if (!k || *k < 1) throw Error("bad --paths value");
+    if (const auto worst = analyzer.worst_arrival(true)) {
+      const auto paths = analyzer.k_worst_paths(
+          worst->node, worst->dir, static_cast<std::size_t>(*k));
+      out << paths.size() << " worst path(s):\n";
+      for (const auto& p : paths) {
+        out << format("arrival %.3f ns:\n", to_ns(p.arrival))
+            << format_path(nl, p.steps) << '\n';
+      }
+    }
+  }
+  return 0;
+}
+
+int cmd_chargeshare(const Options& opts, std::ostream& out) {
+  if (opts.positional.size() != 1) {
+    throw UsageError("usage: chargeshare <file.sim> [--tech ...]");
+  }
+  const Netlist nl = read_sim_file(opts.positional[0]);
+  const Tech tech = load_tech(opts);
+  const auto results = analyze_all_charge_sharing(nl, tech);
+  if (results.empty()) {
+    out << "no precharged nodes\n";
+    return 0;
+  }
+  out << format_charge_sharing(nl, results, tech.v_switch());
+  for (const auto& r : results) {
+    if (r.fails(tech.v_switch())) return 1;
+  }
+  return 0;
+}
+
+int cmd_sim(const Options& opts, std::ostream& out) {
+  if (opts.positional.size() != 1) {
+    throw UsageError("usage: sim <file.sim> [options]");
+  }
+  const Netlist nl = read_sim_file(opts.positional[0]);
+  const Tech tech = load_tech(opts);
+
+  // Stimuli: constraints file if given, otherwise every input rises at
+  // 2 ns with a 1 ns edge.
+  std::vector<Stimulus> stimuli;
+  if (const auto ct = opts.get("constraints")) {
+    const Constraints constraints = read_constraints_file(*ct);
+    for (const InputConstraint& c : constraints.inputs) {
+      const auto node = nl.find_node(c.node);
+      if (!node) throw Error("constraint names unknown node " + c.node);
+      const bool rising = !c.dir || *c.dir == Transition::kRise;
+      stimuli.push_back(
+          {*node, PwlSource::edge(rising ? 0.0 : tech.vdd(),
+                                  rising ? tech.vdd() : 0.0,
+                                  2e-9 + c.time,
+                                  std::max(c.slope, 1e-12))});
+    }
+  } else {
+    for (NodeId n : nl.node_ids()) {
+      if (nl.node(n).is_input) {
+        stimuli.push_back(
+            {n, PwlSource::edge(0.0, tech.vdd(), 2e-9, 1e-9)});
+      }
+    }
+  }
+
+  const Elaboration elab = elaborate(nl, tech, stimuli);
+  TransientOptions topt;
+  double tstop_ns = 40.0;
+  if (const auto t = opts.get("tstop-ns")) {
+    const auto v = parse_double(*t);
+    if (!v || *v <= 0.0) throw Error("bad --tstop-ns value");
+    tstop_ns = *v;
+  }
+  topt.t_stop = tstop_ns * 1e-9;
+  elab.apply_precharge(nl, tech.vdd(), topt);
+  const TransientResult result = simulate(elab.circuit(), topt);
+
+  // Export watched nodes: inputs + outputs + precharged.
+  std::vector<WaveformColumn> columns;
+  for (NodeId n : nl.node_ids()) {
+    const Node& info = nl.node(n);
+    if (info.is_input || info.is_output || info.is_precharged) {
+      columns.push_back({info.name, &result.at(elab.analog(n))});
+    }
+  }
+  if (const auto csv = opts.get("csv")) {
+    write_waveforms_csv_file(columns, *csv);
+    out << "wrote " << *csv << '\n';
+  }
+  if (const auto vcd = opts.get("vcd")) {
+    write_waveforms_vcd_file(columns, tech.vdd(), *vcd);
+    out << "wrote " << *vcd << '\n';
+  }
+  out << format("simulated %.1f ns: %zu steps, %zu newton iterations\n",
+                tstop_ns, result.accepted_steps, result.newton_iterations);
+  // Final levels of the outputs.
+  for (NodeId n : nl.node_ids()) {
+    if (!nl.node(n).is_output) continue;
+    const Waveform& w = result.at(elab.analog(n));
+    out << format("%s settles at %.2f V\n", nl.node(n).name.c_str(),
+                  w.value(w.size() - 1));
+  }
+  return 0;
+}
+
+int cmd_calibrate(const Options& opts, std::ostream& out) {
+  if (opts.positional.size() != 1 ||
+      (opts.positional[0] != "nmos" && opts.positional[0] != "cmos")) {
+    throw UsageError("usage: calibrate nmos|cmos --out <prefix>");
+  }
+  const auto prefix = opts.get("out");
+  if (!prefix) throw UsageError("calibrate needs --out <prefix>");
+  const bool is_nmos = opts.positional[0] == "nmos";
+  const Tech base = is_nmos ? nmos4() : cmos3();
+  const CalibrationResult result =
+      calibrate(base, is_nmos ? Style::kNmos : Style::kCmos);
+  const std::string tech_path = *prefix + ".tech";
+  const std::string table_path = *prefix + ".slopes";
+  write_tech_file(result.tech, tech_path);
+  result.tables.write_file(table_path);
+  out << "wrote " << tech_path << " and " << table_path << '\n';
+  return 0;
+}
+
+void usage(std::ostream& err) {
+  err << "usage: sldm <check|stats|time|chargeshare|sim|calibrate> ...\n"
+         "see src/cli/cli.h for per-command options\n";
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty()) {
+    usage(err);
+    return 2;
+  }
+  try {
+    const Options opts = parse_options(args, 1);
+    const std::string& cmd = args[0];
+    if (cmd == "check") return cmd_check(opts, out);
+    if (cmd == "stats") return cmd_stats(opts, out);
+    if (cmd == "time") return cmd_time(opts, out, err);
+    if (cmd == "chargeshare") return cmd_chargeshare(opts, out);
+    if (cmd == "sim") return cmd_sim(opts, out);
+    if (cmd == "calibrate") return cmd_calibrate(opts, out);
+    usage(err);
+    return 2;
+  } catch (const UsageError& e) {
+    err << "error: " << e.what() << '\n';
+    return 2;
+  } catch (const Error& e) {
+    err << "error: " << e.what() << '\n';
+    return 1;
+  } catch (const ContractViolation& e) {
+    err << "internal error: " << e.what() << '\n';
+    return 1;
+  }
+}
+
+}  // namespace sldm

@@ -1,0 +1,33 @@
+// The `sldm` command-line tool, as a library so tests can drive it
+// in-process.  Subcommands:
+//
+//   sldm check <file.sim>                    structural diagnostics
+//   sldm stats <file.sim>                    netlist census
+//   sldm time <file.sim> [options]           timing analysis
+//        --tech nmos|cmos|<file.tech>        process (default nmos)
+//        --tables <file.slopes>              slope tables (default:
+//                                            calibrate in-process)
+//        --model slope|rc-tree|lumped|rph-upper|unit
+//        --constraints <file.ct>             input events + budget
+//        --slope-ns <x>                      default input slope
+//        --paths <k>                         report k worst paths
+//   sldm chargeshare <file.sim> [--tech ...] dynamic-node audit
+//   sldm sim <file.sim> [--tech ...]         transient simulation
+//        --tstop-ns <x> --csv <out.csv> --vcd <out.vcd>
+//        (inputs rise at t=2ns unless --constraints is given)
+//   sldm calibrate nmos|cmos --out <prefix>  fit + write tech/tables
+//
+// Returns 0 on success, 1 on analysis errors, 2 on usage errors.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sldm {
+
+/// Runs one CLI invocation.  `args` excludes the program name.
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace sldm

@@ -1,0 +1,25 @@
+#include "delay/bounds.h"
+
+#include "rc/rc_tree.h"
+
+namespace sldm {
+
+DelayEstimate RphBoundsModel::estimate(const Stage& stage) const {
+  const RcTree tree = to_rc_tree(stage);
+  const std::size_t dest = stage.elements.size();
+  const auto at = [&](double v) {
+    const RcTree::Bounds b = tree.rph_bounds(dest, v);
+    return mode_ == Mode::kUpper ? b.upper : b.lower;
+  };
+  DelayEstimate est;
+  est.delay = at(0.5);
+  // Transition-time estimate from the same bound family; guaranteed
+  // non-negative because the bounds are monotone in v.
+  est.output_slope = (at(0.9) - at(0.1)) / 0.8;
+  if (est.output_slope <= 0.0) {
+    est.output_slope = kSlopeFactor * tree.elmore(dest);
+  }
+  return est;
+}
+
+}  // namespace sldm

@@ -1,0 +1,13 @@
+#include "delay/lumped.h"
+
+#include "rc/rc_tree.h"
+
+namespace sldm {
+
+DelayEstimate LumpedRcModel::estimate(const Stage& stage) const {
+  validate(stage);
+  const Seconds tau = stage.total_resistance() * stage.total_cap();
+  return {.delay = kLn2 * tau, .output_slope = kSlopeFactor * tau};
+}
+
+}  // namespace sldm

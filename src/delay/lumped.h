@@ -1,0 +1,19 @@
+// Model 1 of the paper: lumped RC.
+//
+// Every resistance in the stage is summed into one R, every capacitance
+// into one C, and the stage is treated as a single RC section:
+// delay = ln(2) R C, output slope = ln(9)/0.8 R C.  Input slope is
+// ignored entirely -- that blindness is what Table 2/Fig. 2 expose.
+#pragma once
+
+#include "delay/model.h"
+
+namespace sldm {
+
+class LumpedRcModel final : public DelayModel {
+ public:
+  std::string name() const override { return "lumped-rc"; }
+  DelayEstimate estimate(const Stage& stage) const override;
+};
+
+}  // namespace sldm

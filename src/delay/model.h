@@ -1,0 +1,41 @@
+// The DelayModel interface: the paper's three models (lumped RC,
+// distributed RC tree, slope) are interchangeable behind it, and the
+// timing analyzer, the experiment harness, and the examples all take a
+// `const DelayModel&`.
+#pragma once
+
+#include <string>
+
+#include "delay/stage.h"
+#include "util/units.h"
+
+namespace sldm {
+
+/// What a delay model predicts for one stage.
+struct DelayEstimate {
+  /// Time from the trigger's gate 50%-crossing to the destination
+  /// node's 50%-crossing.
+  Seconds delay = 0.0;
+  /// Predicted transition time at the destination (full-swing-
+  /// equivalent ramp time); feeds the next stage's input_slope.
+  Seconds output_slope = 0.0;
+};
+
+/// Interface of all switch-level delay models.
+class DelayModel {
+ public:
+  virtual ~DelayModel() = default;
+
+  /// Short identifier used in reports ("lumped-rc", "rc-tree", "slope").
+  virtual std::string name() const = 0;
+
+  /// Estimates delay and output slope for a validated stage.
+  virtual DelayEstimate estimate(const Stage& stage) const = 0;
+
+ protected:
+  DelayModel() = default;
+  DelayModel(const DelayModel&) = default;
+  DelayModel& operator=(const DelayModel&) = default;
+};
+
+}  // namespace sldm

@@ -1,0 +1,12 @@
+#include "delay/rctree.h"
+
+#include "rc/rc_tree.h"
+
+namespace sldm {
+
+DelayEstimate RcTreeModel::estimate(const Stage& stage) const {
+  const Seconds td = stage_elmore(stage);
+  return {.delay = kLn2 * td, .output_slope = kSlopeFactor * td};
+}
+
+}  // namespace sldm

@@ -1,0 +1,19 @@
+// Model 2 of the paper: distributed RC (RC-tree) analysis.
+//
+// The stage keeps its spatial structure: the Elmore time constant at the
+// destination replaces the lumped product.  This fixes the ~2x
+// pessimism of the lumped model on series pass-transistor chains
+// (Table 3) but still knows nothing about the input transition time.
+#pragma once
+
+#include "delay/model.h"
+
+namespace sldm {
+
+class RcTreeModel final : public DelayModel {
+ public:
+  std::string name() const override { return "rc-tree"; }
+  DelayEstimate estimate(const Stage& stage) const override;
+};
+
+}  // namespace sldm

@@ -1,0 +1,28 @@
+#include "delay/slope.h"
+
+#include "rc/rc_tree.h"
+#include "util/contracts.h"
+
+namespace sldm {
+
+SlopeModel::SlopeModel(SlopeTables tables) : tables_(std::move(tables)) {}
+
+double SlopeModel::slope_ratio(const Stage& stage, Seconds elmore) {
+  SLDM_EXPECTS(elmore > 0.0);
+  return stage.input_slope / elmore;
+}
+
+DelayEstimate SlopeModel::estimate(const Stage& stage) const {
+  const Seconds td = stage_elmore(stage);
+  const TransistorType trigger_type =
+      stage.elements[stage.trigger_index].type;
+  SLDM_EXPECTS(tables_.has(trigger_type, stage.output_dir));
+  const SlopeEntry& e = tables_.entry(trigger_type, stage.output_dir);
+  const double rho = slope_ratio(stage, td);
+  const double dm = e.delay_mult(rho);
+  const double sm = e.slope_mult(rho);
+  SLDM_ENSURES(dm > 0.0 && sm > 0.0);
+  return {.delay = kLn2 * dm * td, .output_slope = kSlopeFactor * sm * td};
+}
+
+}  // namespace sldm

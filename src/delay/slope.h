@@ -1,0 +1,35 @@
+// Model 3, the paper's contribution: the slope model.
+//
+// The stage keeps its distributed (Elmore) time constant, but the
+// effective speed of the stage is modulated by how fast its trigger
+// input moves: the slope ratio rho = input_slope / T_elmore selects a
+// delay multiplier and an output-slope multiplier from per-device-type
+// calibration tables.  A slow input (large rho) stretches both; a step
+// input (rho -> 0) recovers the RC-tree behavior.  Slopes propagate:
+// the estimated output slope becomes the next stage's input slope.
+#pragma once
+
+#include "delay/model.h"
+#include "delay/slope_table.h"
+
+namespace sldm {
+
+class SlopeModel final : public DelayModel {
+ public:
+  /// `tables` must contain an entry for every (trigger type, direction)
+  /// that estimate() will see; estimate() enforces this per call.
+  explicit SlopeModel(SlopeTables tables);
+
+  std::string name() const override { return "slope"; }
+  DelayEstimate estimate(const Stage& stage) const override;
+
+  /// The slope ratio estimate() uses for a stage.
+  static double slope_ratio(const Stage& stage, Seconds elmore);
+
+  const SlopeTables& tables() const { return tables_; }
+
+ private:
+  SlopeTables tables_;
+};
+
+}  // namespace sldm

@@ -1,0 +1,170 @@
+#include "delay/slope_table.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sldm {
+namespace {
+
+TransistorType type_from_letter(const std::string& s, const std::string& origin,
+                                int lineno) {
+  if (s == "e" || s == "n") return TransistorType::kNEnhancement;
+  if (s == "d") return TransistorType::kNDepletion;
+  if (s == "p") return TransistorType::kPEnhancement;
+  throw ParseError(origin, lineno, "unknown device type '" + s + "'");
+}
+
+Transition dir_from_string(const std::string& s, const std::string& origin,
+                           int lineno) {
+  if (s == "rise") return Transition::kRise;
+  if (s == "fall") return Transition::kFall;
+  throw ParseError(origin, lineno, "unknown transition '" + s + "'");
+}
+
+void write_pwl(std::ostream& out, const char* tag, const PiecewiseLinear& f) {
+  out << tag;
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    out << format(" %.9g:%.9g", f.xs()[i], f.ys()[i]);
+  }
+  out << '\n';
+}
+
+PiecewiseLinear read_pwl(const std::vector<std::string>& tokens,
+                         const std::string& origin, int lineno) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const auto parts = split(tokens[i], ':');
+    if (parts.size() != 2) {
+      throw ParseError(origin, lineno, "expected x:y pair, got " + tokens[i]);
+    }
+    const auto x = parse_double(parts[0]);
+    const auto y = parse_double(parts[1]);
+    if (!x || !y) throw ParseError(origin, lineno, "bad pair " + tokens[i]);
+    xs.push_back(*x);
+    ys.push_back(*y);
+  }
+  if (xs.empty()) throw ParseError(origin, lineno, "empty table");
+  try {
+    return PiecewiseLinear(std::move(xs), std::move(ys));
+  } catch (const ContractViolation&) {
+    throw ParseError(origin, lineno, "table abscissae not increasing");
+  }
+}
+
+}  // namespace
+
+SlopeTables SlopeTables::unit() {
+  SlopeTables t;
+  const PiecewiseLinear one({1e-3, 1e3}, {1.0, 1.0});
+  for (TransistorType type :
+       {TransistorType::kNEnhancement, TransistorType::kNDepletion,
+        TransistorType::kPEnhancement}) {
+    for (Transition dir : {Transition::kRise, Transition::kFall}) {
+      t.set(type, dir, SlopeEntry{one, one});
+    }
+  }
+  return t;
+}
+
+std::size_t SlopeTables::slot(TransistorType type, Transition dir) {
+  return static_cast<std::size_t>(type) * 2 +
+         (dir == Transition::kRise ? 0 : 1);
+}
+
+void SlopeTables::set(TransistorType type, Transition dir, SlopeEntry entry) {
+  entries_[slot(type, dir)] = std::move(entry);
+}
+
+bool SlopeTables::has(TransistorType type, Transition dir) const {
+  return entries_[slot(type, dir)].has_value();
+}
+
+const SlopeEntry& SlopeTables::entry(TransistorType type,
+                                     Transition dir) const {
+  const auto& e = entries_[slot(type, dir)];
+  SLDM_EXPECTS(e.has_value());
+  return *e;
+}
+
+void SlopeTables::write(std::ostream& out) const {
+  out << "# sldm slope-model calibration tables\n";
+  for (TransistorType type :
+       {TransistorType::kNEnhancement, TransistorType::kNDepletion,
+        TransistorType::kPEnhancement}) {
+    for (Transition dir : {Transition::kRise, Transition::kFall}) {
+      if (!has(type, dir)) continue;
+      const SlopeEntry& e = entry(type, dir);
+      out << "entry " << to_letter(type) << ' ' << to_string(dir) << '\n';
+      write_pwl(out, "delay", e.delay_mult);
+      write_pwl(out, "slope", e.slope_mult);
+    }
+  }
+}
+
+SlopeTables SlopeTables::read(std::istream& in, const std::string& origin) {
+  SlopeTables tables;
+  std::string line;
+  int lineno = 0;
+  std::optional<TransistorType> cur_type;
+  std::optional<Transition> cur_dir;
+  std::optional<PiecewiseLinear> cur_delay;
+  std::optional<PiecewiseLinear> cur_slope;
+
+  auto flush = [&](int at_line) {
+    if (!cur_type) return;
+    if (!cur_delay || !cur_slope) {
+      throw ParseError(origin, at_line, "incomplete entry (need delay+slope)");
+    }
+    tables.set(*cur_type, *cur_dir, SlopeEntry{*cur_delay, *cur_slope});
+    cur_type.reset();
+    cur_dir.reset();
+    cur_delay.reset();
+    cur_slope.reset();
+  };
+
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const auto tokens = split_ws(stripped);
+    if (tokens[0] == "entry") {
+      flush(lineno);
+      if (tokens.size() != 3) {
+        throw ParseError(origin, lineno, "entry <type> <rise|fall>");
+      }
+      cur_type = type_from_letter(tokens[1], origin, lineno);
+      cur_dir = dir_from_string(tokens[2], origin, lineno);
+    } else if (tokens[0] == "delay") {
+      if (!cur_type) throw ParseError(origin, lineno, "delay outside entry");
+      cur_delay = read_pwl(tokens, origin, lineno);
+    } else if (tokens[0] == "slope") {
+      if (!cur_type) throw ParseError(origin, lineno, "slope outside entry");
+      cur_slope = read_pwl(tokens, origin, lineno);
+    } else {
+      throw ParseError(origin, lineno, "unknown record " + tokens[0]);
+    }
+  }
+  flush(lineno);
+  return tables;
+}
+
+void SlopeTables::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot create slope-table file: " + path);
+  write(out);
+}
+
+SlopeTables SlopeTables::read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open slope-table file: " + path);
+  return read(in, path);
+}
+
+}  // namespace sldm

@@ -1,0 +1,55 @@
+// Calibration tables for the slope model.
+//
+// For each (trigger transistor type, output transition) the model keeps
+// two piecewise-linear functions of the slope ratio
+//   rho = input_slope / stage_elmore:
+//  * a delay multiplier  m(rho): stage delay = ln2 * m(rho) * T_elmore;
+//  * a slope multiplier  s(rho): output slope = ln9/0.8 * s(rho) * T_elmore.
+// Tables are produced by src/calib against the analog simulator, exactly
+// as Crystal's tables were fit from SPICE runs, and can be persisted as
+// text.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "netlist/types.h"
+#include "util/interp.h"
+
+namespace sldm {
+
+/// One table pair.
+struct SlopeEntry {
+  PiecewiseLinear delay_mult;
+  PiecewiseLinear slope_mult;
+};
+
+/// The full set of tables for a technology.
+class SlopeTables {
+ public:
+  SlopeTables() = default;
+
+  /// Unit tables: multiplier 1 for every ratio (step-input behavior).
+  /// An uncalibrated slope model with unit tables degenerates to the
+  /// RC-tree model.
+  static SlopeTables unit();
+
+  void set(TransistorType type, Transition dir, SlopeEntry entry);
+  bool has(TransistorType type, Transition dir) const;
+  /// Precondition: has(type, dir).
+  const SlopeEntry& entry(TransistorType type, Transition dir) const;
+
+  /// Serialization.
+  void write(std::ostream& out) const;
+  static SlopeTables read(std::istream& in,
+                          const std::string& origin = "<stream>");
+  void write_file(const std::string& path) const;
+  static SlopeTables read_file(const std::string& path);
+
+ private:
+  static std::size_t slot(TransistorType type, Transition dir);
+  std::optional<SlopeEntry> entries_[6];
+};
+
+}  // namespace sldm

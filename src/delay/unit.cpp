@@ -1,0 +1,16 @@
+#include "delay/unit.h"
+
+#include "util/contracts.h"
+
+namespace sldm {
+
+UnitDelayModel::UnitDelayModel(Seconds unit) : unit_(unit) {
+  SLDM_EXPECTS(unit > 0.0);
+}
+
+DelayEstimate UnitDelayModel::estimate(const Stage& stage) const {
+  validate(stage);
+  return {.delay = unit_, .output_slope = unit_};
+}
+
+}  // namespace sldm

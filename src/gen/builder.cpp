@@ -1,0 +1,132 @@
+#include "gen/builder.h"
+
+#include "util/contracts.h"
+
+namespace sldm {
+
+std::string to_string(Style s) {
+  return s == Style::kNmos ? "nmos" : "cmos";
+}
+
+Sizing Sizing::standard(Style style) {
+  using namespace units;
+  if (style == Style::kNmos) {
+    // Mead-Conway-style 4:1 impedance ratio inverter in a 4 um process:
+    // pull-down 8/4, depletion load 4/8.
+    return {.driver_w = 8 * um,
+            .driver_l = 4 * um,
+            .load_w = 4 * um,
+            .load_l = 8 * um,
+            .pass_w = 8 * um,
+            .pass_l = 4 * um};
+  }
+  // 3 um CMOS: p device twice as wide to balance the mobility gap.
+  return {.driver_w = 6 * um,
+          .driver_l = 3 * um,
+          .load_w = 12 * um,
+          .load_l = 3 * um,
+          .pass_w = 6 * um,
+          .pass_l = 3 * um};
+}
+
+Sizing Sizing::scaled(double k) const {
+  SLDM_EXPECTS(k > 0.0);
+  Sizing s = *this;
+  s.driver_w *= k;
+  s.load_w *= k;
+  return s;
+}
+
+CircuitBuilder::CircuitBuilder(Style style) : style_(style) {
+  vdd_ = nl_.mark_power("vdd");
+  gnd_ = nl_.mark_ground("gnd");
+}
+
+void CircuitBuilder::add_pullup(NodeId out, const std::vector<NodeId>& ins,
+                                bool series, const Sizing& s) {
+  if (style_ == Style::kNmos) {
+    // One depletion load, gate tied to source (the output node).
+    nl_.add_transistor(TransistorType::kNDepletion, out, out, vdd_, s.load_w,
+                       s.load_l);
+    return;
+  }
+  if (!series) {
+    // Parallel p devices (NAND / inverter).
+    for (NodeId in : ins) {
+      nl_.add_transistor(TransistorType::kPEnhancement, in, out, vdd_,
+                         s.load_w, s.load_l);
+    }
+    return;
+  }
+  // Series p stack (NOR).
+  NodeId below = out;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    const NodeId above =
+        i + 1 == ins.size()
+            ? vdd_
+            : nl_.add_node("pu" + std::to_string(unique_++));
+    nl_.add_transistor(TransistorType::kPEnhancement, ins[i], below, above,
+                       s.load_w, s.load_l);
+    below = above;
+  }
+}
+
+NodeId CircuitBuilder::inverter(NodeId in, const std::string& out_name,
+                                double strength) {
+  const Sizing s = Sizing::standard(style_).scaled(strength);
+  const NodeId out = nl_.add_node(out_name);
+  nl_.add_transistor(TransistorType::kNEnhancement, in, gnd_, out, s.driver_w,
+                     s.driver_l);
+  add_pullup(out, {in}, /*series=*/false, s);
+  return out;
+}
+
+NodeId CircuitBuilder::nand_gate(const std::vector<NodeId>& ins,
+                                 const std::string& out_name,
+                                 double strength) {
+  SLDM_EXPECTS(!ins.empty());
+  const Sizing s = Sizing::standard(style_).scaled(strength);
+  const NodeId out = nl_.add_node(out_name);
+  // Series pull-down from out to ground.
+  NodeId above = out;
+  for (std::size_t i = 0; i < ins.size(); ++i) {
+    const NodeId below =
+        i + 1 == ins.size()
+            ? gnd_
+            : nl_.add_node("pd" + std::to_string(unique_++));
+    nl_.add_transistor(TransistorType::kNEnhancement, ins[i], below, above,
+                       s.driver_w, s.driver_l);
+    above = below;
+  }
+  add_pullup(out, ins, /*series=*/false, s);
+  return out;
+}
+
+NodeId CircuitBuilder::nor_gate(const std::vector<NodeId>& ins,
+                                const std::string& out_name,
+                                double strength) {
+  SLDM_EXPECTS(!ins.empty());
+  const Sizing s = Sizing::standard(style_).scaled(strength);
+  const NodeId out = nl_.add_node(out_name);
+  for (NodeId in : ins) {
+    nl_.add_transistor(TransistorType::kNEnhancement, in, gnd_, out,
+                       s.driver_w, s.driver_l);
+  }
+  add_pullup(out, ins, /*series=*/true, s);
+  return out;
+}
+
+DeviceId CircuitBuilder::pass(NodeId a, NodeId b, NodeId gate) {
+  const Sizing s = Sizing::standard(style_);
+  return nl_.add_transistor(TransistorType::kNEnhancement, gate, a, b,
+                            s.pass_w, s.pass_l);
+}
+
+void CircuitBuilder::add_fanout_load(NodeId n, int count) {
+  SLDM_EXPECTS(count >= 0);
+  for (int i = 0; i < count; ++i) {
+    inverter(n, "load" + std::to_string(unique_++));
+  }
+}
+
+}  // namespace sldm

@@ -1,0 +1,85 @@
+// Structured construction of benchmark circuits in both supported logic
+// styles: ratioed E/D nMOS (enhancement pull-downs, depletion loads) and
+// static CMOS (complementary pull-up/pull-down networks).
+//
+// All the generators in this module are built on CircuitBuilder so the
+// same benchmark topology can be emitted for either process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "util/units.h"
+
+namespace sldm {
+
+enum class Style : std::uint8_t { kNmos, kCmos };
+
+std::string to_string(Style s);
+
+/// Default device sizes per style (drawn dimensions).
+struct Sizing {
+  Meters driver_w;  ///< pull-down (nMOS) / both (CMOS n) width
+  Meters driver_l;
+  Meters load_w;  ///< depletion load (nMOS) / p device (CMOS) width
+  Meters load_l;
+  Meters pass_w;  ///< pass transistor width
+  Meters pass_l;
+
+  static Sizing standard(Style style);
+  /// Scales driver and load widths by `k` (gate strength multiplier).
+  Sizing scaled(double k) const;
+};
+
+/// A Netlist-building helper with power rails and gate primitives.
+class CircuitBuilder {
+ public:
+  explicit CircuitBuilder(Style style);
+
+  Style style() const { return style_; }
+  Netlist& netlist() { return nl_; }
+  const Netlist& netlist() const { return nl_; }
+  NodeId vdd() const { return vdd_; }
+  NodeId gnd() const { return gnd_; }
+
+  NodeId node(const std::string& name) { return nl_.add_node(name); }
+  NodeId input(const std::string& name) { return nl_.mark_input(name); }
+  NodeId output(const std::string& name) { return nl_.mark_output(name); }
+
+  /// An inverter driving `out` from `in`; returns `out`'s id.
+  /// `strength` scales driver/load widths.
+  NodeId inverter(NodeId in, const std::string& out_name,
+                  double strength = 1.0);
+
+  /// k-input NAND (series pull-down / parallel pull-up).
+  NodeId nand_gate(const std::vector<NodeId>& ins,
+                   const std::string& out_name, double strength = 1.0);
+
+  /// k-input NOR (parallel pull-down / series pull-up).
+  NodeId nor_gate(const std::vector<NodeId>& ins, const std::string& out_name,
+                  double strength = 1.0);
+
+  /// A pass transistor between `a` and `b` controlled by `gate`
+  /// (n-enhancement in both styles; CMOS full transmission gates are a
+  /// straightforward extension not needed by the 1984 workloads).
+  DeviceId pass(NodeId a, NodeId b, NodeId gate);
+
+  /// Attaches `count` dummy inverter gates to `n` as fanout load.
+  void add_fanout_load(NodeId n, int count);
+
+ private:
+  /// The ratioed load (nMOS) or the complete p-network (CMOS) for a
+  /// gate.  `series_pullup` lists inputs whose p devices go in series
+  /// (NOR) -- empty means parallel (NAND/inverter).
+  void add_pullup(NodeId out, const std::vector<NodeId>& ins, bool series,
+                  const Sizing& s);
+
+  Style style_;
+  Netlist nl_;
+  NodeId vdd_;
+  NodeId gnd_;
+  int unique_ = 0;
+};
+
+}  // namespace sldm

@@ -1,0 +1,113 @@
+// Benchmark circuit generators: the workload families of the paper's
+// evaluation, reconstructed.
+//
+// Every generator returns a GeneratedCircuit with the stimulated input,
+// the observed output, and the set of secondary inputs that must be held
+// high/low (pass-gate selects, secondary gate inputs) so that the analog
+// simulation exercises the same path the timing analyzer reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gen/builder.h"
+#include "netlist/netlist.h"
+
+namespace sldm {
+
+/// A generated benchmark with its test harness metadata.
+struct GeneratedCircuit {
+  Netlist netlist;
+  std::string name;
+  Style style = Style::kNmos;
+  NodeId input;                   ///< main stimulated input
+  NodeId output;                  ///< main observed output
+  std::vector<NodeId> high_inputs;  ///< hold at Vdd during simulation
+  std::vector<NodeId> low_inputs;   ///< hold at 0 V during simulation
+};
+
+/// A chain of `stages` inverters; each internal stage output additionally
+/// drives `fanout - 1` dummy gate loads (fanout >= 1).
+/// Preconditions: stages >= 1, fanout >= 1.
+GeneratedCircuit inverter_chain(Style style, int stages, int fanout);
+
+/// One NAND gate with `inputs` inputs; the stimulated input is the one
+/// closest to the output (worst case), the rest are held high.  A final
+/// inverter acts as the observation load.
+GeneratedCircuit nand_chain(Style style, int inputs);
+
+/// One NOR gate with `inputs` inputs; stimulated input switches, others
+/// held low.
+GeneratedCircuit nor_chain(Style style, int inputs);
+
+/// A driver inverter feeding `length` series pass transistors (all
+/// selects held high) into an inverter load: the structure where the
+/// lumped model's quadratic pessimism shows (Table 3).
+GeneratedCircuit pass_chain(Style style, int length);
+
+/// An n-bit barrel shifter built from a pass-transistor array: `bits`
+/// data lines, `bits` shift amounts (one-hot selects).  The stimulated
+/// input is data line 0 observed at output line 0 with shift select 0
+/// active -- the longest loaded path through the array.
+GeneratedCircuit barrel_shifter(Style style, int bits);
+
+/// An n-bit Manchester carry chain (dynamic): precharged carry nodes,
+/// generate pull-downs, propagate pass transistors.  The stimulated
+/// input is generate[0]; the output is the final carry.  Propagates are
+/// held high (worst-case ripple).
+GeneratedCircuit manchester_carry(Style style, int bits);
+
+/// A precharged bus with `drivers` two-high pull-down stacks.  One
+/// driver's data input switches (its select held high); the others add
+/// diffusion load only.
+GeneratedCircuit precharged_bus(Style style, int drivers);
+
+/// A geometrically-tapered driver chain ("superbuffer"): `stages`
+/// inverters with strength ratio `taper`, driving `load_fF` femtofarads.
+GeneratedCircuit driver_chain(Style style, int stages, double taper,
+                              double load_fF);
+
+/// A 2^bits-row NOR address decoder with true/complement line drivers.
+/// The stimulated input is address bit 0 (others held low); the
+/// observed output follows row 1 (the row that activates when a0
+/// rises).  Address lines carry 2^(bits-1) gate loads each -- the
+/// heavy-fanout structure of RAM/ROM periphery.
+/// Precondition: 1 <= bits <= 8.
+GeneratedCircuit address_decoder(Style style, int bits);
+
+/// A NOR-NOR PLA with a seeded random personality: `inputs` buffered
+/// inputs, `products` product terms, `outputs` outputs.  Product 0 is
+/// pinned to literal !a0 and output 0 always includes product 0 so a
+/// switching path from the stimulated input (a0) is guaranteed.
+GeneratedCircuit pla(Style style, int inputs, int products, int outputs,
+                     std::uint64_t seed);
+
+/// A two-phase dynamic shift register: each stage is a phi1-gated pass
+/// transistor into an inverter (master) followed by a phi2-gated pass
+/// into a second inverter (slave), data held as charge on the pass-gate
+/// nodes between phases -- the canonical 1980s dynamic-logic pipeline.
+/// Inputs: "data", "phi1", "phi2"; output: the last slave inverter.
+/// For the static timing harness phi1 is listed as held high and phi2
+/// low (master-transparent phase).  Precondition: stages >= 1.
+GeneratedCircuit shift_register(Style style, int stages);
+
+/// A RAM read-path column: a precharged bit line loaded by `rows`
+/// access transistors.  Row 0 stores a 0 (modeled by its read
+/// equivalent: an always-on pull-down behind the access device -- this
+/// sidesteps the bistable cell while keeping the read path's
+/// electricals); the other rows only load the bit line.  The stimulated
+/// input is wordline 0; the output observes the bit line through an
+/// inverter.  Precondition: rows >= 1.
+GeneratedCircuit sram_read_column(Style style, int rows);
+
+/// A pseudo-random layered gate network for scaling/property tests:
+/// `layers` levels of NAND/NOR/inverters, `width` gates per level,
+/// deterministic in `seed`.
+GeneratedCircuit random_logic(Style style, int layers, int width,
+                              std::uint64_t seed);
+
+/// The whole accuracy suite used for the Fig. 3 error survey.
+std::vector<GeneratedCircuit> accuracy_suite(Style style);
+
+}  // namespace sldm

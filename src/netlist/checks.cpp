@@ -1,0 +1,137 @@
+#include "netlist/checks.h"
+
+#include <queue>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace sldm {
+
+std::string to_string(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+namespace {
+
+/// Marks every node reachable from a value source through channel edges.
+std::vector<bool> reachable_from_sources(const Netlist& nl) {
+  std::vector<bool> seen(nl.node_count(), false);
+  std::queue<NodeId> work;
+  for (NodeId n : nl.node_ids()) {
+    const Node& info = nl.node(n);
+    if (info.is_power || info.is_ground || info.is_input ||
+        info.is_precharged) {
+      seen[n.index()] = true;
+      work.push(n);
+    }
+  }
+  while (!work.empty()) {
+    const NodeId n = work.front();
+    work.pop();
+    for (DeviceId d : nl.channels_at(n)) {
+      const NodeId m = nl.device(d).other_end(n);
+      if (!seen[m.index()]) {
+        seen[m.index()] = true;
+        work.push(m);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> check(const Netlist& nl) {
+  std::vector<Diagnostic> out;
+  const bool has_devices = nl.device_count() > 0;
+
+  bool has_power = false;
+  bool has_ground = false;
+  for (NodeId n : nl.node_ids()) {
+    const Node& info = nl.node(n);
+    has_power = has_power || info.is_power;
+    has_ground = has_ground || info.is_ground;
+    if (info.is_power && info.is_ground) {
+      out.push_back({Severity::kError,
+                     "node '" + info.name + "' marked both power and ground",
+                     n, DeviceId::invalid()});
+    }
+  }
+  if (has_devices && !has_power) {
+    out.push_back({Severity::kError, "netlist has transistors but no power rail",
+                   NodeId::invalid(), DeviceId::invalid()});
+  }
+  if (has_devices && !has_ground) {
+    out.push_back({Severity::kError,
+                   "netlist has transistors but no ground rail",
+                   NodeId::invalid(), DeviceId::invalid()});
+  }
+
+  for (DeviceId d : nl.device_ids()) {
+    const Transistor& t = nl.device(d);
+    // Rail-gated devices that are permanently ON are legitimate loads
+    // (depletion pull-ups, pseudo-nMOS p loads); permanently OFF ones
+    // can never conduct and indicate a wiring error.
+    const bool off_forever =
+        (t.type == TransistorType::kNEnhancement &&
+         nl.node(t.gate).is_ground) ||
+        (t.type == TransistorType::kPEnhancement && nl.node(t.gate).is_power);
+    if (off_forever) {
+      out.push_back({Severity::kError,
+                     "transistor gated by rail '" + nl.node(t.gate).name +
+                         "' is permanently off",
+                     NodeId::invalid(), d});
+    }
+  }
+
+  const std::vector<bool> reachable = reachable_from_sources(nl);
+  for (NodeId n : nl.node_ids()) {
+    const Node& info = nl.node(n);
+    const bool rail_or_source =
+        info.is_power || info.is_ground || info.is_input || info.is_precharged;
+    const bool has_channel = !nl.channels_at(n).empty();
+    const bool is_gate = !nl.gated_by(n).empty();
+    if (!rail_or_source && !has_channel && is_gate) {
+      out.push_back({Severity::kWarning,
+                     "floating gate: node '" + info.name +
+                         "' drives gates but is never driven",
+                     n, DeviceId::invalid()});
+    }
+    if (!rail_or_source && !has_channel && !is_gate && info.cap == 0.0) {
+      out.push_back({Severity::kWarning,
+                     "isolated node '" + info.name + "'", n,
+                     DeviceId::invalid()});
+    }
+    if (has_channel && !reachable[n.index()]) {
+      out.push_back({Severity::kWarning,
+                     "node '" + info.name +
+                         "' has no channel path to any value source",
+                     n, DeviceId::invalid()});
+    }
+  }
+  return out;
+}
+
+bool all_ok(const std::vector<Diagnostic>& ds) {
+  for (const Diagnostic& d : ds) {
+    if (d.severity == Severity::kError) return false;
+  }
+  return true;
+}
+
+std::string to_string(const Netlist& nl, const std::vector<Diagnostic>& ds) {
+  std::ostringstream os;
+  for (const Diagnostic& d : ds) {
+    os << to_string(d.severity) << ": " << d.message;
+    if (d.device.valid()) {
+      const Transistor& t = nl.device(d.device);
+      os << " [" << to_letter(t.type) << " g=" << nl.node(t.gate).name
+         << " s=" << nl.node(t.source).name << " d=" << nl.node(t.drain).name
+         << "]";
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sldm

@@ -1,0 +1,48 @@
+// Structural sanity checks on a switch-level netlist.
+//
+// The timing analyzer and the analog elaborator both assume a circuit that
+// has rails and no obviously-undriven nodes; check() reports violations as
+// diagnostics instead of failing late inside an analysis pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sldm {
+
+enum class Severity : std::uint8_t { kWarning, kError };
+
+std::string to_string(Severity s);
+
+/// One finding from check().
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string message;
+  /// Offending node, if the finding is about a node.
+  NodeId node = NodeId::invalid();
+  /// Offending device, if the finding is about a transistor.
+  DeviceId device = DeviceId::invalid();
+};
+
+/// Runs all structural checks.  Errors:
+///  * no power rail / no ground rail while transistors exist;
+///  * a node marked both power and ground;
+///  * a transistor gated by a rail that can never switch it (depletion
+///    devices excepted: their gate is conventionally tied to source).
+/// Warnings:
+///  * undriven node: no channel connection, not a rail/input, yet used as
+///    a gate (a floating gate);
+///  * isolated node: no connections at all;
+///  * node with channel connections but no possible path to any value
+///    source (rail, input, precharged node).
+std::vector<Diagnostic> check(const Netlist& nl);
+
+/// True if no diagnostic in `ds` is an error.
+bool all_ok(const std::vector<Diagnostic>& ds);
+
+/// Multi-line human-readable rendering.
+std::string to_string(const Netlist& nl, const std::vector<Diagnostic>& ds);
+
+}  // namespace sldm

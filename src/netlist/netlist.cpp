@@ -1,0 +1,225 @@
+#include "netlist/netlist.h"
+
+#include "util/contracts.h"
+
+namespace sldm {
+
+std::string to_letter(TransistorType t) {
+  switch (t) {
+    case TransistorType::kNEnhancement:
+      return "e";
+    case TransistorType::kNDepletion:
+      return "d";
+    case TransistorType::kPEnhancement:
+      return "p";
+  }
+  SLDM_ASSERT(false);
+  return {};
+}
+
+std::string to_string(TransistorType t) {
+  switch (t) {
+    case TransistorType::kNEnhancement:
+      return "n-enhancement";
+    case TransistorType::kNDepletion:
+      return "n-depletion";
+    case TransistorType::kPEnhancement:
+      return "p-enhancement";
+  }
+  SLDM_ASSERT(false);
+  return {};
+}
+
+std::string to_string(Transition t) {
+  return t == Transition::kRise ? "rise" : "fall";
+}
+
+NodeId Transistor::other_end(NodeId n) const {
+  SLDM_EXPECTS(connects(n));
+  return n == source ? drain : source;
+}
+
+bool Transistor::flow_allows_from(NodeId from) const {
+  SLDM_EXPECTS(connects(from));
+  switch (flow) {
+    case Flow::kBidirectional:
+      return true;
+    case Flow::kSourceToDrain:
+      return from == source;
+    case Flow::kDrainToSource:
+      return from == drain;
+  }
+  SLDM_ASSERT(false);
+  return false;
+}
+
+std::string to_string(Flow f) {
+  switch (f) {
+    case Flow::kBidirectional:
+      return "bidirectional";
+    case Flow::kSourceToDrain:
+      return "s>d";
+    case Flow::kDrainToSource:
+      return "d>s";
+  }
+  SLDM_ASSERT(false);
+  return {};
+}
+
+NodeId Netlist::add_node(const std::string& name) {
+  SLDM_EXPECTS(!name.empty());
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    return it->second;
+  }
+  const NodeId id(static_cast<NodeId::underlying_type>(nodes_.size()));
+  nodes_.push_back(Node{.name = name});
+  gated_by_.emplace_back();
+  channels_at_.emplace_back();
+  by_name_.emplace(name, id);
+  return id;
+}
+
+std::optional<NodeId> Netlist::find_node(const std::string& name) const {
+  if (auto it = by_name_.find(name); it != by_name_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+DeviceId Netlist::add_transistor(TransistorType type, NodeId gate,
+                                 NodeId source, NodeId drain, Meters width,
+                                 Meters length, Flow flow) {
+  check_node(gate);
+  check_node(source);
+  check_node(drain);
+  SLDM_EXPECTS(source != drain);
+  SLDM_EXPECTS(width > 0.0 && length > 0.0);
+  const DeviceId id(static_cast<DeviceId::underlying_type>(devices_.size()));
+  devices_.push_back(Transistor{.type = type,
+                                .gate = gate,
+                                .source = source,
+                                .drain = drain,
+                                .width = width,
+                                .length = length,
+                                .flow = flow});
+  gated_by_[gate.index()].push_back(id);
+  channels_at_[source.index()].push_back(id);
+  channels_at_[drain.index()].push_back(id);
+  return id;
+}
+
+const Node& Netlist::node(NodeId id) const {
+  check_node(id);
+  return nodes_[id.index()];
+}
+
+Node& Netlist::node(NodeId id) {
+  check_node(id);
+  return nodes_[id.index()];
+}
+
+const Transistor& Netlist::device(DeviceId id) const {
+  SLDM_EXPECTS(id.valid() && id.index() < devices_.size());
+  return devices_[id.index()];
+}
+
+void Netlist::set_flow(DeviceId id, Flow flow) {
+  SLDM_EXPECTS(id.valid() && id.index() < devices_.size());
+  devices_[id.index()].flow = flow;
+}
+
+std::vector<NodeId> Netlist::node_ids() const {
+  std::vector<NodeId> out;
+  out.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out.push_back(NodeId(static_cast<NodeId::underlying_type>(i)));
+  }
+  return out;
+}
+
+std::vector<DeviceId> Netlist::device_ids() const {
+  std::vector<DeviceId> out;
+  out.reserve(devices_.size());
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    out.push_back(DeviceId(static_cast<DeviceId::underlying_type>(i)));
+  }
+  return out;
+}
+
+const std::vector<DeviceId>& Netlist::gated_by(NodeId n) const {
+  check_node(n);
+  return gated_by_[n.index()];
+}
+
+const std::vector<DeviceId>& Netlist::channels_at(NodeId n) const {
+  check_node(n);
+  return channels_at_[n.index()];
+}
+
+NodeId Netlist::mark_power(const std::string& name) {
+  const NodeId id = add_node(name);
+  nodes_[id.index()].is_power = true;
+  return id;
+}
+
+NodeId Netlist::mark_ground(const std::string& name) {
+  const NodeId id = add_node(name);
+  nodes_[id.index()].is_ground = true;
+  return id;
+}
+
+NodeId Netlist::mark_input(const std::string& name) {
+  const NodeId id = add_node(name);
+  nodes_[id.index()].is_input = true;
+  return id;
+}
+
+NodeId Netlist::mark_output(const std::string& name) {
+  const NodeId id = add_node(name);
+  nodes_[id.index()].is_output = true;
+  return id;
+}
+
+NodeId Netlist::mark_precharged(const std::string& name) {
+  const NodeId id = add_node(name);
+  nodes_[id.index()].is_precharged = true;
+  return id;
+}
+
+bool Netlist::is_rail(NodeId n) const {
+  const Node& info = node(n);
+  return info.is_power || info.is_ground;
+}
+
+void Netlist::add_cap(NodeId n, Farads extra) {
+  SLDM_EXPECTS(extra >= 0.0);
+  node(n).cap += extra;
+}
+
+std::optional<NodeId> Netlist::power_node() const {
+  std::optional<NodeId> found;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_power) {
+      if (found) return std::nullopt;  // ambiguous
+      found = NodeId(static_cast<NodeId::underlying_type>(i));
+    }
+  }
+  return found;
+}
+
+std::optional<NodeId> Netlist::ground_node() const {
+  std::optional<NodeId> found;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].is_ground) {
+      if (found) return std::nullopt;  // ambiguous
+      found = NodeId(static_cast<NodeId::underlying_type>(i));
+    }
+  }
+  return found;
+}
+
+void Netlist::check_node(NodeId id) const {
+  SLDM_EXPECTS(id.valid() && id.index() < nodes_.size());
+}
+
+}  // namespace sldm

@@ -1,0 +1,138 @@
+// Switch-level circuit representation.
+//
+// A Netlist is the paper's circuit model: transistors acting as switches
+// connecting nodes, with a lumped capacitance per node.  It is the common
+// input of every other subsystem: the analog simulator elaborates it into
+// a nonlinear circuit, the timing analyzer decomposes it into stages, and
+// the generators in src/gen build benchmark instances of it.
+//
+// Node roles:
+//  * power / ground nodes are infinite-strength sources of 1 / 0;
+//  * input nodes are driven from outside the circuit (chip inputs);
+//  * output nodes are observation points for reporting;
+//  * precharged nodes are treated as sources of 1 at the start of an
+//    evaluation phase (dynamic logic).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/types.h"
+#include "util/units.h"
+
+namespace sldm {
+
+/// One electrical net.
+struct Node {
+  std::string name;
+  /// Explicit lumped capacitance to ground (wiring + any annotated load).
+  /// Device capacitances are *not* included here; Tech::node_capacitance
+  /// adds gate/diffusion contributions from connected transistors.
+  Farads cap = 0.0;
+  bool is_power = false;       ///< Vdd rail
+  bool is_ground = false;      ///< GND rail
+  bool is_input = false;       ///< driven externally
+  bool is_output = false;      ///< observation point
+  bool is_precharged = false;  ///< dynamic node, precharged high
+};
+
+/// One MOS transistor, modeled as a switch with a channel between
+/// `source` and `drain`, controlled by `gate`.
+///
+/// Source/drain are interchangeable electrically; the names follow the
+/// .sim convention only.  Dimensions are drawn channel width/length in
+/// meters.
+struct Transistor {
+  TransistorType type = TransistorType::kNEnhancement;
+  NodeId gate = NodeId::invalid();
+  NodeId source = NodeId::invalid();
+  NodeId drain = NodeId::invalid();
+  Meters width = 0.0;
+  Meters length = 0.0;
+  /// Designer-annotated signal-flow restriction (default: none).
+  Flow flow = Flow::kBidirectional;
+
+  /// Width/length ratio (electrical strength factor).
+  double aspect() const { return width / length; }
+  /// The channel terminal opposite `n`.  Precondition: n is source or drain.
+  NodeId other_end(NodeId n) const;
+  /// True if `n` is one of the channel terminals.
+  bool connects(NodeId n) const { return n == source || n == drain; }
+  /// True if the flow annotation permits a signal entering at `from`
+  /// and leaving at the other terminal.
+  /// Precondition: `from` is a channel terminal.
+  bool flow_allows_from(NodeId from) const;
+};
+
+/// A complete switch-level circuit.
+///
+/// Node and device ids are dense indices assigned in creation order, so
+/// they can index parallel arrays in analysis passes.
+class Netlist {
+ public:
+  Netlist() = default;
+
+  /// Creates a node, or returns the existing one with this name.
+  /// Postcondition: find_node(name) == returned id.
+  NodeId add_node(const std::string& name);
+
+  /// Looks up a node by name.
+  std::optional<NodeId> find_node(const std::string& name) const;
+
+  /// Creates a transistor.  Preconditions: all ids valid and in range;
+  /// width > 0 and length > 0; source != drain (no self-loops).
+  DeviceId add_transistor(TransistorType type, NodeId gate, NodeId source,
+                          NodeId drain, Meters width, Meters length,
+                          Flow flow = Flow::kBidirectional);
+
+  /// Changes a device's flow annotation.
+  void set_flow(DeviceId id, Flow flow);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t device_count() const { return devices_.size(); }
+
+  const Node& node(NodeId id) const;
+  Node& node(NodeId id);
+  const Transistor& device(DeviceId id) const;
+
+  /// All node / device ids in creation order.
+  std::vector<NodeId> node_ids() const;
+  std::vector<DeviceId> device_ids() const;
+
+  /// Devices whose gate is `n`.
+  const std::vector<DeviceId>& gated_by(NodeId n) const;
+  /// Devices with a channel terminal on `n`.
+  const std::vector<DeviceId>& channels_at(NodeId n) const;
+
+  // --- Role helpers -------------------------------------------------------
+  /// Marks by name, creating the node if needed.
+  NodeId mark_power(const std::string& name);
+  NodeId mark_ground(const std::string& name);
+  NodeId mark_input(const std::string& name);
+  NodeId mark_output(const std::string& name);
+  NodeId mark_precharged(const std::string& name);
+
+  /// True if the node is a rail (power or ground).
+  bool is_rail(NodeId n) const;
+
+  /// Adds capacitance to a node's explicit lumped cap.
+  /// Precondition: extra >= 0.
+  void add_cap(NodeId n, Farads extra);
+
+  /// The power / ground node if exactly one is marked.
+  std::optional<NodeId> power_node() const;
+  std::optional<NodeId> ground_node() const;
+
+ private:
+  void check_node(NodeId id) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Transistor> devices_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  std::vector<std::vector<DeviceId>> gated_by_;
+  std::vector<std::vector<DeviceId>> channels_at_;
+};
+
+}  // namespace sldm

@@ -1,0 +1,53 @@
+// Reader/writer for the Berkeley ".sim" switch-level netlist format used
+// by esim and Crystal, with a few documented dialect extensions.
+//
+// Supported records (one per line, '|' introduces a comment line):
+//
+//   | units: <centimicrons>        header; dimension unit (default 100,
+//                                  i.e. 1 file unit = 1 micron)
+//   e <gate> <src> <drn> <l> <w>   n-enhancement transistor
+//   n <gate> <src> <drn> <l> <w>   synonym for 'e'
+//   d <gate> <src> <drn> <l> <w>   n-depletion transistor
+//   p <gate> <src> <drn> <l> <w>   p-enhancement transistor
+//   c <node> <cap_fF>              lumped capacitance to ground
+//   C <node1> <node2> <cap_fF>     internodal cap; lumped to ground on
+//                                  both terminals (Crystal's treatment)
+//
+// Dialect extensions for node roles (Crystal keeps these in command files;
+// here they travel with the netlist so a .sim file is self-contained):
+//
+//   @vdd <name>...       power rails
+//   @gnd <name>...       ground rails
+//   @in <name>...        chip inputs
+//   @out <name>...       observation points
+//   @precharged <name>.. dynamic nodes precharged high
+//
+// Nodes named "vdd"/"vdd!" or "gnd"/"gnd!"/"vss" (case-insensitive) are
+// recognized as rails automatically.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sldm {
+
+/// Parses a .sim stream.  Throws ParseError on malformed input.
+/// `origin` is used in error messages.
+Netlist read_sim(std::istream& in, const std::string& origin = "<stream>");
+
+/// Parses a .sim file from disk.  Throws Error if unreadable.
+Netlist read_sim_file(const std::string& path);
+
+/// Writes `nl` in the dialect above.  Dimensions are written in microns
+/// (units header 100).  Only nonzero explicit node caps are emitted.
+void write_sim(const Netlist& nl, std::ostream& out);
+
+/// Writes to a file.  Throws Error if the file cannot be created.
+void write_sim_file(const Netlist& nl, const std::string& path);
+
+/// Round-trip convenience used by tests: serialize then reparse.
+Netlist reparse(const Netlist& nl);
+
+}  // namespace sldm

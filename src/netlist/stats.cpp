@@ -1,0 +1,57 @@
+#include "netlist/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace sldm {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats s;
+  s.nodes = nl.node_count();
+  s.devices = nl.device_count();
+  for (DeviceId d : nl.device_ids()) {
+    const Transistor& t = nl.device(d);
+    ++s.devices_by_type[static_cast<std::size_t>(t.type)];
+    const double aspect = t.aspect();
+    if (s.min_aspect == 0.0 || aspect < s.min_aspect) s.min_aspect = aspect;
+    s.max_aspect = std::max(s.max_aspect, aspect);
+  }
+  for (NodeId n : nl.node_ids()) {
+    const Node& info = nl.node(n);
+    if (info.is_input) ++s.inputs;
+    if (info.is_output) ++s.outputs;
+    if (info.is_precharged) ++s.precharged;
+    if (info.is_power) ++s.power_rails;
+    if (info.is_ground) ++s.ground_rails;
+    s.explicit_cap_total += info.cap;
+    s.max_gate_fanout = std::max(s.max_gate_fanout, nl.gated_by(n).size());
+    s.max_channel_degree =
+        std::max(s.max_channel_degree, nl.channels_at(n).size());
+  }
+  return s;
+}
+
+std::string to_string(const NetlistStats& s) {
+  std::ostringstream os;
+  os << format("nodes: %zu  devices: %zu (e=%zu d=%zu p=%zu)\n", s.nodes,
+               s.devices,
+               s.devices_by_type[static_cast<std::size_t>(
+                   TransistorType::kNEnhancement)],
+               s.devices_by_type[static_cast<std::size_t>(
+                   TransistorType::kNDepletion)],
+               s.devices_by_type[static_cast<std::size_t>(
+                   TransistorType::kPEnhancement)]);
+  os << format("roles: %zu inputs, %zu outputs, %zu precharged, rails %zu/%zu\n",
+               s.inputs, s.outputs, s.precharged, s.power_rails,
+               s.ground_rails);
+  os << format("explicit cap: %.1f fF;  W/L range: %.2f .. %.2f\n",
+               to_fF(s.explicit_cap_total), s.min_aspect, s.max_aspect);
+  os << format("max gate fanout: %zu;  max channel degree: %zu\n",
+               s.max_gate_fanout, s.max_channel_degree);
+  return os.str();
+}
+
+}  // namespace sldm

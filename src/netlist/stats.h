@@ -1,0 +1,36 @@
+// Netlist census: the summary a user prints before trusting an imported
+// .sim file (device mix, sizes, fanout extremes, capacitance budget).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "netlist/netlist.h"
+
+namespace sldm {
+
+struct NetlistStats {
+  std::size_t nodes = 0;
+  std::size_t devices = 0;
+  /// Indexed by TransistorType's underlying value.
+  std::array<std::size_t, 3> devices_by_type{};
+  std::size_t inputs = 0;
+  std::size_t outputs = 0;
+  std::size_t precharged = 0;
+  std::size_t power_rails = 0;
+  std::size_t ground_rails = 0;
+  Farads explicit_cap_total = 0.0;
+  /// Drawn W/L extremes over all devices (0 when there are none).
+  double min_aspect = 0.0;
+  double max_aspect = 0.0;
+  /// Worst gate fanout (devices gated by one node) and channel degree.
+  std::size_t max_gate_fanout = 0;
+  std::size_t max_channel_degree = 0;
+};
+
+NetlistStats compute_stats(const Netlist& nl);
+
+/// Multi-line human-readable rendering.
+std::string to_string(const NetlistStats& s);
+
+}  // namespace sldm

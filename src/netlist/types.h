@@ -1,0 +1,100 @@
+// Strong identifier types and enumerations shared across the switch-level
+// representation.
+//
+// NodeId/DeviceId are index-like handles into a Netlist.  They are distinct
+// types (Core Guidelines I.4) so a transistor index can never be passed
+// where a node index is expected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace sldm {
+
+namespace detail {
+
+/// A type-tagged index.  `Tag` distinguishes unrelated id spaces.
+template <typename Tag>
+class Id {
+ public:
+  using underlying_type = std::uint32_t;
+
+  constexpr Id() = default;
+  constexpr explicit Id(underlying_type value) : value_(value) {}
+
+  constexpr underlying_type value() const { return value_; }
+  constexpr std::size_t index() const { return value_; }
+
+  /// A sentinel distinct from every id produced by a Netlist.
+  static constexpr Id invalid() { return Id(UINT32_MAX); }
+  constexpr bool valid() const { return value_ != UINT32_MAX; }
+
+  friend constexpr bool operator==(Id a, Id b) = default;
+  friend constexpr auto operator<=>(Id a, Id b) = default;
+
+ private:
+  underlying_type value_ = UINT32_MAX;
+};
+
+struct NodeTag {};
+struct DeviceTag {};
+
+}  // namespace detail
+
+/// Handle to a circuit node (an electrical net).
+using NodeId = detail::Id<detail::NodeTag>;
+/// Handle to a transistor.
+using DeviceId = detail::Id<detail::DeviceTag>;
+
+/// Switch-level transistor types.
+///
+/// NEnh / PEnh are the ordinary enhancement devices of nMOS and CMOS
+/// processes; NDep is the depletion-mode pull-up load used in E/D nMOS
+/// (gate tied to source, always conducting).
+enum class TransistorType : std::uint8_t {
+  kNEnhancement,
+  kNDepletion,
+  kPEnhancement,
+};
+
+/// Short mnemonic used in reports and .sim files ("e", "d", "p").
+std::string to_letter(TransistorType t);
+/// Long human-readable name.
+std::string to_string(TransistorType t);
+
+/// Signal-flow restriction on a transistor channel (Crystal's flow
+/// attributes).  Electrically a channel is symmetric, but in pass logic
+/// the designer knows which way information moves; annotating it prunes
+/// false paths that would otherwise flow "backward" through a mux or
+/// shifter array.
+enum class Flow : std::uint8_t {
+  kBidirectional,   ///< default: either direction
+  kSourceToDrain,   ///< signal enters at source, leaves at drain
+  kDrainToSource,   ///< signal enters at drain, leaves at source
+};
+
+std::string to_string(Flow f);
+
+/// Signal transition direction at a node.
+enum class Transition : std::uint8_t {
+  kRise,  ///< low-to-high
+  kFall,  ///< high-to-low
+};
+
+/// The opposite transition.
+constexpr Transition opposite(Transition t) {
+  return t == Transition::kRise ? Transition::kFall : Transition::kRise;
+}
+
+std::string to_string(Transition t);
+
+}  // namespace sldm
+
+template <typename Tag>
+struct std::hash<sldm::detail::Id<Tag>> {
+  std::size_t operator()(sldm::detail::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

@@ -1,0 +1,57 @@
+#include "rc/resistive_network.h"
+
+#include <cmath>
+
+#include "analog/matrix.h"
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace sldm {
+
+std::size_t ResistiveNetwork::add_terminal() { return terminals_++; }
+
+void ResistiveNetwork::add_resistor(std::size_t a, std::size_t b, Ohms r) {
+  SLDM_EXPECTS(a < terminals_ && b < terminals_);
+  SLDM_EXPECTS(a != b);
+  SLDM_EXPECTS(r > 0.0);
+  edges_.push_back({a, b, r});
+}
+
+Ohms ResistiveNetwork::effective_resistance(std::size_t a,
+                                            std::size_t b) const {
+  SLDM_EXPECTS(a < terminals_ && b < terminals_);
+  SLDM_EXPECTS(a != b);
+  SLDM_EXPECTS(terminals_ >= 2);
+
+  // Ground terminal b; solve L v = e_a for the remaining terminals; the
+  // effective resistance is v_a.  A tiny leak keeps disconnected
+  // components nonsingular and detectable (their voltage explodes).
+  const std::size_t n = terminals_ - 1;
+  auto row_of = [&](std::size_t t) -> std::size_t {
+    SLDM_ASSERT(t != b);
+    return t < b ? t : t - 1;
+  };
+  Matrix lap(n, n);
+  constexpr double kLeak = 1e-15;
+  for (std::size_t i = 0; i < n; ++i) lap(i, i) = kLeak;
+  for (const Edge& e : edges_) {
+    const double g = 1.0 / e.r;
+    if (e.a != b) lap(row_of(e.a), row_of(e.a)) += g;
+    if (e.b != b) lap(row_of(e.b), row_of(e.b)) += g;
+    if (e.a != b && e.b != b) {
+      lap(row_of(e.a), row_of(e.b)) -= g;
+      lap(row_of(e.b), row_of(e.a)) -= g;
+    }
+  }
+  std::vector<double> rhs(n, 0.0);
+  rhs[row_of(a)] = 1.0;
+  const std::vector<double> v = solve_dense(lap, rhs);
+  const double r_eff = v[row_of(a)];
+  if (!std::isfinite(r_eff) || r_eff > 1e12) {
+    throw NumericalError("terminals are not connected");
+  }
+  SLDM_ENSURES(r_eff > 0.0);
+  return r_eff;
+}
+
+}  // namespace sldm

@@ -1,0 +1,51 @@
+// General resistive networks and effective-resistance computation.
+//
+// Stages with reconvergent (parallel) conduction paths are not trees;
+// their driving-point resistance is computed here from the network
+// Laplacian.  Also provides explicit series/parallel combinators used by
+// tests as an independent oracle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/units.h"
+
+namespace sldm {
+
+/// An undirected network of resistors between integer-indexed terminals.
+class ResistiveNetwork {
+ public:
+  ResistiveNetwork() = default;
+
+  /// Creates a terminal; returns its index.
+  std::size_t add_terminal();
+
+  /// Connects two distinct terminals with `r` > 0.
+  void add_resistor(std::size_t a, std::size_t b, Ohms r);
+
+  std::size_t terminal_count() const { return terminals_; }
+  std::size_t resistor_count() const { return edges_.size(); }
+
+  /// Effective (driving-point) resistance between `a` and `b`: injects a
+  /// unit current at `a`, extracts it at `b`, and solves the Laplacian.
+  /// Throws NumericalError if a and b are not connected.
+  /// Precondition: a != b.
+  Ohms effective_resistance(std::size_t a, std::size_t b) const;
+
+ private:
+  struct Edge {
+    std::size_t a;
+    std::size_t b;
+    Ohms r;
+  };
+  std::size_t terminals_ = 0;
+  std::vector<Edge> edges_;
+};
+
+/// r1 + r2 (series combination).
+inline Ohms series(Ohms r1, Ohms r2) { return r1 + r2; }
+/// r1 || r2 (parallel combination).
+inline Ohms parallel(Ohms r1, Ohms r2) { return r1 * r2 / (r1 + r2); }
+
+}  // namespace sldm

@@ -1,0 +1,42 @@
+// Ternary logic values and signal strengths for switch-level simulation
+// (the MOSSIM/esim model the paper's analyzer lived alongside).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sldm {
+
+/// Ternary logic value.
+enum class Logic : std::uint8_t { k0, k1, kX };
+
+/// Wired resolution of two values of equal strength.
+constexpr Logic resolve(Logic a, Logic b) {
+  return a == b ? a : Logic::kX;
+}
+
+constexpr Logic logic_from_bool(bool b) { return b ? Logic::k1 : Logic::k0; }
+
+/// '0', '1', or 'x'.
+char to_char(Logic v);
+std::string to_string(Logic v);
+
+/// Signal strength lattice, weakest first:
+///  kNone    - no information;
+///  kCharged - stored charge on a node capacitance;
+///  kWeak    - driven through an always-on load (depletion / pseudo-nMOS);
+///  kDriven  - driven from a rail or chip input through switching
+///             transistors.
+enum class Strength : std::uint8_t { kNone = 0, kCharged, kWeak, kDriven };
+
+constexpr bool stronger(Strength a, Strength b) {
+  return static_cast<std::uint8_t>(a) > static_cast<std::uint8_t>(b);
+}
+
+constexpr Strength weaker_of(Strength a, Strength b) {
+  return stronger(a, b) ? b : a;
+}
+
+std::string to_string(Strength s);
+
+}  // namespace sldm

@@ -1,0 +1,220 @@
+#include "switchsim/simulator.h"
+
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace sldm {
+
+char to_char(Logic v) {
+  switch (v) {
+    case Logic::k0:
+      return '0';
+    case Logic::k1:
+      return '1';
+    case Logic::kX:
+      return 'x';
+  }
+  SLDM_ASSERT(false);
+  return '?';
+}
+
+std::string to_string(Logic v) { return std::string(1, to_char(v)); }
+
+std::string to_string(Strength s) {
+  switch (s) {
+    case Strength::kNone:
+      return "none";
+    case Strength::kCharged:
+      return "charged";
+    case Strength::kWeak:
+      return "weak";
+    case Strength::kDriven:
+      return "driven";
+  }
+  SLDM_ASSERT(false);
+  return {};
+}
+
+SwitchSimulator::SwitchSimulator(const Netlist& nl, SwitchSimOptions options)
+    : nl_(nl), options_(options), state_(nl.node_count()) {
+  SLDM_EXPECTS(options.max_iterations > 0);
+  for (NodeId n : nl_.node_ids()) {
+    const Node& info = nl_.node(n);
+    if (info.is_power) {
+      state_[n.index()] = {Logic::k1, Strength::kDriven};
+    } else if (info.is_ground) {
+      state_[n.index()] = {Logic::k0, Strength::kDriven};
+    }
+  }
+}
+
+void SwitchSimulator::set_input(NodeId n, Logic v) {
+  SLDM_EXPECTS(nl_.node(n).is_input);
+  input_values_[n] = v;
+}
+
+void SwitchSimulator::precharge() {
+  precharge_phase_ = true;
+  for (NodeId n : nl_.node_ids()) {
+    if (nl_.node(n).is_precharged) {
+      state_[n.index()] = {Logic::k1, Strength::kDriven};
+    }
+  }
+  settle();
+  precharge_phase_ = false;
+  // The clock releases: driven precharge levels become stored charge.
+  for (NodeId n : nl_.node_ids()) {
+    if (nl_.node(n).is_precharged) {
+      state_[n.index()].strength = Strength::kCharged;
+    }
+  }
+}
+
+SwitchSimulator::Conduction SwitchSimulator::conduction(DeviceId d) const {
+  const Transistor& t = nl_.device(d);
+  if (t.type == TransistorType::kNDepletion) return Conduction::kOn;
+  const Logic gate = state_[t.gate.index()].value;
+  if (gate == Logic::kX) return Conduction::kMaybe;
+  const bool on_when_high = t.type == TransistorType::kNEnhancement;
+  const bool gate_high = gate == Logic::k1;
+  return gate_high == on_when_high ? Conduction::kOn : Conduction::kOff;
+}
+
+std::vector<SwitchSimulator::NodeState> SwitchSimulator::evaluate(
+    bool maybes_closed) const {
+  const std::size_t n_nodes = nl_.node_count();
+
+  // Pinned nodes never take contributions: rails and driven inputs.
+  std::vector<bool> pinned(n_nodes, false);
+  std::vector<NodeState> best(n_nodes);
+  for (NodeId n : nl_.node_ids()) {
+    const Node& info = nl_.node(n);
+    if (info.is_power) {
+      best[n.index()] = {Logic::k1, Strength::kDriven};
+      pinned[n.index()] = true;
+    } else if (info.is_ground) {
+      best[n.index()] = {Logic::k0, Strength::kDriven};
+      pinned[n.index()] = true;
+    } else if (info.is_input) {
+      const auto it = input_values_.find(n);
+      const Logic v = it != input_values_.end() ? it->second : Logic::kX;
+      best[n.index()] = {v, Strength::kDriven};
+      pinned[n.index()] = true;
+    } else if (precharge_phase_ && info.is_precharged) {
+      best[n.index()] = {Logic::k1, Strength::kDriven};
+      pinned[n.index()] = true;
+    } else {
+      // Stored charge: the node's previous value at charged strength.
+      best[n.index()] = {state_[n.index()].value, Strength::kCharged};
+    }
+  }
+
+  // Bottleneck-strength relaxation over the conducting network.
+  // Strengths only rise and values only decay toward X, so this
+  // terminates; the sweep bound is generous for the circuit sizes here.
+  auto merge = [](NodeState& into, Logic v, Strength s) -> bool {
+    if (stronger(s, into.strength)) {
+      into = {v, s};
+      return true;
+    }
+    if (s == into.strength && into.value != v && into.value != Logic::kX) {
+      into.value = Logic::kX;
+      return true;
+    }
+    return false;
+  };
+
+  bool changed = true;
+  int sweeps = 0;
+  const int max_sweeps = static_cast<int>(n_nodes) * 4 + 8;
+  while (changed) {
+    if (++sweeps > max_sweeps) {
+      throw Error("switch-level relaxation failed to converge");
+    }
+    changed = false;
+    for (DeviceId d : nl_.device_ids()) {
+      const Conduction c = conduction(d);
+      if (c == Conduction::kOff) continue;
+      if (c == Conduction::kMaybe && !maybes_closed) continue;
+      const Transistor& t = nl_.device(d);
+      const Strength cap = t.type == TransistorType::kNDepletion
+                               ? Strength::kWeak
+                               : Strength::kDriven;
+      const NodeState& a = best[t.source.index()];
+      const NodeState& b = best[t.drain.index()];
+      if (!pinned[t.drain.index()] && t.flow_allows_from(t.source)) {
+        changed |= merge(best[t.drain.index()], a.value,
+                         weaker_of(a.strength, cap));
+      }
+      if (!pinned[t.source.index()] && t.flow_allows_from(t.drain)) {
+        changed |= merge(best[t.source.index()], b.value,
+                         weaker_of(b.strength, cap));
+      }
+    }
+  }
+  return best;
+}
+
+void SwitchSimulator::settle() {
+  // Refresh pinned input values into the visible state so conduction()
+  // sees them from the first iteration.
+  for (NodeId n : nl_.node_ids()) {
+    if (!nl_.node(n).is_input) continue;
+    const auto it = input_values_.find(n);
+    state_[n.index()] = {it != input_values_.end() ? it->second : Logic::kX,
+                         Strength::kDriven};
+  }
+
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    const std::vector<NodeState> open = evaluate(/*maybes_closed=*/false);
+    const std::vector<NodeState> closed = evaluate(/*maybes_closed=*/true);
+    std::vector<NodeState> next(state_.size());
+    bool changed = false;
+    for (std::size_t i = 0; i < state_.size(); ++i) {
+      const Logic v = open[i].value == closed[i].value ? open[i].value
+                                                       : Logic::kX;
+      next[i] = {v, weaker_of(open[i].strength, closed[i].strength)};
+      if (next[i].value != state_[i].value ||
+          next[i].strength != state_[i].strength) {
+        changed = true;
+      }
+    }
+    state_ = std::move(next);
+    if (!changed) return;
+  }
+  throw Error("switch-level simulation did not settle (oscillation?)");
+}
+
+Logic SwitchSimulator::value(NodeId n) const {
+  SLDM_EXPECTS(n.valid() && n.index() < state_.size());
+  return state_[n.index()].value;
+}
+
+Strength SwitchSimulator::strength(NodeId n) const {
+  SLDM_EXPECTS(n.valid() && n.index() < state_.size());
+  return state_[n.index()].strength;
+}
+
+std::unordered_map<NodeId, bool> SwitchSimulator::fixed_values() const {
+  std::unordered_map<NodeId, bool> out;
+  for (NodeId n : nl_.node_ids()) {
+    const Logic v = state_[n.index()].value;
+    if (v != Logic::kX) out[n] = v == Logic::k1;
+  }
+  return out;
+}
+
+std::string SwitchSimulator::dump() const {
+  std::ostringstream os;
+  bool first = true;
+  for (NodeId n : nl_.node_ids()) {
+    if (!first) os << ' ';
+    first = false;
+    os << nl_.node(n).name << '=' << to_char(state_[n.index()].value);
+  }
+  return os.str();
+}
+
+}  // namespace sldm

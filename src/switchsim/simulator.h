@@ -1,0 +1,90 @@
+// A switch-level logic simulator in the MOSSIM/esim tradition: ternary
+// node values, a strength lattice (driven > weak load > stored charge),
+// and relaxation to a fixpoint.
+//
+// This is the functional companion of the timing analyzer: it answers
+// "what value does each node settle to for this input vector", including
+// ratioed nMOS fights (strong pull-down beats weak load), dynamic charge
+// retention, charge-sharing conflicts (X), and unknown propagation.
+// Its settled state can seed value-aware timing analysis via
+// fixed_values() -> ExtractOptions.
+//
+// Unknown gate handling is the classic two-pass approximation: each
+// relaxation evaluates once with all X-gated switches open and once with
+// them closed; nodes that differ between the passes become X.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "switchsim/logic.h"
+
+namespace sldm {
+
+/// Simulation limits.
+struct SwitchSimOptions {
+  /// Relaxation sweeps before the simulator declares oscillation.
+  int max_iterations = 256;
+};
+
+class SwitchSimulator {
+ public:
+  /// Captures the netlist by reference (must outlive the simulator).
+  /// All nodes start at X with no charge; rails are pinned.
+  explicit SwitchSimulator(const Netlist& nl,
+                           SwitchSimOptions options = {});
+
+  /// Drives a chip input.  Precondition: the node is marked is_input.
+  /// Takes effect at the next settle().
+  void set_input(NodeId n, Logic v);
+
+  /// Convenience for boolean vectors.
+  void set_input(NodeId n, bool v) { set_input(n, logic_from_bool(v)); }
+
+  /// Runs a precharge clock phase: every precharged node is pinned to a
+  /// driven 1, the circuit settles (so charge spreads through whatever
+  /// pass devices currently conduct), and the pins are then released,
+  /// leaving the charge stored.  Inputs should be set to their
+  /// precharge-phase values first.
+  void precharge();
+
+  /// Relaxes to a fixpoint.  Throws Error if the circuit oscillates
+  /// beyond the iteration budget (e.g. a ring oscillator).
+  void settle();
+
+  /// The settled value / strength of a node.
+  Logic value(NodeId n) const;
+  Strength strength(NodeId n) const;
+
+  /// All nodes with definite (0/1) settled values, for value-aware
+  /// stage extraction.  Inputs and rails are included.
+  std::unordered_map<NodeId, bool> fixed_values() const;
+
+  /// One-line state dump ("a=1 b=x ..."), for diagnostics and tests.
+  std::string dump() const;
+
+ private:
+  struct NodeState {
+    Logic value = Logic::kX;
+    Strength strength = Strength::kNone;
+  };
+
+  /// Whether a device conducts under current gate values: definite
+  /// on/off, or maybe (X gate).
+  enum class Conduction { kOff, kOn, kMaybe };
+  Conduction conduction(DeviceId d) const;
+
+  /// One global evaluation with maybes treated as `maybes_closed`.
+  /// Returns the per-node result of propagating all sources through the
+  /// conducting network.
+  std::vector<NodeState> evaluate(bool maybes_closed) const;
+
+  const Netlist& nl_;
+  SwitchSimOptions options_;
+  std::vector<NodeState> state_;
+  std::unordered_map<NodeId, Logic> input_values_;
+  bool precharge_phase_ = false;  ///< precharged nodes pinned driven-1
+};
+
+}  // namespace sldm

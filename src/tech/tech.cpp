@@ -1,0 +1,148 @@
+#include "tech/tech.h"
+
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace sldm {
+namespace {
+
+std::size_t type_index(TransistorType t) {
+  return static_cast<std::size_t>(t);
+}
+
+}  // namespace
+
+Tech::Tech(std::string name, Volts vdd) : name_(std::move(name)), vdd_(vdd) {
+  SLDM_EXPECTS(vdd > 0.0);
+}
+
+DeviceParams& Tech::params(TransistorType t) { return params_[type_index(t)]; }
+
+const DeviceParams& Tech::params(TransistorType t) const {
+  return params_[type_index(t)];
+}
+
+Farads Tech::gate_cap(const Transistor& t) const {
+  const DeviceParams& p = params(t.type);
+  return p.cox * t.width * t.length + 2.0 * p.cov_w * t.width;
+}
+
+Farads Tech::diffusion_cap(const Transistor& t) const {
+  const DeviceParams& p = params(t.type);
+  return p.cj_w * t.width;
+}
+
+Farads Tech::node_capacitance(const Netlist& nl, NodeId n) const {
+  Farads total = nl.node(n).cap;
+  for (DeviceId d : nl.gated_by(n)) {
+    total += gate_cap(nl.device(d));
+  }
+  for (DeviceId d : nl.channels_at(n)) {
+    total += diffusion_cap(nl.device(d));
+  }
+  return total;
+}
+
+Ohms Tech::resistance(const Transistor& t, Transition dir) const {
+  return resistance_sq(t.type, dir) * (t.length / t.width);
+}
+
+Ohms Tech::resistance_sq(TransistorType type, Transition dir) const {
+  const DeviceParams& p = params(type);
+  const Ohms r = dir == Transition::kRise ? p.r_up_sq : p.r_down_sq;
+  SLDM_EXPECTS(r > 0.0);
+  return r;
+}
+
+void Tech::set_resistance_sq(TransistorType type, Transition dir, Ohms r_sq) {
+  SLDM_EXPECTS(r_sq > 0.0);
+  DeviceParams& p = params(type);
+  if (dir == Transition::kRise) {
+    p.r_up_sq = r_sq;
+  } else {
+    p.r_down_sq = r_sq;
+  }
+}
+
+Ohms analytic_resistance_sq(const Tech& tech, TransistorType type,
+                            Transition dir) {
+  const DeviceParams& p = tech.params(type);
+  SLDM_EXPECTS(p.kp > 0.0);
+  const Volts vdd = tech.vdd();
+
+  // Gate overdrive available for the transition, for a unit W/L device.
+  double overdrive = 0.0;
+  switch (type) {
+    case TransistorType::kNEnhancement:
+      // Full drive when discharging; when passing a high the source
+      // follows the output, so by the 50% point only Vdd/2 - Vt remains.
+      overdrive = (dir == Transition::kFall) ? vdd - p.vt : vdd / 2.0 - p.vt;
+      break;
+    case TransistorType::kNDepletion:
+      // Gate tied to source: constant overdrive |Vt| in both directions.
+      overdrive = -p.vt;
+      break;
+    case TransistorType::kPEnhancement:
+      overdrive =
+          (dir == Transition::kRise) ? vdd + p.vt : vdd / 2.0 + p.vt;
+      break;
+  }
+  SLDM_EXPECTS(overdrive > 0.0);
+  const Amperes idsat = 0.5 * p.kp * overdrive * overdrive;
+  // Average resistance over the first half-swing: ~3/4 * Vdd / Idsat
+  // (the classic saturation-current estimate).
+  return 0.75 * vdd / idsat;
+}
+
+void seed_analytic_resistances(Tech& tech) {
+  for (TransistorType type :
+       {TransistorType::kNEnhancement, TransistorType::kNDepletion,
+        TransistorType::kPEnhancement}) {
+    if (!tech.has(type)) continue;
+    for (Transition dir : {Transition::kRise, Transition::kFall}) {
+      // Depletion loads only pull up in practice, but the analytic value
+      // is well-defined both ways, so seed both.
+      tech.set_resistance_sq(type, dir,
+                             analytic_resistance_sq(tech, type, dir));
+    }
+  }
+}
+
+Tech nmos4() {
+  Tech t("nmos4", 5.0);
+  // 4-micron E/D nMOS, 1984-era MOSIS-like values.  tox ~ 80 nm.
+  const double cox = 3.9 * 8.854e-12 / 80e-9;  // ~4.3e-4 F/m^2
+  DeviceParams& enh = t.params(TransistorType::kNEnhancement);
+  enh.vt = 1.0;
+  enh.kp = 25e-6;
+  enh.lambda = 0.02;
+  enh.cox = cox;
+  enh.cov_w = 3e-10;  // 0.3 fF/um
+  enh.cj_w = 4e-10;   // 0.4 fF/um
+  DeviceParams& dep = t.params(TransistorType::kNDepletion);
+  dep = enh;
+  dep.vt = -3.0;
+  seed_analytic_resistances(t);
+  return t;
+}
+
+Tech cmos3() {
+  Tech t("cmos3", 5.0);
+  const double cox = 3.9 * 8.854e-12 / 50e-9;  // ~6.9e-4 F/m^2
+  DeviceParams& n = t.params(TransistorType::kNEnhancement);
+  n.vt = 0.8;
+  n.kp = 40e-6;
+  n.lambda = 0.02;
+  n.cox = cox;
+  n.cov_w = 2.5e-10;
+  n.cj_w = 3.5e-10;
+  DeviceParams& p = t.params(TransistorType::kPEnhancement);
+  p = n;
+  p.vt = -0.8;
+  p.kp = 15e-6;
+  seed_analytic_resistances(t);
+  return t;
+}
+
+}  // namespace sldm

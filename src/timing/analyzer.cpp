@@ -1,0 +1,148 @@
+#include "timing/analyzer.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace sldm {
+
+TimingAnalyzer::TimingAnalyzer(const Netlist& nl, const Tech& tech,
+                               const DelayModel& model,
+                               AnalyzerOptions options)
+    : nl_(nl),
+      tech_(tech),
+      model_(model),
+      options_(options),
+      stages_(extract_all_stages(nl, options.extract)),
+      stages_by_trigger_(nl.node_count() * 2),
+      arrivals_(nl.node_count() * 2),
+      update_counts_(static_cast<std::size_t>(nl.node_count()) * 2, 0) {
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const TimingStage& ts = stages_[s];
+    const NodeId fire_node =
+        ts.source_triggered ? ts.source : nl_.device(ts.trigger).gate;
+    stages_by_trigger_[key(fire_node, ts.trigger_gate_dir)].push_back(s);
+  }
+}
+
+std::size_t TimingAnalyzer::key(NodeId node, Transition dir) const {
+  return node.index() * 2 + (dir == Transition::kRise ? 0 : 1);
+}
+
+void TimingAnalyzer::add_input_event(NodeId input, Transition dir,
+                                     Seconds time, Seconds slope) {
+  SLDM_EXPECTS(nl_.node(input).is_input);
+  SLDM_EXPECTS(slope >= 0.0);
+  SLDM_EXPECTS(!ran_);
+  ArrivalInfo info;
+  info.time = time;
+  info.slope = slope;
+  arrivals_[key(input, dir)] = info;
+  seeds_.emplace_back(input, dir);
+}
+
+void TimingAnalyzer::add_all_input_events(Seconds slope) {
+  for (NodeId n : nl_.node_ids()) {
+    if (!nl_.node(n).is_input) continue;
+    add_input_event(n, Transition::kRise, 0.0, slope);
+    add_input_event(n, Transition::kFall, 0.0, slope);
+  }
+}
+
+void TimingAnalyzer::run() {
+  SLDM_EXPECTS(!ran_);
+  ran_ = true;
+  std::deque<std::pair<NodeId, Transition>> work(seeds_.begin(), seeds_.end());
+  std::vector<bool> queued(arrivals_.size(), false);
+  for (const auto& [n, d] : seeds_) queued[key(n, d)] = true;
+
+  while (!work.empty()) {
+    const auto [gate, gdir] = work.front();
+    work.pop_front();
+    queued[key(gate, gdir)] = false;
+    const auto& info = arrivals_[key(gate, gdir)];
+    SLDM_ASSERT(info.has_value());
+    const Seconds t0 = info->time;
+    const Seconds slope0 = info->slope;
+
+    for (std::size_t s : stages_by_trigger_[key(gate, gdir)]) {
+      const TimingStage& ts = stages_[s];
+      const Stage stage = make_stage(nl_, tech_, ts, slope0);
+      const DelayEstimate est = model_.estimate(stage);
+      ++stage_evaluations_;
+      const std::size_t dest_key = key(ts.destination, ts.output_dir);
+      auto& cur = arrivals_[dest_key];
+      const Seconds t_new = t0 + est.delay;
+      if (cur.has_value() && t_new <= cur->time) continue;
+      if (++update_counts_[dest_key] > options_.max_updates_per_arrival) {
+        throw Error("timing loop detected at node '" +
+                    nl_.node(ts.destination).name +
+                    "': arrival keeps increasing");
+      }
+      ArrivalInfo next;
+      next.time = t_new;
+      next.slope = est.output_slope;
+      next.from_node = gate;
+      next.from_dir = gdir;
+      next.via_stage = s;
+      cur = next;
+      if (!queued[dest_key]) {
+        queued[dest_key] = true;
+        work.emplace_back(ts.destination, ts.output_dir);
+      }
+    }
+  }
+}
+
+std::optional<ArrivalInfo> TimingAnalyzer::arrival(NodeId node,
+                                                   Transition dir) const {
+  return arrivals_[key(node, dir)];
+}
+
+std::optional<TimingAnalyzer::Worst> TimingAnalyzer::worst_arrival(
+    bool outputs_only) const {
+  std::optional<Worst> worst;
+  for (NodeId n : nl_.node_ids()) {
+    if (outputs_only && !nl_.node(n).is_output) continue;
+    if (nl_.node(n).is_input) continue;  // input events are seeds
+    for (Transition dir : {Transition::kRise, Transition::kFall}) {
+      const auto& info = arrivals_[key(n, dir)];
+      if (!info) continue;
+      if (!worst || info->time > worst->time) {
+        worst = Worst{n, dir, info->time};
+      }
+    }
+  }
+  return worst;
+}
+
+std::vector<PathStep> TimingAnalyzer::critical_path(NodeId node,
+                                                    Transition dir) const {
+  std::vector<PathStep> steps;
+  NodeId cur = node;
+  Transition cdir = dir;
+  // Bounded walk: each step strictly decreases arrival time, so the
+  // node-count bound can only be exceeded by corrupted predecessors.
+  for (std::size_t guard = 0; guard <= arrivals_.size(); ++guard) {
+    const auto& info = arrivals_[key(cur, cdir)];
+    SLDM_EXPECTS(info.has_value());
+    PathStep step;
+    step.node = cur;
+    step.dir = cdir;
+    step.time = info->time;
+    step.slope = info->slope;
+    step.description = info->via_stage == SIZE_MAX
+                           ? "<- input"
+                           : describe(nl_, stages_[info->via_stage]);
+    steps.push_back(std::move(step));
+    if (!info->from_node.valid()) break;
+    cur = info->from_node;
+    cdir = info->from_dir;
+  }
+  std::reverse(steps.begin(), steps.end());
+  return steps;
+}
+
+}  // namespace sldm

@@ -1,0 +1,133 @@
+// The Crystal-style static timing analyzer.
+//
+// Worst-case arrival times (and slopes) are propagated from the declared
+// input events through the extracted stages to a fixpoint: an event at a
+// gate node fires every stage it triggers, each stage's delay model
+// estimate produces a candidate (time, slope) at the stage destination,
+// and the latest candidate wins.  Critical paths are recovered by
+// walking the recorded predecessors.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "delay/model.h"
+#include "timing/stage_extract.h"
+
+namespace sldm {
+
+/// Analyzer configuration.
+struct AnalyzerOptions {
+  ExtractOptions extract;
+  /// Safety valve: maximum times a (node, direction) arrival may be
+  /// improved before the analyzer reports a structural loop.
+  int max_updates_per_arrival = 64;
+};
+
+/// Final arrival data at one (node, transition).
+struct ArrivalInfo {
+  Seconds time = 0.0;
+  Seconds slope = 0.0;
+  /// Predecessor event (invalid node for primary-input events).
+  NodeId from_node = NodeId::invalid();
+  Transition from_dir = Transition::kRise;
+  /// Index into TimingAnalyzer::stages() of the stage that set this
+  /// arrival; SIZE_MAX for primary-input events.
+  std::size_t via_stage = SIZE_MAX;
+};
+
+/// One step of a reported critical path.
+struct PathStep {
+  NodeId node;
+  Transition dir;
+  Seconds time;
+  Seconds slope;
+  std::string description;  ///< stage description ("<- input" for seeds)
+};
+
+class TimingAnalyzer {
+ public:
+  /// Extracts all stages up-front.  `nl`, `tech`, and `model` must
+  /// outlive the analyzer.
+  TimingAnalyzer(const Netlist& nl, const Tech& tech, const DelayModel& model,
+                 AnalyzerOptions options = {});
+
+  /// Declares a primary-input event.  Precondition: `input` is marked
+  /// is_input; slope >= 0.  May be called repeatedly before run().
+  void add_input_event(NodeId input, Transition dir, Seconds time,
+                       Seconds slope);
+
+  /// Convenience: both transitions on every input at t=0 with `slope`
+  /// (full worst-case analysis).
+  void add_all_input_events(Seconds slope);
+
+  /// Propagates to fixpoint.  Throws Error if a structural loop exceeds
+  /// the update bound.
+  void run();
+
+  /// Arrival at (node, dir), if the node can switch that way at all.
+  std::optional<ArrivalInfo> arrival(NodeId node, Transition dir) const;
+
+  /// The latest arrival over all nodes (or only output-marked nodes).
+  struct Worst {
+    NodeId node;
+    Transition dir;
+    Seconds time;
+  };
+  std::optional<Worst> worst_arrival(bool outputs_only) const;
+
+  /// The chain of events ending at (node, dir), input first.
+  /// Precondition: arrival(node, dir) has a value.
+  std::vector<PathStep> critical_path(NodeId node, Transition dir) const;
+
+  /// Limits for k_worst_paths().
+  struct PathQueryOptions {
+    std::size_t max_explored = 200000;  ///< DFS work bound
+    int max_length = 64;                ///< events per path
+  };
+
+  /// One enumerated event path (input seed first).
+  struct EnumeratedPath {
+    std::vector<PathStep> steps;
+    Seconds arrival = 0.0;  ///< arrival of the final event
+  };
+
+  /// The k latest-arriving distinct event paths ending at (node, dir),
+  /// sorted latest first -- Crystal's "show me the N worst paths".
+  /// Slopes are propagated along each candidate path independently, so
+  /// alternative paths get their own slope history (unlike the arrival
+  /// fixpoint, which keeps only the worst predecessor).
+  /// Precondition: run() has completed; k >= 1.
+  std::vector<EnumeratedPath> k_worst_paths(
+      NodeId node, Transition dir, std::size_t k,
+      const PathQueryOptions& options) const;
+  std::vector<EnumeratedPath> k_worst_paths(NodeId node, Transition dir,
+                                            std::size_t k) const {
+    return k_worst_paths(node, dir, k, PathQueryOptions());
+  }
+
+  /// All extracted stages (index space of ArrivalInfo::via_stage).
+  const std::vector<TimingStage>& stages() const { return stages_; }
+
+  /// Work counter for the Table 5 runtime comparison.
+  std::size_t stage_evaluations() const { return stage_evaluations_; }
+
+ private:
+  std::size_t key(NodeId node, Transition dir) const;
+
+  const Netlist& nl_;
+  const Tech& tech_;
+  const DelayModel& model_;
+  AnalyzerOptions options_;
+  std::vector<TimingStage> stages_;
+  /// stages indexed by trigger gate node and gate direction.
+  std::vector<std::vector<std::size_t>> stages_by_trigger_;
+  std::vector<std::optional<ArrivalInfo>> arrivals_;
+  std::vector<int> update_counts_;
+  std::vector<std::pair<NodeId, Transition>> seeds_;
+  bool ran_ = false;
+  std::size_t stage_evaluations_ = 0;
+};
+
+}  // namespace sldm

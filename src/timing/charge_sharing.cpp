@@ -1,0 +1,86 @@
+#include "timing/charge_sharing.h"
+
+#include <queue>
+#include <sstream>
+
+#include "timing/stage_extract.h"
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace sldm {
+
+ChargeSharingResult analyze_charge_sharing(
+    const Netlist& nl, const Tech& tech, NodeId node,
+    const ChargeSharingOptions& options) {
+  SLDM_EXPECTS(nl.node(node).is_precharged);
+
+  ChargeSharingResult result;
+  result.node = node;
+  result.node_cap = tech.node_capacitance(nl, node);
+  result.v_initial = tech.vdd();
+
+  // Breadth-first over channel edges through potentially-conducting
+  // devices; rails, inputs, and other precharged nodes terminate the
+  // search (they hold their own level and do not drain charge through
+  // redistribution -- a path to a rail is a *drive* event, handled by
+  // delay analysis, not charge sharing).
+  std::vector<int> depth(nl.node_count(), -1);
+  depth[node.index()] = 0;
+  std::queue<NodeId> work;
+  work.push(node);
+  while (!work.empty()) {
+    const NodeId n = work.front();
+    work.pop();
+    if (depth[n.index()] >= options.max_depth) continue;
+    for (DeviceId d : nl.channels_at(n)) {
+      if (!can_conduct(nl, d)) continue;
+      const NodeId m = nl.device(d).other_end(n);
+      if (depth[m.index()] >= 0) continue;
+      const Node& info = nl.node(m);
+      if (info.is_power || info.is_ground || info.is_input ||
+          info.is_precharged) {
+        continue;
+      }
+      depth[m.index()] = depth[n.index()] + 1;
+      result.sharing_nodes.push_back(m);
+      result.shared_cap += tech.node_capacitance(nl, m);
+      work.push(m);
+    }
+  }
+
+  result.v_after = result.v_initial * result.node_cap /
+                   (result.node_cap + result.shared_cap);
+  SLDM_ENSURES(result.v_after > 0.0);
+  SLDM_ENSURES(result.v_after <= result.v_initial);
+  return result;
+}
+
+std::vector<ChargeSharingResult> analyze_all_charge_sharing(
+    const Netlist& nl, const Tech& tech,
+    const ChargeSharingOptions& options) {
+  std::vector<ChargeSharingResult> out;
+  for (NodeId n : nl.node_ids()) {
+    if (nl.node(n).is_precharged) {
+      out.push_back(analyze_charge_sharing(nl, tech, n, options));
+    }
+  }
+  return out;
+}
+
+std::string format_charge_sharing(const Netlist& nl,
+                                  const std::vector<ChargeSharingResult>& rs,
+                                  Volts threshold) {
+  std::ostringstream os;
+  for (const ChargeSharingResult& r : rs) {
+    os << format("%-12s %7.1f fF holds, %7.1f fF shareable: %.2f V -> %.2f V",
+                 nl.node(r.node).name.c_str(), to_fF(r.node_cap),
+                 to_fF(r.shared_cap), r.v_initial, r.v_after);
+    if (r.fails(threshold)) {
+      os << format("  ** FAILS (threshold %.2f V)", threshold);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sldm

@@ -1,0 +1,59 @@
+// Charge-sharing analysis for dynamic (precharged) nodes.
+//
+// Crystal's companion check to delay analysis: when pass/select
+// transistors connect a precharged node to initially-discharged
+// internal capacitance, the stored charge redistributes before (or
+// instead of) any drive arrives, sagging the dynamic level to
+//   V_after = V_pre * C_dyn / (C_dyn + C_shared).
+// If V_after drops below the receiver threshold the circuit fails even
+// though every *delay* constraint passes.  The worst case assumes every
+// potentially-conducting transistor is on and every reachable internal
+// node starts empty.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.h"
+#include "tech/tech.h"
+
+namespace sldm {
+
+/// Worst-case charge sharing at one precharged node.
+struct ChargeSharingResult {
+  NodeId node = NodeId::invalid();
+  Farads node_cap = 0.0;    ///< capacitance holding the precharge
+  Farads shared_cap = 0.0;  ///< worst-case connectible empty capacitance
+  Volts v_initial = 0.0;
+  Volts v_after = 0.0;  ///< post-redistribution level
+  /// Internal nodes that can share charge (through potentially
+  /// conducting, non-rail paths).
+  std::vector<NodeId> sharing_nodes;
+
+  /// True if the sag crosses below `threshold`.
+  bool fails(Volts threshold) const { return v_after < threshold; }
+};
+
+/// Analysis limits.
+struct ChargeSharingOptions {
+  /// Maximum channel hops explored from the dynamic node.
+  int max_depth = 8;
+};
+
+/// Analyzes one precharged node.  Precondition: the node is marked
+/// precharged.
+ChargeSharingResult analyze_charge_sharing(
+    const Netlist& nl, const Tech& tech, NodeId node,
+    const ChargeSharingOptions& options = {});
+
+/// Analyzes every precharged node in the netlist.
+std::vector<ChargeSharingResult> analyze_all_charge_sharing(
+    const Netlist& nl, const Tech& tech,
+    const ChargeSharingOptions& options = {});
+
+/// A rendered report; failing nodes (below `threshold`) are flagged.
+std::string format_charge_sharing(const Netlist& nl,
+                                  const std::vector<ChargeSharingResult>& rs,
+                                  Volts threshold);
+
+}  // namespace sldm

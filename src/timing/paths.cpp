@@ -1,0 +1,63 @@
+// K-worst-path enumeration: the analyzer's fixpoint keeps only the
+// single worst predecessor per (node, transition); this pass re-walks
+// the stage graph forward from the input seeds, carrying an independent
+// (time, slope) history per candidate path, and reports the k latest
+// distinct event chains ending at a target.
+#include <algorithm>
+
+#include "timing/analyzer.h"
+#include "util/contracts.h"
+
+namespace sldm {
+
+std::vector<TimingAnalyzer::EnumeratedPath> TimingAnalyzer::k_worst_paths(
+    NodeId node, Transition dir, std::size_t k,
+    const PathQueryOptions& options) const {
+  SLDM_EXPECTS(ran_);
+  SLDM_EXPECTS(k >= 1);
+  const std::size_t target = key(node, dir);
+
+  std::vector<EnumeratedPath> found;
+  std::size_t explored = 0;
+  std::vector<bool> on_path(arrivals_.size(), false);
+  std::vector<PathStep> steps;
+
+  auto dfs = [&](auto&& self, NodeId n, Transition d, Seconds t,
+                 Seconds slope, const std::string& how) -> void {
+    if (explored >= options.max_explored) return;
+    ++explored;
+    const std::size_t kk = key(n, d);
+    if (on_path[kk]) return;  // no event repeats within one path
+    if (static_cast<int>(steps.size()) >= options.max_length) return;
+
+    on_path[kk] = true;
+    steps.push_back(PathStep{n, d, t, slope, how});
+    if (kk == target) {
+      found.push_back(EnumeratedPath{steps, t});
+    }
+    for (std::size_t s : stages_by_trigger_[kk]) {
+      const TimingStage& ts = stages_[s];
+      const Stage stage = make_stage(nl_, tech_, ts, slope);
+      const DelayEstimate est = model_.estimate(stage);
+      self(self, ts.destination, ts.output_dir, t + est.delay,
+           est.output_slope, describe(nl_, ts));
+    }
+    steps.pop_back();
+    on_path[kk] = false;
+  };
+
+  for (const auto& [seed_node, seed_dir] : seeds_) {
+    const auto& info = arrivals_[key(seed_node, seed_dir)];
+    SLDM_ASSERT(info.has_value());
+    dfs(dfs, seed_node, seed_dir, info->time, info->slope, "<- input");
+  }
+
+  std::sort(found.begin(), found.end(),
+            [](const EnumeratedPath& a, const EnumeratedPath& b) {
+              return a.arrival > b.arrival;
+            });
+  if (found.size() > k) found.resize(k);
+  return found;
+}
+
+}  // namespace sldm

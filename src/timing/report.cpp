@@ -1,0 +1,53 @@
+#include "timing/report.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+#include "util/text_table.h"
+
+namespace sldm {
+
+std::string format_path(const Netlist& nl, const std::vector<PathStep>& path) {
+  std::ostringstream os;
+  for (const PathStep& s : path) {
+    os << format("%10.3f ns  %-6s %-12s slope %.3f ns  %s\n",
+                 to_ns(s.time), to_string(s.dir).c_str(),
+                 nl.node(s.node).name.c_str(), to_ns(s.slope),
+                 s.description.c_str());
+  }
+  return os.str();
+}
+
+std::string format_output_arrivals(const Netlist& nl,
+                                   const TimingAnalyzer& analyzer) {
+  TextTable table({"output", "rise (ns)", "fall (ns)"});
+  for (NodeId n : nl.node_ids()) {
+    if (!nl.node(n).is_output) continue;
+    const auto rise = analyzer.arrival(n, Transition::kRise);
+    const auto fall = analyzer.arrival(n, Transition::kFall);
+    table.add_row({nl.node(n).name,
+                   rise ? format("%.3f", to_ns(rise->time)) : "-",
+                   fall ? format("%.3f", to_ns(fall->time)) : "-"});
+  }
+  return table.to_string();
+}
+
+std::string format_all_arrivals(const Netlist& nl,
+                                const TimingAnalyzer& analyzer) {
+  TextTable table({"node", "rise (ns)", "rise slope", "fall (ns)",
+                   "fall slope"});
+  for (NodeId n : nl.node_ids()) {
+    if (nl.node(n).is_input || nl.is_rail(n)) continue;
+    const auto rise = analyzer.arrival(n, Transition::kRise);
+    const auto fall = analyzer.arrival(n, Transition::kFall);
+    if (!rise && !fall) continue;
+    table.add_row({nl.node(n).name,
+                   rise ? format("%.3f", to_ns(rise->time)) : "-",
+                   rise ? format("%.3f", to_ns(rise->slope)) : "-",
+                   fall ? format("%.3f", to_ns(fall->time)) : "-",
+                   fall ? format("%.3f", to_ns(fall->slope)) : "-"});
+  }
+  return table.to_string();
+}
+
+}  // namespace sldm

@@ -1,0 +1,22 @@
+// Rendering of timing results: arrival summaries and critical paths.
+#pragma once
+
+#include <string>
+
+#include "timing/analyzer.h"
+
+namespace sldm {
+
+/// A multi-line rendering of a critical path (one event per line).
+std::string format_path(const Netlist& nl, const std::vector<PathStep>& path);
+
+/// A table of arrivals at all output-marked nodes.
+std::string format_output_arrivals(const Netlist& nl,
+                                   const TimingAnalyzer& analyzer);
+
+/// A table of arrivals at every node that has any (Crystal's full
+/// listing); nodes with no arrivals are omitted.
+std::string format_all_arrivals(const Netlist& nl,
+                                const TimingAnalyzer& analyzer);
+
+}  // namespace sldm

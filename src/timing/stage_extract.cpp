@@ -1,0 +1,272 @@
+#include "timing/stage_extract.h"
+
+#include <set>
+#include <sstream>
+
+#include "util/contracts.h"
+
+namespace sldm {
+namespace {
+
+/// Hard cap on enumerated paths per (node, direction); prevents blowup
+/// on pathological pass-transistor meshes.
+constexpr std::size_t kMaxPathsPerQuery = 20000;
+
+bool is_source_for(const Netlist& nl, const ExtractOptions& options,
+                   NodeId n, Transition dir) {
+  const Node& info = nl.node(n);
+  if (const auto fixed = known_value(nl, options, n)) {
+    // A pinned node supplies its constant value.
+    return dir == Transition::kRise ? *fixed : !*fixed;
+  }
+  if (dir == Transition::kRise) {
+    if (info.is_precharged) return true;
+  }
+  return options.inputs_as_sources && info.is_input;
+}
+
+/// Value sources terminate traversal: a channel path never runs through
+/// a rail, a pinned node, or an input.  A precharged node terminates
+/// only rise-direction searches (where it acts as the source);
+/// discharge paths legitimately run through precharged nodes (e.g. a
+/// Manchester carry chain).
+bool blocks_traversal(const Netlist& nl, const ExtractOptions& options,
+                      NodeId n, Transition dir) {
+  const Node& info = nl.node(n);
+  return known_value(nl, options, n).has_value() || info.is_input ||
+         (info.is_precharged && dir == Transition::kRise);
+}
+
+/// Depth-first enumeration of simple channel paths dest -> source.
+/// `device_filter` restricts which devices may appear on the path.
+/// Flow annotations are enforced: moving the *search* from node n to
+/// node m means the *signal* flows m -> n, so the device must allow
+/// conduction entering at m.
+template <typename Filter>
+std::vector<std::vector<DeviceId>> enumerate_paths(
+    const Netlist& nl, NodeId dest, Transition dir,
+    const ExtractOptions& options, Filter device_filter) {
+  std::vector<std::vector<DeviceId>> paths;
+  std::vector<bool> visited(nl.node_count(), false);
+  std::vector<DeviceId> stack;
+
+  auto dfs = [&](auto&& self, NodeId n) -> void {
+    if (paths.size() >= kMaxPathsPerQuery) return;
+    visited[n.index()] = true;
+    for (DeviceId d : nl.channels_at(n)) {
+      if (!device_filter(d)) continue;
+      const Transistor& t = nl.device(d);
+      const NodeId m = t.other_end(n);
+      if (visited[m.index()]) continue;
+      if (!t.flow_allows_from(m)) continue;  // signal would flow m -> n
+      stack.push_back(d);
+      if (is_source_for(nl, options, m, dir)) {
+        // Emit in source->dest order.
+        paths.emplace_back(stack.rbegin(), stack.rend());
+      } else if (!blocks_traversal(nl, options, m, dir) &&
+                 static_cast<int>(stack.size()) < options.max_depth) {
+        self(self, m);
+      }
+      stack.pop_back();
+    }
+    visited[n.index()] = false;
+  };
+  dfs(dfs, dest);
+  return paths;
+}
+
+/// The node at the source end of a source->dest path.
+NodeId path_source(const Netlist& nl, NodeId dest,
+                   const std::vector<DeviceId>& path) {
+  // Walk from dest backwards to find the far end.
+  NodeId cur = dest;
+  for (auto it = path.rbegin(); it != path.rend(); ++it) {
+    cur = nl.device(*it).other_end(cur);
+  }
+  return cur;
+}
+
+/// Gate transition that turns an enhancement device ON.
+Transition on_gate_dir(TransistorType type) {
+  return type == TransistorType::kPEnhancement ? Transition::kFall
+                                               : Transition::kRise;
+}
+
+}  // namespace
+
+std::optional<bool> known_value(const Netlist& nl,
+                                const ExtractOptions& options, NodeId n) {
+  const Node& info = nl.node(n);
+  if (info.is_power) return true;
+  if (info.is_ground) return false;
+  if (const auto it = options.fixed_values.find(n);
+      it != options.fixed_values.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+bool can_conduct(const Netlist& nl, const ExtractOptions& options,
+                 DeviceId d) {
+  const Transistor& t = nl.device(d);
+  if (t.type == TransistorType::kNDepletion) return true;
+  const auto gate = known_value(nl, options, t.gate);
+  if (!gate) return true;  // the gate can move: assume the worst case
+  return t.type == TransistorType::kNEnhancement ? *gate : !*gate;
+}
+
+bool can_conduct(const Netlist& nl, DeviceId d) {
+  return can_conduct(nl, ExtractOptions{}, d);
+}
+
+bool always_on(const Netlist& nl, const ExtractOptions& options, DeviceId d) {
+  const Transistor& t = nl.device(d);
+  if (t.type == TransistorType::kNDepletion) return true;
+  const auto gate = known_value(nl, options, t.gate);
+  if (!gate) return false;
+  return t.type == TransistorType::kNEnhancement ? *gate : !*gate;
+}
+
+bool always_on(const Netlist& nl, DeviceId d) {
+  return always_on(nl, ExtractOptions{}, d);
+}
+
+std::vector<TimingStage> stages_to(const Netlist& nl, NodeId dest,
+                                   Transition dir,
+                                   const ExtractOptions& options) {
+  std::vector<TimingStage> stages;
+  const Node& dest_info = nl.node(dest);
+  // Rails, pinned nodes, and inputs never switch.
+  if (known_value(nl, options, dest).has_value() || dest_info.is_input) {
+    return stages;
+  }
+
+  // --- ON-trigger stages: a transistor on the path turns on. ----------
+  const auto paths =
+      enumerate_paths(nl, dest, dir, options,
+                      [&](DeviceId d) { return can_conduct(nl, options, d); });
+  for (const auto& path : paths) {
+    const NodeId src = path_source(nl, dest, path);
+    for (DeviceId d : path) {
+      if (always_on(nl, options, d)) continue;  // loads never trigger
+      stages.push_back(TimingStage{.source = src,
+                                   .destination = dest,
+                                   .output_dir = dir,
+                                   .path = path,
+                                   .trigger = d,
+                                   .trigger_gate_dir =
+                                       on_gate_dir(nl.device(d).type),
+                                   .trigger_is_release = false});
+    }
+    // A chip-input source also fires the stage with its own edge (the
+    // only trigger when every path device is constant-on).
+    if (nl.node(src).is_input) {
+      stages.push_back(TimingStage{.source = src,
+                                   .destination = dest,
+                                   .output_dir = dir,
+                                   .path = path,
+                                   .trigger = path.front(),
+                                   .trigger_gate_dir = dir,
+                                   .trigger_is_release = false,
+                                   .source_triggered = true});
+    }
+  }
+
+  // --- Release stages: an always-on load restores the node after the
+  // opposing network shuts off (ratioed logic). -------------------------
+  const auto load_paths =
+      enumerate_paths(nl, dest, dir, options,
+                      [&](DeviceId d) { return always_on(nl, options, d); });
+  if (!load_paths.empty()) {
+    const auto opposing =
+        enumerate_paths(nl, dest, opposite(dir), options, [&](DeviceId d) {
+          return can_conduct(nl, options, d);
+        });
+    // Each switching device on an opposing path is a release trigger.
+    std::set<DeviceId> release_triggers;
+    for (const auto& opp : opposing) {
+      for (DeviceId d : opp) {
+        if (!always_on(nl, options, d)) release_triggers.insert(d);
+      }
+    }
+    for (const auto& load : load_paths) {
+      const NodeId src = path_source(nl, dest, load);
+      // Only rail-driven loads restore a level.
+      if (!nl.node(src).is_power && !nl.node(src).is_ground) continue;
+      for (DeviceId d : release_triggers) {
+        stages.push_back(
+            TimingStage{.source = src,
+                        .destination = dest,
+                        .output_dir = dir,
+                        .path = load,
+                        .trigger = d,
+                        .trigger_gate_dir =
+                            opposite(on_gate_dir(nl.device(d).type)),
+                        .trigger_is_release = true});
+      }
+    }
+  }
+  return stages;
+}
+
+std::vector<TimingStage> extract_all_stages(const Netlist& nl,
+                                            const ExtractOptions& options) {
+  std::vector<TimingStage> all;
+  for (NodeId n : nl.node_ids()) {
+    if (nl.channels_at(n).empty()) continue;
+    for (Transition dir : {Transition::kRise, Transition::kFall}) {
+      auto stages = stages_to(nl, n, dir, options);
+      all.insert(all.end(), std::make_move_iterator(stages.begin()),
+                 std::make_move_iterator(stages.end()));
+    }
+  }
+  return all;
+}
+
+Stage make_stage(const Netlist& nl, const Tech& tech, const TimingStage& ts,
+                 Seconds input_slope) {
+  SLDM_EXPECTS(!ts.path.empty());
+  Stage stage;
+  stage.output_dir = ts.output_dir;
+  stage.input_slope = input_slope;
+  stage.trigger_index = 0;
+  NodeId cur = ts.source;
+  for (std::size_t i = 0; i < ts.path.size(); ++i) {
+    const Transistor& t = nl.device(ts.path[i]);
+    SLDM_EXPECTS(t.connects(cur));
+    const NodeId next = t.other_end(cur);
+    StageElement el;
+    el.type = t.type;
+    el.resistance = tech.resistance(t, ts.output_dir);
+    el.cap = tech.node_capacitance(nl, next);
+    stage.elements.push_back(el);
+    if (!ts.trigger_is_release && ts.path[i] == ts.trigger) {
+      stage.trigger_index = i;
+    }
+    cur = next;
+  }
+  SLDM_ENSURES(cur == ts.destination);
+  validate(stage);
+  return stage;
+}
+
+std::string describe(const Netlist& nl, const TimingStage& ts) {
+  std::ostringstream os;
+  os << nl.node(ts.destination).name << ' ' << to_string(ts.output_dir)
+     << " from " << nl.node(ts.source).name << " via";
+  for (DeviceId d : ts.path) {
+    os << ' ' << to_letter(nl.device(d).type) << '('
+       << nl.node(nl.device(d).gate).name << ')';
+  }
+  if (ts.source_triggered) {
+    os << " driven by " << nl.node(ts.source).name << ' '
+       << to_string(ts.trigger_gate_dir);
+  } else {
+    os << (ts.trigger_is_release ? " released by " : " triggered by ")
+       << nl.node(nl.device(ts.trigger).gate).name << ' '
+       << to_string(ts.trigger_gate_dir);
+  }
+  return os.str();
+}
+
+}  // namespace sldm

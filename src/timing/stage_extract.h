@@ -1,0 +1,100 @@
+// Stage extraction: decomposing a switch-level netlist into the stages
+// the delay models evaluate.
+//
+// For a destination node and transition, we enumerate the simple channel
+// paths from a suitable value source to the destination (Crystal's
+// path-tracing step).  Each enhancement transistor on a path is a
+// potential trigger (the transistor whose gate transition opens the
+// path); ratioed circuits additionally produce *release* stages, where
+// an always-on load recharges the node after its opposing network turns
+// off (nMOS depletion pull-ups, pseudo-nMOS p loads).
+//
+// Two false-path controls mirror Crystal's:
+//  * transistor flow attributes (Transistor::flow) forbid traversing a
+//    pass device against its annotated signal direction;
+//  * fixed node values (ExtractOptions::fixed_values, Crystal's "set"
+//    command) pin a node to a constant: the node acts like a rail, and
+//    devices it gates are constant-on or constant-off.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "delay/stage.h"
+#include "netlist/netlist.h"
+#include "tech/tech.h"
+
+namespace sldm {
+
+/// One stage at netlist level (device/node identities preserved).
+struct TimingStage {
+  NodeId source;            ///< value source the charge comes from
+  NodeId destination;       ///< node being switched
+  Transition output_dir;    ///< transition produced at destination
+  std::vector<DeviceId> path;  ///< channel devices, source -> destination
+  /// The transistor whose gate event fires this stage.  For ON-trigger
+  /// stages it lies on `path`; for release stages it lies on the
+  /// opposing network; for source-triggered stages it is the source-side
+  /// path device (used for electrical typing only).
+  DeviceId trigger;
+  Transition trigger_gate_dir;  ///< gate transition that fires the stage
+  bool trigger_is_release = false;
+  /// True when the firing event is the *source node's own transition*
+  /// (a chip input driving through a conducting pass network), not a
+  /// gate: the analyzer indexes such stages by (source, output_dir).
+  bool source_triggered = false;
+};
+
+/// Extraction limits and assumptions.
+struct ExtractOptions {
+  /// Maximum number of channel devices on a path (deep enough for the
+  /// longest benchmark pass/carry chains; kMaxPathsPerQuery caps the
+  /// work on dense pass-transistor meshes).
+  int max_depth = 16;
+  /// Treat chip inputs as value sources (they can pass either value).
+  bool inputs_as_sources = true;
+  /// Nodes pinned to constant logic values for this analysis.
+  std::unordered_map<NodeId, bool> fixed_values;
+};
+
+/// The logic value of a node if it is constant under `options`
+/// (rails and fixed nodes), nullopt otherwise.
+std::optional<bool> known_value(const Netlist& nl,
+                                const ExtractOptions& options, NodeId n);
+
+/// True if the device can conduct under some gate value (i.e. it is not
+/// permanently off given rails and fixed values).
+bool can_conduct(const Netlist& nl, const ExtractOptions& options,
+                 DeviceId d);
+bool can_conduct(const Netlist& nl, DeviceId d);
+
+/// True if the device conducts regardless of circuit activity
+/// (depletion devices, devices whose gate is pinned to the enabling
+/// value).
+bool always_on(const Netlist& nl, const ExtractOptions& options, DeviceId d);
+bool always_on(const Netlist& nl, DeviceId d);
+
+/// All stages that can drive `dest` to `dir`, including release stages
+/// through always-on loads.
+std::vector<TimingStage> stages_to(const Netlist& nl, NodeId dest,
+                                   Transition dir,
+                                   const ExtractOptions& options = {});
+
+/// All stages in the whole netlist (every non-rail, channel-connected
+/// node, both directions).
+std::vector<TimingStage> extract_all_stages(
+    const Netlist& nl, const ExtractOptions& options = {});
+
+/// Converts a TimingStage into the electrical Stage the delay models
+/// consume: per-device effective resistances for the output direction
+/// and per-node lumped capacitances from `tech`.
+/// For release stages the trigger element defaults to the source-side
+/// driver of the path (the load device).
+Stage make_stage(const Netlist& nl, const Tech& tech, const TimingStage& ts,
+                 Seconds input_slope);
+
+/// Human-readable one-line description, for reports.
+std::string describe(const Netlist& nl, const TimingStage& ts);
+
+}  // namespace sldm

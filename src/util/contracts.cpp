@@ -1,0 +1,14 @@
+#include "util/contracts.h"
+
+#include <sstream>
+
+namespace sldm::detail {
+
+void contract_failed(const char* kind, const char* expr, const char* file,
+                     int line) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace sldm::detail

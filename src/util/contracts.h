@@ -1,0 +1,51 @@
+// Contract checking for the sldm library.
+//
+// Following the C++ Core Guidelines (I.5/I.7), preconditions and
+// postconditions are stated explicitly at interfaces.  Violations indicate
+// programmer error and throw sldm::ContractViolation so that tests can
+// observe them; they are never used for recoverable, data-dependent errors
+// (those use sldm::Error from util/error.h).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sldm {
+
+/// Thrown when a precondition, postcondition, or internal invariant fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what_arg)
+      : std::logic_error(what_arg) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failed(const char* kind, const char* expr,
+                                  const char* file, int line);
+}  // namespace detail
+
+}  // namespace sldm
+
+/// Precondition: the caller must establish `cond` before the call.
+#define SLDM_EXPECTS(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::sldm::detail::contract_failed("precondition", #cond, __FILE__,     \
+                                      __LINE__);                           \
+  } while (false)
+
+/// Postcondition: the callee guarantees `cond` on normal return.
+#define SLDM_ENSURES(cond)                                                 \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::sldm::detail::contract_failed("postcondition", #cond, __FILE__,    \
+                                      __LINE__);                           \
+  } while (false)
+
+/// Internal invariant that must hold at this point in the implementation.
+#define SLDM_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::sldm::detail::contract_failed("invariant", #cond, __FILE__,        \
+                                      __LINE__);                           \
+  } while (false)

@@ -1,0 +1,44 @@
+// Recoverable, data-dependent errors for the sldm library.
+//
+// Per Core Guidelines I.10/E.14, failures to perform a requested task are
+// reported by throwing; sldm::Error is the library-wide base so callers can
+// catch everything from this library with one handler.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sldm {
+
+/// Base class for all recoverable sldm errors (bad input files, singular
+/// matrices, non-convergence, malformed netlists, ...).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// A syntactic or semantic problem in an input file (.sim netlist,
+/// technology file, calibration table).  Carries file/line context.
+class ParseError : public Error {
+ public:
+  ParseError(const std::string& file, int line, const std::string& message)
+      : Error(file + ":" + std::to_string(line) + ": " + message),
+        file_(file),
+        line_(line) {}
+
+  const std::string& file() const { return file_; }
+  int line() const { return line_; }
+
+ private:
+  std::string file_;
+  int line_;
+};
+
+/// Numerical failure in the analog simulator (singular system,
+/// Newton divergence, step-size underflow).
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace sldm

@@ -1,0 +1,81 @@
+#include "util/interp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/contracts.h"
+
+namespace sldm {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+  SLDM_EXPECTS(!xs_.empty());
+  SLDM_EXPECTS(xs_.size() == ys_.size());
+  SLDM_EXPECTS(std::is_sorted(xs_.begin(), xs_.end()));
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    SLDM_EXPECTS(xs_[i] > xs_[i - 1]);
+  }
+}
+
+double PiecewiseLinear::operator()(double x) const {
+  if (x <= xs_.front()) return ys_.front();
+  if (x >= xs_.back()) return ys_.back();
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const auto hi = static_cast<std::size_t>(it - xs_.begin());
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+  return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+double PiecewiseLinear::derivative(double x) const {
+  if (x < xs_.front() || x > xs_.back() || xs_.size() < 2) return 0.0;
+  auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  if (it == xs_.end()) --it;  // x == back(): use the last segment
+  auto hi = static_cast<std::size_t>(it - xs_.begin());
+  if (hi == 0) hi = 1;
+  const std::size_t lo = hi - 1;
+  return (ys_[hi] - ys_[lo]) / (xs_[hi] - xs_[lo]);
+}
+
+double PiecewiseLinear::max_abs_difference(const PiecewiseLinear& other,
+                                           std::size_t samples) const {
+  SLDM_EXPECTS(samples >= 2);
+  const double lo = std::min(x_min(), other.x_min());
+  const double hi = std::max(x_max(), other.x_max());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(samples - 1);
+    const double x = lo + t * (hi - lo);
+    worst = std::max(worst, std::abs((*this)(x) - other(x)));
+  }
+  return worst;
+}
+
+std::vector<double> log_spaced(double lo, double hi, std::size_t n) {
+  SLDM_EXPECTS(n >= 2);
+  SLDM_EXPECTS(lo > 0.0 && hi > lo);
+  std::vector<double> out(n);
+  const double llo = std::log(lo);
+  const double lhi = std::log(hi);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    out[i] = std::exp(llo + t * (lhi - llo));
+  }
+  // Pin the endpoints exactly despite rounding in exp/log.
+  out.front() = lo;
+  out.back() = hi;
+  return out;
+}
+
+std::vector<double> lin_spaced(double lo, double hi, std::size_t n) {
+  SLDM_EXPECTS(n >= 2);
+  SLDM_EXPECTS(hi > lo);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n - 1);
+    out[i] = lo + t * (hi - lo);
+  }
+  return out;
+}
+
+}  // namespace sldm

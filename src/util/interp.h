@@ -1,0 +1,57 @@
+// Piecewise-linear interpolation tables.
+//
+// The slope model (delay/slope_table.h) stores calibrated effective
+// resistance multipliers as piecewise-linear functions of slope ratio;
+// this is the underlying table type.  Values outside the abscissa range
+// are clamped to the end values, matching Crystal's table behavior.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sldm {
+
+/// A piecewise-linear function y(x) defined by sorted breakpoints.
+///
+/// Invariants: at least one point; x strictly increasing.
+class PiecewiseLinear {
+ public:
+  /// Builds a table from parallel breakpoint vectors.
+  /// Precondition: xs.size() == ys.size(), xs non-empty and strictly
+  /// increasing.
+  PiecewiseLinear(std::vector<double> xs, std::vector<double> ys);
+
+  /// Evaluates the function at `x`, clamping outside [front, back].
+  double operator()(double x) const;
+
+  /// First derivative at `x` (0 outside the abscissa range, and the
+  /// right-segment slope at interior breakpoints).
+  double derivative(double x) const;
+
+  std::size_t size() const { return xs_.size(); }
+  const std::vector<double>& xs() const { return xs_; }
+  const std::vector<double>& ys() const { return ys_; }
+
+  double x_min() const { return xs_.front(); }
+  double x_max() const { return xs_.back(); }
+
+  /// Maximum absolute difference from `other`, sampled at `samples`
+  /// uniformly spaced points over the union of the two domains.  Used by
+  /// the table-granularity ablation.
+  double max_abs_difference(const PiecewiseLinear& other,
+                            std::size_t samples = 257) const;
+
+ private:
+  std::vector<double> xs_;
+  std::vector<double> ys_;
+};
+
+/// Returns `n` points logarithmically spaced over [lo, hi].
+/// Precondition: n >= 2, 0 < lo < hi.
+std::vector<double> log_spaced(double lo, double hi, std::size_t n);
+
+/// Returns `n` points linearly spaced over [lo, hi].
+/// Precondition: n >= 2, lo < hi.
+std::vector<double> lin_spaced(double lo, double hi, std::size_t n);
+
+}  // namespace sldm

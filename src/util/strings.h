@@ -1,0 +1,36 @@
+// String utilities for the .sim / technology-file parsers and the report
+// writers.  Kept deliberately small; everything is std::string based.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sldm {
+
+/// Splits on any run of whitespace; no empty tokens are produced.
+std::vector<std::string> split_ws(std::string_view line);
+
+/// Splits on a single character delimiter; empty fields are preserved.
+std::vector<std::string> split(std::string_view line, char delim);
+
+/// Removes leading and trailing whitespace.
+std::string trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses a double; returns nullopt unless the whole token is consumed.
+std::optional<double> parse_double(std::string_view token);
+
+/// Parses a non-negative integer; returns nullopt on any deviation.
+std::optional<long> parse_long(std::string_view token);
+
+/// printf-style formatting into a std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace sldm

@@ -1,0 +1,63 @@
+#include "util/text_table.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/contracts.h"
+#include "util/strings.h"
+
+namespace sldm {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  SLDM_EXPECTS(!header_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  SLDM_EXPECTS(cells.size() == header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row_numeric(const std::string& label,
+                                const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) {
+    cells.push_back(format("%.*f", precision, v));
+  }
+  add_row(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) os << "  ";
+      os << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c != 0 ? 2 : 0);
+  }
+  for (std::size_t i = 0; i < total; ++i) os << '-';
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace sldm

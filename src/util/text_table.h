@@ -1,0 +1,35 @@
+// ASCII table rendering for paper-style result tables.
+//
+// Every bench binary prints the rows of the table/figure it reconstructs;
+// TextTable keeps the formatting in one place so the output of all
+// experiments lines up the same way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sldm {
+
+/// A simple column-aligned ASCII table with a header row.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each double with `precision` digits.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table with a separator under the header.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sldm

@@ -1,0 +1,75 @@
+// Tests for the RPH bounds-based delay model.
+#include <gtest/gtest.h>
+
+#include "delay/bounds.h"
+#include "delay/rctree.h"
+#include "rc/rc_tree.h"
+
+namespace sldm {
+namespace {
+
+Stage chain_stage(int n, Ohms r = 10e3, Farads c = 50e-15) {
+  Stage s;
+  s.output_dir = Transition::kFall;
+  for (int i = 0; i < n; ++i) {
+    s.elements.push_back(
+        {.type = TransistorType::kNEnhancement, .resistance = r, .cap = c});
+  }
+  return s;
+}
+
+TEST(BoundsModel, Names) {
+  EXPECT_EQ(RphBoundsModel(RphBoundsModel::Mode::kUpper).name(), "rph-upper");
+  EXPECT_EQ(RphBoundsModel(RphBoundsModel::Mode::kLower).name(), "rph-lower");
+}
+
+TEST(BoundsModel, BracketsTheElmoreEstimate) {
+  const RphBoundsModel upper(RphBoundsModel::Mode::kUpper);
+  const RphBoundsModel lower(RphBoundsModel::Mode::kLower);
+  const RcTreeModel point;
+  for (int n : {1, 2, 4, 8}) {
+    const Stage s = chain_stage(n);
+    EXPECT_LE(lower.estimate(s).delay, point.estimate(s).delay) << n;
+    EXPECT_GE(upper.estimate(s).delay, point.estimate(s).delay) << n;
+  }
+}
+
+TEST(BoundsModel, SingleSectionClassicValues) {
+  // One RC section, T_D = T_P = RC: lower(0.5) = RC/2, upper(0.5) = 2RC.
+  const Stage s = chain_stage(1, 10e3, 100e-15);
+  const Seconds rc = 10e3 * 100e-15;
+  EXPECT_NEAR(RphBoundsModel(RphBoundsModel::Mode::kLower).estimate(s).delay,
+              0.5 * rc, 1e-15);
+  EXPECT_NEAR(RphBoundsModel(RphBoundsModel::Mode::kUpper).estimate(s).delay,
+              2.0 * rc, 1e-15);
+}
+
+TEST(BoundsModel, OutputSlopesArePositive) {
+  for (const auto mode :
+       {RphBoundsModel::Mode::kUpper, RphBoundsModel::Mode::kLower}) {
+    const RphBoundsModel m(mode);
+    for (int n : {1, 3, 6}) {
+      EXPECT_GT(m.estimate(chain_stage(n)).output_slope, 0.0);
+    }
+  }
+}
+
+TEST(BoundsModel, UpperScalesLinearlyWithRc) {
+  const RphBoundsModel upper(RphBoundsModel::Mode::kUpper);
+  const Stage a = chain_stage(3, 10e3, 50e-15);
+  const Stage b = chain_stage(3, 20e3, 50e-15);
+  EXPECT_NEAR(upper.estimate(b).delay, 2.0 * upper.estimate(a).delay, 1e-15);
+}
+
+TEST(BoundsModel, UsableInsideTheAnalyzerConservatively) {
+  // As a DelayModel, the upper-bound model must produce arrivals no
+  // earlier than the point-estimate model on the same circuit.
+  // (Checked at the interface level here; integration covers circuits.)
+  const RphBoundsModel upper(RphBoundsModel::Mode::kUpper);
+  const RcTreeModel point;
+  const Stage s = chain_stage(5);
+  EXPECT_GT(upper.estimate(s).delay / point.estimate(s).delay, 1.0);
+}
+
+}  // namespace
+}  // namespace sldm

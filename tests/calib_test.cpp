@@ -1,0 +1,106 @@
+// Tests for the calibration pipeline.  These run real transient
+// simulations, so the grids are kept small.
+#include <gtest/gtest.h>
+
+#include "calib/calibrate.h"
+#include "delay/slope.h"
+#include "tech/tech.h"
+#include "util/contracts.h"
+
+namespace sldm {
+namespace {
+
+CalibrationOptions fast_options() {
+  CalibrationOptions o;
+  o.ratios = {0.1, 1.0, 8.0};
+  return o;
+}
+
+class CalibrateStyle : public ::testing::TestWithParam<Style> {
+ protected:
+  static const CalibrationResult& result(Style style) {
+    static CalibrationResult nmos_result =
+        calibrate(nmos4(), Style::kNmos, fast_options());
+    static CalibrationResult cmos_result =
+        calibrate(cmos3(), Style::kCmos, fast_options());
+    return style == Style::kNmos ? nmos_result : cmos_result;
+  }
+};
+
+TEST_P(CalibrateStyle, ProducesThreeCurves) {
+  const CalibrationResult& r = result(GetParam());
+  EXPECT_EQ(r.curves.size(), 3u);
+  for (const auto& curve : r.curves) {
+    EXPECT_EQ(curve.points.size(), 3u);
+  }
+}
+
+TEST_P(CalibrateStyle, StepMultiplierNearUnity) {
+  // After resistance calibration, the fast-input delay multiplier must
+  // be close to 1 by construction.
+  const CalibrationResult& r = result(GetParam());
+  for (const auto& curve : r.curves) {
+    EXPECT_NEAR(curve.points.front().delay_mult, 1.0, 0.25)
+        << to_letter(curve.type) << ' ' << to_string(curve.dir);
+  }
+}
+
+TEST_P(CalibrateStyle, SlowInputsStretchDelay) {
+  // The heart of the slope model: rho >> 1 must give a visibly larger
+  // multiplier than rho << 1.
+  const CalibrationResult& r = result(GetParam());
+  for (const auto& curve : r.curves) {
+    EXPECT_GT(curve.points.back().delay_mult,
+              1.2 * curve.points.front().delay_mult)
+        << to_letter(curve.type) << ' ' << to_string(curve.dir);
+  }
+}
+
+TEST_P(CalibrateStyle, ResistancesStayPositiveAndFinite) {
+  const CalibrationResult& r = result(GetParam());
+  for (const auto& curve : r.curves) {
+    const Ohms rsq = r.tech.resistance_sq(curve.type, curve.dir);
+    EXPECT_GT(rsq, 100.0);
+    EXPECT_LT(rsq, 1e7);
+  }
+}
+
+TEST_P(CalibrateStyle, TablesCoverEveryCombination) {
+  // Uncalibrated combinations fall back to unit tables, so the slope
+  // model can always evaluate.
+  const CalibrationResult& r = result(GetParam());
+  for (TransistorType type :
+       {TransistorType::kNEnhancement, TransistorType::kNDepletion,
+        TransistorType::kPEnhancement}) {
+    for (Transition dir : {Transition::kRise, Transition::kFall}) {
+      EXPECT_TRUE(r.tables.has(type, dir));
+    }
+  }
+}
+
+TEST_P(CalibrateStyle, TablesMatchCurves) {
+  const CalibrationResult& r = result(GetParam());
+  for (const auto& curve : r.curves) {
+    const SlopeEntry& e = r.tables.entry(curve.type, curve.dir);
+    for (const auto& p : curve.points) {
+      EXPECT_NEAR(e.delay_mult(p.rho), p.delay_mult, 1e-9);
+      EXPECT_NEAR(e.slope_mult(p.rho), p.slope_mult, 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, CalibrateStyle,
+                         ::testing::Values(Style::kNmos, Style::kCmos));
+
+TEST(Calibrate, RejectsBadOptions) {
+  CalibrationOptions o;
+  o.ratios = {};
+  EXPECT_THROW(calibrate(nmos4(), Style::kNmos, o), ContractViolation);
+  o.ratios = {2.0, 1.0};
+  EXPECT_THROW(calibrate(nmos4(), Style::kNmos, o), ContractViolation);
+  o.ratios = {-1.0, 1.0};
+  EXPECT_THROW(calibrate(nmos4(), Style::kNmos, o), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sldm

@@ -1,0 +1,204 @@
+// Tests for the analog circuit representation: PWL sources, element
+// preconditions, and the level-1 MOSFET evaluation (regions, symmetry,
+// p-type mirroring, and a finite-difference check of the Jacobian).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "analog/circuit.h"
+#include "tech/tech.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace sldm {
+namespace {
+
+using namespace units;
+
+// --- PwlSource -----------------------------------------------------------
+
+TEST(PwlSource, DcIsConstant) {
+  const PwlSource s = PwlSource::dc(3.3);
+  EXPECT_DOUBLE_EQ(s.at(0.0), 3.3);
+  EXPECT_DOUBLE_EQ(s.at(1.0), 3.3);
+}
+
+TEST(PwlSource, EdgeRampsLinearly) {
+  const PwlSource s = PwlSource::edge(0.0, 5.0, 1e-9, 2e-9);
+  EXPECT_DOUBLE_EQ(s.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.at(1e-9), 0.0);
+  EXPECT_NEAR(s.at(2e-9), 2.5, 1e-12);
+  EXPECT_DOUBLE_EQ(s.at(3e-9), 5.0);
+  EXPECT_DOUBLE_EQ(s.at(1.0), 5.0);
+}
+
+TEST(PwlSource, EdgeRequiresPositiveRamp) {
+  EXPECT_THROW(PwlSource::edge(0.0, 5.0, 1e-9, 0.0), ContractViolation);
+}
+
+TEST(PwlSource, PointsClampOutside) {
+  const PwlSource s =
+      PwlSource::points({{1e-9, 1.0}, {2e-9, 3.0}, {4e-9, 0.0}});
+  EXPECT_DOUBLE_EQ(s.at(0.0), 1.0);
+  EXPECT_NEAR(s.at(1.5e-9), 2.0, 1e-12);
+  EXPECT_NEAR(s.at(3e-9), 1.5, 1e-12);
+  EXPECT_DOUBLE_EQ(s.at(9e-9), 0.0);
+  EXPECT_EQ(s.breakpoints().size(), 3u);
+}
+
+TEST(PwlSource, PointsMustIncrease) {
+  EXPECT_THROW(PwlSource::points({{1e-9, 1.0}, {1e-9, 2.0}}),
+               ContractViolation);
+  EXPECT_THROW(PwlSource::points({}), ContractViolation);
+}
+
+// --- Circuit element preconditions ----------------------------------------
+
+TEST(Circuit, GroundIsNodeZero) {
+  Circuit c;
+  EXPECT_EQ(c.node_count(), 1u);
+  EXPECT_EQ(c.node_name(kGround), "0");
+  const AnalogNode n = c.add_node("x");
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(c.node_name(n), "x");
+}
+
+TEST(Circuit, ElementValidation) {
+  Circuit c;
+  const AnalogNode a = c.add_node();
+  EXPECT_THROW(c.add_resistor(a, a, 1e3), ContractViolation);
+  EXPECT_THROW(c.add_resistor(a, kGround, 0.0), ContractViolation);
+  EXPECT_THROW(c.add_capacitor(a, kGround, -1e-15), ContractViolation);
+  EXPECT_THROW(c.add_resistor(a, 99, 1e3), ContractViolation);
+  c.add_resistor(a, kGround, 1e3);
+  c.add_capacitor(a, kGround, 1e-15);
+  c.add_vsource(a, kGround, PwlSource::dc(1.0));
+  EXPECT_EQ(c.resistors().size(), 1u);
+  EXPECT_EQ(c.capacitors().size(), 1u);
+  EXPECT_EQ(c.vsources().size(), 1u);
+}
+
+// --- Level-1 MOSFET -------------------------------------------------------
+
+Mosfet nmos_unit() {
+  Mosfet m;
+  m.params = nmos4().params(TransistorType::kNEnhancement);
+  m.params.lambda = 0.0;  // keep region formulas exact for the tests
+  m.is_p = false;
+  m.width = 8 * um;
+  m.length = 4 * um;
+  return m;
+}
+
+Mosfet pmos_unit() {
+  Mosfet m;
+  m.params = cmos3().params(TransistorType::kPEnhancement);
+  m.params.lambda = 0.0;
+  m.is_p = true;
+  m.width = 12 * um;
+  m.length = 3 * um;
+  return m;
+}
+
+TEST(Mosfet, CutoffBelowThreshold) {
+  const Mosfet m = nmos_unit();
+  const MosfetOp op = eval_mosfet(m, /*vd=*/5.0, /*vg=*/0.5, /*vs=*/0.0);
+  EXPECT_DOUBLE_EQ(op.id, 0.0);
+  EXPECT_DOUBLE_EQ(op.d_vg, 0.0);
+}
+
+TEST(Mosfet, SaturationCurrentMatchesFormula) {
+  const Mosfet m = nmos_unit();
+  const double vgs = 5.0;
+  const double vov = vgs - m.params.vt;
+  const MosfetOp op = eval_mosfet(m, /*vd=*/5.0, vgs, 0.0);
+  const double beta = m.params.kp * (m.width / m.length);
+  EXPECT_NEAR(op.id, 0.5 * beta * vov * vov, 1e-9);
+  EXPECT_NEAR(op.d_vg, beta * vov, 1e-9);
+  EXPECT_NEAR(op.d_vd, 0.0, 1e-12);  // lambda = 0
+}
+
+TEST(Mosfet, TriodeCurrentMatchesFormula) {
+  const Mosfet m = nmos_unit();
+  const double vgs = 5.0;
+  const double vds = 1.0;  // < vov = 4
+  const MosfetOp op = eval_mosfet(m, vds, vgs, 0.0);
+  const double beta = m.params.kp * (m.width / m.length);
+  const double vov = vgs - m.params.vt;
+  EXPECT_NEAR(op.id, beta * (vov * vds - 0.5 * vds * vds), 1e-9);
+}
+
+TEST(Mosfet, SourceDrainSymmetry) {
+  // Swapping drain and source voltages negates the current.
+  const Mosfet m = nmos_unit();
+  const MosfetOp fwd = eval_mosfet(m, 2.0, 5.0, 1.0);
+  const MosfetOp rev = eval_mosfet(m, 1.0, 5.0, 2.0);
+  EXPECT_NEAR(fwd.id, -rev.id, 1e-12);
+  EXPECT_GT(fwd.id, 0.0);
+}
+
+TEST(Mosfet, DepletionConductsAtZeroVgs) {
+  Mosfet m = nmos_unit();
+  m.params = nmos4().params(TransistorType::kNDepletion);
+  const MosfetOp op = eval_mosfet(m, 5.0, 0.0, 0.0);  // gate at source
+  EXPECT_GT(op.id, 0.0);
+}
+
+TEST(Mosfet, PmosMirrorsNmos) {
+  const Mosfet p = pmos_unit();
+  // Source at 5 V, gate low: conducts, current flows INTO the drain
+  // node (negative by our leaving-the-drain sign convention).
+  const MosfetOp on = eval_mosfet(p, /*vd=*/0.0, /*vg=*/0.0, /*vs=*/5.0);
+  EXPECT_LT(on.id, 0.0);
+  // Gate at source: off.
+  const MosfetOp off = eval_mosfet(p, 0.0, 5.0, 5.0);
+  EXPECT_DOUBLE_EQ(off.id, 0.0);
+}
+
+TEST(Mosfet, RequiresPositiveGeometry) {
+  Mosfet m = nmos_unit();
+  m.width = 0.0;
+  EXPECT_THROW(eval_mosfet(m, 1.0, 1.0, 0.0), ContractViolation);
+}
+
+// Property: analytic Jacobian matches finite differences over random
+// operating points, for both polarities and with channel-length
+// modulation enabled.
+class MosfetJacobianProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MosfetJacobianProperty, MatchesFiniteDifference) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729u + 7u);
+  std::uniform_real_distribution<double> volt(-1.0, 6.0);
+  std::bernoulli_distribution coin(0.5);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    Mosfet m = coin(rng) ? nmos_unit() : pmos_unit();
+    m.params.lambda = 0.02;
+    const double vd = volt(rng);
+    const double vg = volt(rng);
+    const double vs = volt(rng);
+    const MosfetOp op = eval_mosfet(m, vd, vg, vs);
+    const double h = 1e-7;
+    const double fd_vd =
+        (eval_mosfet(m, vd + h, vg, vs).id - eval_mosfet(m, vd - h, vg, vs).id) /
+        (2 * h);
+    const double fd_vg =
+        (eval_mosfet(m, vd, vg + h, vs).id - eval_mosfet(m, vd, vg - h, vs).id) /
+        (2 * h);
+    const double fd_vs =
+        (eval_mosfet(m, vd, vg, vs + h).id - eval_mosfet(m, vd, vg, vs - h).id) /
+        (2 * h);
+    const double scale = std::max(1e-6, std::abs(op.id));
+    EXPECT_NEAR(op.d_vd, fd_vd, 1e-3 * scale + 1e-9)
+        << "vd=" << vd << " vg=" << vg << " vs=" << vs << " p=" << m.is_p;
+    EXPECT_NEAR(op.d_vg, fd_vg, 1e-3 * scale + 1e-9);
+    EXPECT_NEAR(op.d_vs, fd_vs, 1e-3 * scale + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MosfetJacobianProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace sldm

@@ -1,0 +1,212 @@
+// Tests for the `sldm` command-line tool, driven in-process.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.h"
+
+namespace sldm {
+namespace {
+
+/// A scratch file deleted at scope exit.
+class TempFile {
+ public:
+  TempFile(const std::string& name, const std::string& contents)
+      : path_("/tmp/sldm_cli_test_" + name) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+constexpr const char* kInverterSim =
+    "e in gnd out 4 8\n"
+    "d out out vdd 8 4\n"
+    "@in in\n"
+    "@out out\n";
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun run(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, NoArgsIsUsageError) {
+  const CliRun r = run({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandIsUsageError) {
+  const CliRun r = run({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, OptionWithoutValueIsUsageError) {
+  const CliRun r = run({"time", "x.sim", "--model"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("needs a value"), std::string::npos);
+}
+
+TEST(Cli, CheckCleanNetlist) {
+  TempFile f("inv.sim", kInverterSim);
+  const CliRun r = run({"check", f.path()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("ok"), std::string::npos);
+}
+
+TEST(Cli, CheckBrokenNetlistFails) {
+  // No rails at all.
+  TempFile f("broken.sim", "e a b c 4 8\n@in a\n");
+  const CliRun r = run({"check", f.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("errors found"), std::string::npos);
+}
+
+TEST(Cli, CheckMissingFileIsAnalysisError) {
+  const CliRun r = run({"check", "/nonexistent/x.sim"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, StatsPrintsCensus) {
+  TempFile f("inv.sim", kInverterSim);
+  const CliRun r = run({"stats", f.path()});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("devices: 2"), std::string::npos);
+}
+
+TEST(Cli, TimeWithRcTreeModel) {
+  TempFile f("inv.sim", kInverterSim);
+  const CliRun r = run({"time", f.path(), "--model", "rc-tree"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("model: rc-tree"), std::string::npos);
+  EXPECT_NE(r.out.find("out"), std::string::npos);
+}
+
+TEST(Cli, TimeWithUnknownModelFails) {
+  TempFile f("inv.sim", kInverterSim);
+  const CliRun r = run({"time", f.path(), "--model", "psychic"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST(Cli, TimeWithConstraintsAndSlack) {
+  TempFile f("inv.sim", kInverterSim);
+  TempFile ct("ok.ct", "input in both at 0 slope 1\nrequire 50\n");
+  const CliRun r = run({"time", f.path(), "--model", "rc-tree",
+                        "--constraints", ct.path()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("slack"), std::string::npos);
+}
+
+TEST(Cli, TimeViolatedBudgetReturnsNonzero) {
+  TempFile f("inv.sim", kInverterSim);
+  TempFile ct("tight.ct", "input in both at 0 slope 1\nrequire 0.0001\n");
+  const CliRun r = run({"time", f.path(), "--model", "rc-tree",
+                        "--constraints", ct.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("VIOLATION"), std::string::npos);
+}
+
+TEST(Cli, TimeWithWorstPaths) {
+  TempFile f("inv.sim", kInverterSim);
+  const CliRun r = run(
+      {"time", f.path(), "--model", "rc-tree", "--paths", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("worst path"), std::string::npos);
+  EXPECT_NE(r.out.find("<- input"), std::string::npos);
+}
+
+TEST(Cli, ChargeshareReportsDynamicNodes) {
+  TempFile f("dyn.sim",
+             "e sel bit big 4 8\n"
+             "c big 500\n"
+             "c bit 10\n"
+             "e clk gnd vdd 4 8\n"  // rails present via names
+             "@in sel clk\n"
+             "@precharged bit\n");
+  const CliRun r = run({"chargeshare", f.path()});
+  EXPECT_EQ(r.code, 1) << "sharing onto 500 fF must fail the threshold";
+  EXPECT_NE(r.out.find("FAILS"), std::string::npos);
+}
+
+TEST(Cli, ChargeshareNoDynamicNodes) {
+  TempFile f("inv.sim", kInverterSim);
+  const CliRun r = run({"chargeshare", f.path()});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("no precharged nodes"), std::string::npos);
+}
+
+TEST(Cli, SimWritesCsv) {
+  TempFile f("inv.sim", kInverterSim);
+  const std::string csv = "/tmp/sldm_cli_test_waves.csv";
+  const CliRun r = run({"sim", f.path(), "--tstop-ns", "20", "--csv", csv});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("settles at"), std::string::npos);
+  std::ifstream in(csv);
+  ASSERT_TRUE(in.good());
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("time_ns"), std::string::npos);
+  EXPECT_NE(header.find("out"), std::string::npos);
+  std::remove(csv.c_str());
+}
+
+TEST(Cli, CalibrateWritesFiles) {
+  const CliRun r =
+      run({"calibrate", "nmos", "--out", "/tmp/sldm_cli_test_cal"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream tech("/tmp/sldm_cli_test_cal.tech");
+  std::ifstream tables("/tmp/sldm_cli_test_cal.slopes");
+  EXPECT_TRUE(tech.good());
+  EXPECT_TRUE(tables.good());
+  std::remove("/tmp/sldm_cli_test_cal.tech");
+  std::remove("/tmp/sldm_cli_test_cal.slopes");
+}
+
+TEST(Cli, SampleDatapathEndToEnd) {
+  // The shipped sample design must check clean, meet its shipped
+  // constraints, and pass the charge-sharing audit.
+  const std::string sim =
+      std::string(SLDM_SOURCE_DIR) + "/testdata/sample_datapath.sim";
+  const std::string ct =
+      std::string(SLDM_SOURCE_DIR) + "/testdata/sample_datapath.ct";
+  {
+    const CliRun r = run({"check", sim});
+    EXPECT_EQ(r.code, 0) << r.out << r.err;
+  }
+  {
+    const CliRun r =
+        run({"time", sim, "--model", "rc-tree", "--constraints", ct,
+             "--paths", "2"});
+    EXPECT_EQ(r.code, 0) << r.out << r.err;
+    EXPECT_NE(r.out.find("slack"), std::string::npos);
+    EXPECT_EQ(r.out.find("VIOLATION"), std::string::npos) << r.out;
+  }
+  {
+    const CliRun r = run({"chargeshare", sim});
+    EXPECT_EQ(r.code, 0) << r.out << r.err;
+    EXPECT_NE(r.out.find("res"), std::string::npos);
+  }
+}
+
+TEST(Cli, CalibrateUsage) {
+  EXPECT_EQ(run({"calibrate", "bipolar", "--out", "/tmp/x"}).code, 2);
+  EXPECT_EQ(run({"calibrate", "nmos"}).code, 2);
+}
+
+}  // namespace
+}  // namespace sldm

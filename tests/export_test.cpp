@@ -1,0 +1,136 @@
+// Tests for waveform CSV export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "analog/export.h"
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sldm {
+namespace {
+
+Waveform make_ramp(Seconds t0, Seconds t1, Volts v0, Volts v1) {
+  Waveform w;
+  w.append(t0, v0);
+  w.append(t1, v1);
+  return w;
+}
+
+TEST(Export, HeaderAndRowShape) {
+  const Waveform a = make_ramp(0.0, 1e-9, 0.0, 1.0);
+  const Waveform b = make_ramp(0.0, 1e-9, 5.0, 0.0);
+  std::ostringstream os;
+  write_waveforms_csv({{"a", &a}, {"b", &b}}, os);
+  const auto lines = split(trim(os.str()), '\n');
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "time_ns,a,b");
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    EXPECT_EQ(split(lines[i], ',').size(), 3u) << lines[i];
+  }
+}
+
+TEST(Export, UnionOfSampleTimes) {
+  // a sampled at {0,2}, b at {0,1,2}: rows at 0, 1, 2 ns.
+  Waveform a = make_ramp(0.0, 2e-9, 0.0, 2.0);
+  Waveform b;
+  b.append(0.0, 0.0);
+  b.append(1e-9, 1.0);
+  b.append(2e-9, 0.0);
+  std::ostringstream os;
+  write_waveforms_csv({{"a", &a}, {"b", &b}}, os);
+  const auto lines = split(trim(os.str()), '\n');
+  ASSERT_EQ(lines.size(), 4u);
+  // a is interpolated at 1 ns: 1.0.
+  const auto row1 = split(lines[2], ',');
+  EXPECT_EQ(row1[0], "1.000000");
+  EXPECT_EQ(row1[1], "1.000000");
+  EXPECT_EQ(row1[2], "1.000000");
+}
+
+TEST(Export, PreconditionsEnforced) {
+  std::ostringstream os;
+  EXPECT_THROW(write_waveforms_csv({}, os), ContractViolation);
+  const Waveform empty;
+  EXPECT_THROW(write_waveforms_csv({{"x", &empty}}, os), ContractViolation);
+  EXPECT_THROW(write_waveforms_csv({{"x", nullptr}}, os), ContractViolation);
+}
+
+TEST(Export, TransientConvenienceChecksShapes) {
+  TransientResult result;
+  result.waveforms.resize(2);
+  result.waveforms[0].append(0.0, 0.0);
+  result.waveforms[1].append(0.0, 1.0);
+  std::ostringstream os;
+  write_transient_csv(result, {0, 1}, {"gnd", "x"}, os);
+  EXPECT_NE(os.str().find("time_ns,gnd,x"), std::string::npos);
+  EXPECT_THROW(write_transient_csv(result, {0}, {"a", "b"}, os),
+               ContractViolation);
+  EXPECT_THROW(write_transient_csv(result, {5}, {"a"}, os),
+               ContractViolation);
+  EXPECT_THROW(write_transient_csv(result, {}, {}, os), ContractViolation);
+}
+
+TEST(ExportVcd, HeaderDeclaresSignals) {
+  const Waveform a = make_ramp(0.0, 1e-9, 0.0, 5.0);
+  std::ostringstream os;
+  write_waveforms_vcd({{"clk", &a}}, 5.0, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(s.find("$var wire 1 ! clk $end"), std::string::npos);
+  EXPECT_NE(s.find("$enddefinitions $end"), std::string::npos);
+}
+
+TEST(ExportVcd, DigitizesWithThresholds) {
+  // 0 V -> '0', 5 V -> '1', and the midpoint region -> 'x'.
+  Waveform a;
+  a.append(0.0, 0.0);
+  a.append(1e-9, 2.5);
+  a.append(2e-9, 5.0);
+  std::ostringstream os;
+  write_waveforms_vcd({{"n", &a}}, 5.0, os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("0!"), std::string::npos);
+  EXPECT_NE(s.find("x!"), std::string::npos);
+  EXPECT_NE(s.find("1!"), std::string::npos);
+  // Change at 1 ns = timestamp #1000 (1 ps units).
+  EXPECT_NE(s.find("#1000"), std::string::npos);
+}
+
+TEST(ExportVcd, OnlyChangesAreDumped) {
+  // A constant-high waveform dumps exactly one value change.
+  Waveform a;
+  a.append(0.0, 5.0);
+  a.append(1e-9, 5.0);
+  a.append(2e-9, 5.0);
+  std::ostringstream os;
+  write_waveforms_vcd({{"vdd", &a}}, 5.0, os);
+  const std::string s = os.str();
+  std::size_t count = 0;
+  for (std::size_t pos = s.find("1!"); pos != std::string::npos;
+       pos = s.find("1!", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(ExportVcd, Preconditions) {
+  const Waveform a = make_ramp(0.0, 1e-9, 0.0, 5.0);
+  std::ostringstream os;
+  EXPECT_THROW(write_waveforms_vcd({}, 5.0, os), ContractViolation);
+  EXPECT_THROW(write_waveforms_vcd({{"a", &a}}, 0.0, os), ContractViolation);
+  EXPECT_THROW(write_waveforms_vcd_file({{"a", &a}}, 5.0,
+                                        "/nonexistent/dir/x.vcd"),
+               Error);
+}
+
+TEST(Export, FileErrorsSurface) {
+  const Waveform a = make_ramp(0.0, 1e-9, 0.0, 1.0);
+  EXPECT_THROW(
+      write_waveforms_csv_file({{"a", &a}}, "/nonexistent/dir/x.csv"),
+      Error);
+}
+
+}  // namespace
+}  // namespace sldm

@@ -1,0 +1,189 @@
+// Tests for the false-path controls: transistor flow attributes and
+// fixed node values.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "delay/rctree.h"
+#include "gen/generators.h"
+#include "netlist/sim_io.h"
+#include "tech/tech.h"
+#include "timing/analyzer.h"
+#include "util/contracts.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sldm {
+namespace {
+
+using namespace units;
+
+TEST(Flow, DefaultsToBidirectional) {
+  Netlist nl;
+  const NodeId g = nl.add_node("g");
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  const DeviceId d = nl.add_transistor(TransistorType::kNEnhancement, g, a,
+                                       b, 8 * um, 4 * um);
+  EXPECT_EQ(nl.device(d).flow, Flow::kBidirectional);
+  EXPECT_TRUE(nl.device(d).flow_allows_from(a));
+  EXPECT_TRUE(nl.device(d).flow_allows_from(b));
+}
+
+TEST(Flow, DirectionalPredicates) {
+  Netlist nl;
+  const NodeId g = nl.add_node("g");
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  const DeviceId d =
+      nl.add_transistor(TransistorType::kNEnhancement, g, a, b, 8 * um,
+                        4 * um, Flow::kSourceToDrain);
+  EXPECT_TRUE(nl.device(d).flow_allows_from(a));   // a is the source
+  EXPECT_FALSE(nl.device(d).flow_allows_from(b));
+  nl.set_flow(d, Flow::kDrainToSource);
+  EXPECT_FALSE(nl.device(d).flow_allows_from(a));
+  EXPECT_TRUE(nl.device(d).flow_allows_from(b));
+  EXPECT_THROW(nl.device(d).flow_allows_from(g), ContractViolation);
+}
+
+TEST(Flow, SimFileRoundTrip) {
+  Netlist nl;
+  nl.mark_power("vdd");
+  nl.mark_ground("gnd");
+  const NodeId g = nl.mark_input("g");
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  nl.add_transistor(TransistorType::kNEnhancement, g, a, b, 8 * um, 4 * um,
+                    Flow::kSourceToDrain);
+  nl.add_transistor(TransistorType::kNEnhancement, g, b, a, 8 * um, 4 * um,
+                    Flow::kDrainToSource);
+  const Netlist rt = reparse(nl);
+  EXPECT_EQ(rt.device(DeviceId(0)).flow, Flow::kSourceToDrain);
+  EXPECT_EQ(rt.device(DeviceId(1)).flow, Flow::kDrainToSource);
+}
+
+TEST(Flow, SimParserRejectsUnknownAttribute) {
+  std::istringstream in("e g a b 4 8 flow=up\n");
+  EXPECT_THROW(read_sim(in, "<t>"), ParseError);
+}
+
+TEST(Flow, PrunesBackwardPathsThroughPassNetwork) {
+  // Two pass transistors share node mid:  src1 -> mid <- src2.  Without
+  // flow attributes a (false) path src1 -> mid -> src2's driver exists
+  // for the far node; with both annotated toward mid, only the forward
+  // stages remain.
+  CircuitBuilder b(Style::kNmos);
+  const NodeId in1 = b.input("in1");
+  const NodeId in2 = b.input("in2");
+  const NodeId sel = b.input("sel");
+  const NodeId d1 = b.inverter(in1, "d1");
+  const NodeId d2 = b.inverter(in2, "d2");
+  const NodeId mid = b.node("mid");
+  const DeviceId p1 = b.pass(d1, mid, sel);
+  const DeviceId p2 = b.pass(d2, mid, sel);
+  b.inverter(mid, "obs");
+  Netlist& nl = b.netlist();
+
+  // Unannotated: d1's fall stages include a path from d2's pull-down
+  // through BOTH passes (backward through p2).
+  const auto before = stages_to(nl, d1, Transition::kFall);
+  bool backward_found = false;
+  for (const auto& s : before) {
+    if (s.path.size() > 1) backward_found = true;
+  }
+  EXPECT_TRUE(backward_found);
+
+  // Annotate: signal flows d1->mid and d2->mid only.
+  nl.set_flow(p1, Flow::kSourceToDrain);
+  nl.set_flow(p2, Flow::kSourceToDrain);
+  const auto after = stages_to(nl, d1, Transition::kFall);
+  for (const auto& s : after) {
+    EXPECT_EQ(s.path.size(), 1u)
+        << "only d1's own pull-down may drive it now";
+  }
+  // mid itself is still reachable through both forward passes.
+  EXPECT_FALSE(stages_to(nl, mid, Transition::kFall).empty());
+}
+
+TEST(FixedValues, PinnedGateDisablesDevice) {
+  const GeneratedCircuit g = pass_chain(Style::kNmos, 2);
+  const NodeId sel = g.high_inputs[0];
+  const NodeId p2 = *g.netlist.find_node("p2");
+
+  ExtractOptions off;
+  off.fixed_values[sel] = false;  // selects held low: chain is cut
+  EXPECT_TRUE(stages_to(g.netlist, p2, Transition::kFall, off).empty());
+
+  ExtractOptions on;
+  on.fixed_values[sel] = true;  // selects pinned high: path exists but
+  // the passes are constant-on, so only the driver triggers.
+  const auto stages = stages_to(g.netlist, p2, Transition::kFall, on);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(g.netlist.device(stages[0].trigger).gate, g.input);
+}
+
+TEST(FixedValues, PinnedNodeActsAsValueSource) {
+  // Pin an internal node high: it should source rise-direction paths
+  // like a rail.
+  CircuitBuilder b(Style::kNmos);
+  const NodeId sel = b.input("sel");
+  const NodeId a = b.node("a");
+  const NodeId out = b.node("out");
+  b.pass(a, out, sel);
+  b.inverter(out, "obs");
+  Netlist& nl = b.netlist();
+
+  ExtractOptions opts;
+  opts.fixed_values[nl.find_node("a").value()] = true;
+  const auto stages = stages_to(nl, out, Transition::kRise, opts);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].source, *nl.find_node("a"));
+  EXPECT_EQ(nl.device(stages[0].trigger).gate, sel);
+}
+
+TEST(FixedValues, PinnedNodeIsNotADestination) {
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 2, 1);
+  const NodeId s1 = *g.netlist.find_node("s1");
+  ExtractOptions opts;
+  opts.fixed_values[s1] = false;
+  EXPECT_TRUE(stages_to(g.netlist, s1, Transition::kFall, opts).empty());
+  // And s2's pull-down (gated by s1) is now permanently off: no fall.
+  const NodeId s2 = *g.netlist.find_node("s2");
+  EXPECT_TRUE(stages_to(g.netlist, s2, Transition::kFall, opts).empty());
+  // While its rise through the load no longer has a release trigger.
+  EXPECT_TRUE(stages_to(g.netlist, s2, Transition::kRise, opts).empty());
+}
+
+TEST(FixedValues, AnalyzerRespectsPins) {
+  const Tech tech = nmos4();
+  const RcTreeModel model;
+  const GeneratedCircuit g = pass_chain(Style::kNmos, 3);
+  AnalyzerOptions opts;
+  opts.extract.fixed_values[g.high_inputs[0]] = true;  // sel pinned high
+  TimingAnalyzer an(g.netlist, tech, model, opts);
+  an.add_input_event(g.input, Transition::kRise, 0.0, 1e-9);
+  an.run();
+  EXPECT_TRUE(an.arrival(g.output, Transition::kRise).has_value());
+}
+
+TEST(FixedValues, ConductionPredicatesHonorPins) {
+  const GeneratedCircuit g = pass_chain(Style::kNmos, 1);
+  const NodeId sel = g.high_inputs[0];
+  DeviceId pass = DeviceId::invalid();
+  for (DeviceId d : g.netlist.device_ids()) {
+    if (g.netlist.device(d).gate == sel) pass = d;
+  }
+  ASSERT_TRUE(pass.valid());
+  ExtractOptions low;
+  low.fixed_values[sel] = false;
+  ExtractOptions high;
+  high.fixed_values[sel] = true;
+  EXPECT_FALSE(can_conduct(g.netlist, low, pass));
+  EXPECT_TRUE(can_conduct(g.netlist, high, pass));
+  EXPECT_TRUE(always_on(g.netlist, high, pass));
+  EXPECT_FALSE(always_on(g.netlist, low, pass));
+  EXPECT_TRUE(can_conduct(g.netlist, pass)) << "unpinned default";
+}
+
+}  // namespace
+}  // namespace sldm

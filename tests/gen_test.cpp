@@ -1,0 +1,157 @@
+// Tests for the benchmark generators: structural validity (checker-clean
+// netlists), expected device counts, and harness metadata.
+#include <gtest/gtest.h>
+
+#include "gen/generators.h"
+#include "netlist/checks.h"
+#include "util/contracts.h"
+
+namespace sldm {
+namespace {
+
+void expect_clean(const GeneratedCircuit& g) {
+  const auto ds = check(g.netlist);
+  EXPECT_TRUE(all_ok(ds)) << g.name << ":\n" << to_string(g.netlist, ds);
+}
+
+TEST(Generators, InverterChainStructure) {
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 3, 1);
+  expect_clean(g);
+  // 2 devices per nMOS inverter.
+  EXPECT_EQ(g.netlist.device_count(), 6u);
+  EXPECT_TRUE(g.netlist.node(g.input).is_input);
+  EXPECT_TRUE(g.netlist.node(g.output).is_output);
+}
+
+TEST(Generators, InverterChainFanoutAddsLoads) {
+  const GeneratedCircuit f1 = inverter_chain(Style::kCmos, 3, 1);
+  const GeneratedCircuit f4 = inverter_chain(Style::kCmos, 3, 4);
+  EXPECT_GT(f4.netlist.device_count(), f1.netlist.device_count());
+  expect_clean(f4);
+}
+
+TEST(Generators, CmosGateDeviceCounts) {
+  // CMOS NAND-k: k series n + k parallel p, plus the 2-device output
+  // inverter.
+  const GeneratedCircuit g = nand_chain(Style::kCmos, 3);
+  expect_clean(g);
+  EXPECT_EQ(g.netlist.device_count(), 3u + 3u + 2u);
+  EXPECT_EQ(g.high_inputs.size(), 2u);
+}
+
+TEST(Generators, NmosGateDeviceCounts) {
+  // nMOS NOR-k: k parallel pull-downs + 1 depletion load + inverter (2).
+  const GeneratedCircuit g = nor_chain(Style::kNmos, 2);
+  expect_clean(g);
+  EXPECT_EQ(g.netlist.device_count(), 2u + 1u + 2u);
+  EXPECT_EQ(g.low_inputs.size(), 1u);
+}
+
+TEST(Generators, PassChainLengthsAndSelects) {
+  const GeneratedCircuit g = pass_chain(Style::kNmos, 5);
+  expect_clean(g);
+  // driver inverter (2) + 5 passes + output inverter (2).
+  EXPECT_EQ(g.netlist.device_count(), 9u);
+  ASSERT_EQ(g.high_inputs.size(), 1u);
+  EXPECT_TRUE(g.netlist.node(g.high_inputs[0]).is_input);
+}
+
+TEST(Generators, BarrelShifterIsQuadraticInBits) {
+  const GeneratedCircuit g = barrel_shifter(Style::kNmos, 4);
+  expect_clean(g);
+  // 16 pass transistors + driver (2) + output inverter (2).
+  EXPECT_EQ(g.netlist.device_count(), 20u);
+  // One select high, the rest low; other data lines held low.
+  EXPECT_EQ(g.high_inputs.size(), 1u);
+  EXPECT_EQ(g.low_inputs.size(), 3u + 3u);
+}
+
+TEST(Generators, ManchesterCarryHasPrechargedNodes) {
+  const GeneratedCircuit g = manchester_carry(Style::kNmos, 4);
+  expect_clean(g);
+  int precharged = 0;
+  for (NodeId n : g.netlist.node_ids()) {
+    if (g.netlist.node(n).is_precharged) ++precharged;
+  }
+  EXPECT_EQ(precharged, 4);
+  EXPECT_EQ(g.high_inputs.size(), 3u);  // propagate gates
+}
+
+TEST(Generators, PrechargedBusDriversShareTheBus) {
+  const GeneratedCircuit g = precharged_bus(Style::kNmos, 5);
+  expect_clean(g);
+  const NodeId bus = *g.netlist.find_node("bus");
+  EXPECT_TRUE(g.netlist.node(bus).is_precharged);
+  // 5 two-device stacks on the bus + output inverter; the inverter's
+  // devices touch "out", so only the 5 select transistors channel at
+  // the bus itself.
+  EXPECT_EQ(g.netlist.device_count(), 12u);
+  EXPECT_EQ(g.netlist.channels_at(bus).size(), 5u);
+  EXPECT_GT(g.netlist.node(bus).cap, 0.0) << "bus wiring cap annotated";
+}
+
+TEST(Generators, DriverChainTapersStrength) {
+  const GeneratedCircuit g = driver_chain(Style::kCmos, 3, 3.0, 500.0);
+  expect_clean(g);
+  // Successive inverters should have geometrically wider devices.
+  std::vector<Meters> widths;
+  for (DeviceId d : g.netlist.device_ids()) {
+    if (g.netlist.device(d).type == TransistorType::kNEnhancement) {
+      widths.push_back(g.netlist.device(d).width);
+    }
+  }
+  ASSERT_EQ(widths.size(), 3u);
+  EXPECT_NEAR(widths[1] / widths[0], 3.0, 1e-9);
+  EXPECT_NEAR(widths[2] / widths[1], 3.0, 1e-9);
+  EXPECT_GT(g.netlist.node(g.output).cap, 0.0);
+}
+
+TEST(Generators, RandomLogicIsDeterministicInSeed) {
+  const GeneratedCircuit a = random_logic(Style::kCmos, 3, 4, 42);
+  const GeneratedCircuit b = random_logic(Style::kCmos, 3, 4, 42);
+  const GeneratedCircuit c = random_logic(Style::kCmos, 3, 4, 43);
+  EXPECT_EQ(a.netlist.device_count(), b.netlist.device_count());
+  EXPECT_EQ(a.netlist.node_count(), b.netlist.node_count());
+  // Different seeds almost surely differ in structure size.
+  EXPECT_TRUE(a.netlist.device_count() != c.netlist.device_count() ||
+              a.netlist.node_count() != c.netlist.node_count());
+  expect_clean(a);
+}
+
+TEST(Generators, ParameterValidation) {
+  EXPECT_THROW(inverter_chain(Style::kNmos, 0, 1), ContractViolation);
+  EXPECT_THROW(inverter_chain(Style::kNmos, 1, 0), ContractViolation);
+  EXPECT_THROW(pass_chain(Style::kNmos, 0), ContractViolation);
+  EXPECT_THROW(driver_chain(Style::kNmos, 1, 0.5, 10.0), ContractViolation);
+  EXPECT_THROW(random_logic(Style::kNmos, 0, 1, 1), ContractViolation);
+}
+
+// Property: every circuit in the accuracy suite, in both styles, is
+// checker-clean and carries complete harness metadata.
+class SuiteProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SuiteProperty, CleanAndComplete) {
+  const Style style =
+      std::get<0>(GetParam()) == 0 ? Style::kNmos : Style::kCmos;
+  const auto suite = accuracy_suite(style);
+  const auto& g = suite[static_cast<std::size_t>(std::get<1>(GetParam()))];
+  expect_clean(g);
+  EXPECT_FALSE(g.name.empty());
+  EXPECT_TRUE(g.netlist.node(g.input).is_input) << g.name;
+  EXPECT_TRUE(g.netlist.node(g.output).is_output) << g.name;
+  for (NodeId n : g.high_inputs) {
+    EXPECT_TRUE(g.netlist.node(n).is_input) << g.name;
+  }
+  for (NodeId n : g.low_inputs) {
+    EXPECT_TRUE(g.netlist.node(n).is_input) << g.name;
+  }
+  EXPECT_GT(g.netlist.device_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothStyles, SuiteProperty,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Range(0, 16)));
+
+}  // namespace
+}  // namespace sldm

@@ -1,0 +1,136 @@
+// End-to-end integration tests: the full generator -> calibration ->
+// analyzer -> analog-reference comparison, asserting the paper's
+// qualitative claims hold in this reproduction.
+#include <gtest/gtest.h>
+
+#include "analog/elaborate.h"
+#include "analog/transient.h"
+#include "compare/harness.h"
+#include "delay/slope.h"
+#include "timing/analyzer.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace sldm {
+namespace {
+
+TEST(Integration, SlopeModelTracksSimulatorOnInverterChain) {
+  const CompareContext& ctx = CompareContext::get(Style::kNmos);
+  const ComparisonResult r =
+      run_comparison(inverter_chain(Style::kNmos, 4, 2), ctx, 2e-9);
+  EXPECT_LT(std::abs(r.model("slope").error_pct), 20.0)
+      << "slope model should stay near the simulator";
+  EXPECT_GT(r.reference_delay, 0.0);
+}
+
+TEST(Integration, SlopeBeatsSlopeBlindModelsOnSlowInput) {
+  const CompareContext& ctx = CompareContext::get(Style::kNmos);
+  // A very slow input edge is where input-slope blindness hurts.
+  const ComparisonResult r =
+      run_comparison(inverter_chain(Style::kNmos, 3, 1), ctx, 8e-9);
+  const double e_slope = std::abs(r.model("slope").error_pct);
+  const double e_rctree = std::abs(r.model("rc-tree").error_pct);
+  EXPECT_LT(e_slope, e_rctree)
+      << "slope=" << e_slope << "% rc-tree=" << e_rctree << "%";
+}
+
+TEST(Integration, LumpedOverestimatesPassChains) {
+  const CompareContext& ctx = CompareContext::get(Style::kNmos);
+  const ComparisonResult r =
+      run_comparison(pass_chain(Style::kNmos, 6), ctx, 1e-9);
+  EXPECT_GT(r.model("lumped-rc").delay, 1.3 * r.model("rc-tree").delay)
+      << "the distributed chain is what separates the two RC models";
+}
+
+TEST(Integration, CmosPipelineWorksEndToEnd) {
+  const CompareContext& ctx = CompareContext::get(Style::kCmos);
+  const ComparisonResult r =
+      run_comparison(inverter_chain(Style::kCmos, 3, 2), ctx, 2e-9);
+  EXPECT_GT(r.reference_delay, 0.0);
+  EXPECT_LT(std::abs(r.model("slope").error_pct), 30.0);
+  EXPECT_EQ(r.models.size(), 3u);
+}
+
+TEST(Integration, PrechargedBusDischargeIsPredicted) {
+  const CompareContext& ctx = CompareContext::get(Style::kNmos);
+  const ComparisonResult r =
+      run_comparison(precharged_bus(Style::kNmos, 4), ctx, 1e-9);
+  EXPECT_GT(r.reference_delay, 0.0);
+  // All three models must at least get the order of magnitude right.
+  for (const ModelResult& m : r.models) {
+    EXPECT_GT(m.delay, 0.1 * r.reference_delay) << m.model;
+    EXPECT_LT(m.delay, 10.0 * r.reference_delay) << m.model;
+  }
+}
+
+TEST(Integration, ManchesterCarryRipples) {
+  const CompareContext& ctx = CompareContext::get(Style::kNmos);
+  const ComparisonResult r4 =
+      run_comparison(manchester_carry(Style::kNmos, 4), ctx, 1e-9);
+  const ComparisonResult r8 =
+      run_comparison(manchester_carry(Style::kNmos, 8), ctx, 1e-9);
+  EXPECT_GT(r8.reference_delay, r4.reference_delay)
+      << "longer chains ripple longer (simulator)";
+  EXPECT_GT(r8.model("rc-tree").delay, r4.model("rc-tree").delay)
+      << "longer chains ripple longer (model)";
+}
+
+TEST(Integration, AnalyzerIsMuchFasterThanSimulator) {
+  const CompareContext& ctx = CompareContext::get(Style::kNmos);
+  const ComparisonResult r =
+      run_comparison(barrel_shifter(Style::kNmos, 4), ctx, 1e-9);
+  // The headline speed claim; a 10x floor is very conservative (the
+  // observed gap is orders of magnitude).
+  EXPECT_LT(r.model("slope").analyze_time, r.simulate_time / 10.0);
+}
+
+TEST(Integration, RunAnalyzerHelperReportsWork) {
+  const CompareContext& ctx = CompareContext::get(Style::kNmos);
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 4, 1);
+  const AnalyzeOnlyResult a =
+      run_analyzer(g, ctx.tech(), *ctx.models()[1], 1e-9);
+  EXPECT_GT(a.delay, 0.0);
+  EXPECT_GT(a.stage_evaluations, 0u);
+}
+
+TEST(Integration, PredictedOutputSlopeTracksSimulator) {
+  // The slope model's second output -- the edge rate it hands to the
+  // next stage -- must track the simulator's measured transition time.
+  const CompareContext& ctx = CompareContext::get(Style::kNmos);
+  const Tech& tech = ctx.tech();
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 2, 2);
+
+  // Simulate and measure the transition time at s1 (first stage out).
+  const NodeId s1 = *g.netlist.find_node("s1");
+  std::vector<Stimulus> stimuli;
+  stimuli.push_back({g.input, PwlSource::edge(0.0, tech.vdd(), 2e-9, 2e-9)});
+  const Elaboration elab = elaborate(g.netlist, tech, stimuli);
+  TransientOptions topt;
+  topt.t_stop = 30e-9;
+  const TransientResult sim = simulate(elab.circuit(), topt);
+  const Waveform& w = sim.at(elab.analog(s1));
+  const auto measured = w.transition_time(w.min_value(), w.max_value(),
+                                          Transition::kFall, 1e-9);
+  ASSERT_TRUE(measured.has_value());
+
+  SlopeModel model(ctx.calibration().tables);
+  TimingAnalyzer an(g.netlist, tech, model);
+  an.add_input_event(g.input, Transition::kRise, 0.0, 2e-9);
+  an.run();
+  const auto arrival = an.arrival(s1, Transition::kFall);
+  ASSERT_TRUE(arrival.has_value());
+  EXPECT_NEAR(arrival->slope / *measured, 1.0, 0.35)
+      << "predicted " << to_ns(arrival->slope) << " ns vs measured "
+      << to_ns(*measured) << " ns";
+}
+
+TEST(Integration, ComparisonResultModelLookup) {
+  const CompareContext& ctx = CompareContext::get(Style::kNmos);
+  const ComparisonResult r =
+      run_comparison(nand_chain(Style::kNmos, 2), ctx, 1e-9);
+  EXPECT_EQ(r.model("slope").model, "slope");
+  EXPECT_THROW(r.model("nonexistent"), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sldm

@@ -1,0 +1,137 @@
+// Tests for the dense LU solver underpinning both the MNA engine and the
+// Laplacian-based effective-resistance computation.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "analog/matrix.h"
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace sldm {
+namespace {
+
+TEST(Matrix, ShapeAndAccess) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  m(1, 2) = 4.5;
+  EXPECT_DOUBLE_EQ(m(1, 2), 4.5);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+  m.set_zero();
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+  EXPECT_THROW(m(2, 0), ContractViolation);
+  EXPECT_THROW(m(0, 3), ContractViolation);
+}
+
+TEST(Lu, SolvesKnown2x2) {
+  Matrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const auto x = solve_dense(a, {5.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SolvesIdentity) {
+  Matrix a(3, 3);
+  for (std::size_t i = 0; i < 3; ++i) a(i, i) = 1.0;
+  const auto x = solve_dense(a, {1.0, 2.0, 3.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+  EXPECT_NEAR(x[2], 3.0, 1e-14);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  Matrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const auto x = solve_dense(a, {3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SingularMatrixThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  EXPECT_THROW(LuFactorization lu(a), NumericalError);
+}
+
+TEST(Lu, ZeroMatrixThrows) {
+  Matrix a(3, 3);
+  EXPECT_THROW(LuFactorization lu(a), NumericalError);
+}
+
+TEST(Lu, NonSquareRejected) {
+  Matrix a(2, 3);
+  EXPECT_THROW(LuFactorization lu(a), ContractViolation);
+}
+
+TEST(Lu, WrongRhsSizeRejected) {
+  Matrix a(2, 2);
+  a(0, 0) = a(1, 1) = 1.0;
+  const LuFactorization lu(a);
+  EXPECT_THROW(lu.solve({1.0}), ContractViolation);
+}
+
+TEST(Lu, ReusableForMultipleRhs) {
+  Matrix a(2, 2);
+  a(0, 0) = 4.0;
+  a(1, 1) = 2.0;
+  const LuFactorization lu(a);
+  EXPECT_NEAR(lu.solve({4.0, 2.0})[0], 1.0, 1e-14);
+  EXPECT_NEAR(lu.solve({8.0, 6.0})[1], 3.0, 1e-14);
+}
+
+TEST(Lu, MinPivotRatioReflectsConditioning) {
+  Matrix good(2, 2);
+  good(0, 0) = good(1, 1) = 1.0;
+  EXPECT_NEAR(LuFactorization(good).min_pivot_ratio(), 1.0, 1e-12);
+  Matrix skewed(2, 2);
+  skewed(0, 0) = 1.0;
+  skewed(1, 1) = 1e-9;
+  EXPECT_LT(LuFactorization(skewed).min_pivot_ratio(), 1e-8);
+}
+
+// Property: random diagonally dominant systems solve to residual ~ 0.
+class LuRandomProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuRandomProperty, ResidualIsTiny) {
+  const int n = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(n) * 7919u + 13u);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  Matrix a(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+      if (i == j) continue;
+      a(i, j) = dist(rng);
+      row_sum += std::abs(a(i, j));
+    }
+    a(i, i) = row_sum + 1.0;  // strict diagonal dominance
+  }
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (double& v : b) v = dist(rng);
+
+  const auto x = solve_dense(a, b);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) {
+    double r = -b[i];
+    for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) {
+      r += a(i, j) * x[j];
+    }
+    EXPECT_NEAR(r, 0.0, 1e-9) << "row " << i << " of n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuRandomProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55));
+
+}  // namespace
+}  // namespace sldm

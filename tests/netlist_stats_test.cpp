@@ -1,0 +1,88 @@
+// Tests for the netlist census and the unit-delay baseline model.
+#include <gtest/gtest.h>
+
+#include "delay/unit.h"
+#include "gen/generators.h"
+#include "netlist/stats.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace sldm {
+namespace {
+
+using namespace units;
+
+TEST(NetlistStats, CountsInverterChain) {
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 3, 1);
+  const NetlistStats s = compute_stats(g.netlist);
+  EXPECT_EQ(s.devices, 6u);
+  EXPECT_EQ(s.devices_by_type[static_cast<std::size_t>(
+                TransistorType::kNEnhancement)],
+            3u);
+  EXPECT_EQ(s.devices_by_type[static_cast<std::size_t>(
+                TransistorType::kNDepletion)],
+            3u);
+  EXPECT_EQ(s.inputs, 1u);
+  EXPECT_EQ(s.outputs, 1u);
+  EXPECT_EQ(s.power_rails, 1u);
+  EXPECT_EQ(s.ground_rails, 1u);
+  EXPECT_EQ(s.precharged, 0u);
+}
+
+TEST(NetlistStats, AspectRangeAndFanout) {
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 2, 4);
+  const NetlistStats s = compute_stats(g.netlist);
+  // nMOS sizing: pull-down 8/4 = 2.0, load 4/8 = 0.5.
+  EXPECT_DOUBLE_EQ(s.min_aspect, 0.5);
+  EXPECT_DOUBLE_EQ(s.max_aspect, 2.0);
+  // s1 drives its own load's gate + 3 fanout inverters (each 2 gates in
+  // nMOS? load gate is tied to its own output) -> at least 4 gates.
+  EXPECT_GE(s.max_gate_fanout, 4u);
+}
+
+TEST(NetlistStats, ExplicitCapSummed) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  nl.add_cap(a, 5 * fF);
+  nl.add_cap(b, 7 * fF);
+  const NetlistStats s = compute_stats(nl);
+  EXPECT_NEAR(s.explicit_cap_total, 12 * fF, 1e-21);
+  EXPECT_EQ(s.devices, 0u);
+  EXPECT_DOUBLE_EQ(s.min_aspect, 0.0);
+}
+
+TEST(NetlistStats, RenderingMentionsEverything) {
+  const GeneratedCircuit g = precharged_bus(Style::kNmos, 2);
+  const std::string text = to_string(compute_stats(g.netlist));
+  EXPECT_NE(text.find("nodes:"), std::string::npos);
+  EXPECT_NE(text.find("precharged"), std::string::npos);
+  EXPECT_NE(text.find("fanout"), std::string::npos);
+}
+
+TEST(UnitDelayModel, ConstantRegardlessOfStage) {
+  const UnitDelayModel model(2e-9);
+  Stage small;
+  small.output_dir = Transition::kFall;
+  small.elements.push_back(
+      {.type = TransistorType::kNEnhancement, .resistance = 1e3,
+       .cap = 1e-15});
+  Stage big = small;
+  for (int i = 0; i < 7; ++i) big.elements.push_back(big.elements[0]);
+  big.elements.back().cap = 1e-12;
+  EXPECT_DOUBLE_EQ(model.estimate(small).delay, 2e-9);
+  EXPECT_DOUBLE_EQ(model.estimate(big).delay, 2e-9);
+  EXPECT_DOUBLE_EQ(model.estimate(big).output_slope, 2e-9);
+  EXPECT_EQ(model.name(), "unit-delay");
+  EXPECT_DOUBLE_EQ(model.unit(), 2e-9);
+}
+
+TEST(UnitDelayModel, StillValidatesTheStage) {
+  const UnitDelayModel model(1e-9);
+  Stage empty;
+  EXPECT_THROW(model.estimate(empty), ContractViolation);
+  EXPECT_THROW(UnitDelayModel(0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace sldm

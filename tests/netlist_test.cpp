@@ -1,0 +1,246 @@
+// Unit tests for src/netlist: the switch-level representation, role
+// marking, connectivity queries, and the structural checker.
+#include <gtest/gtest.h>
+
+#include "netlist/checks.h"
+#include "netlist/netlist.h"
+#include "util/contracts.h"
+#include "util/units.h"
+
+namespace sldm {
+namespace {
+
+using namespace units;
+
+TEST(Netlist, AddNodeIsIdempotentByName) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId a2 = nl.add_node("a");
+  EXPECT_EQ(a, a2);
+  EXPECT_EQ(nl.node_count(), 1u);
+  EXPECT_EQ(nl.find_node("a"), a);
+  EXPECT_FALSE(nl.find_node("missing").has_value());
+}
+
+TEST(Netlist, EmptyNameRejected) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_node(""), ContractViolation);
+}
+
+TEST(Netlist, TransistorConnectivityIndexed) {
+  Netlist nl;
+  const NodeId g = nl.add_node("g");
+  const NodeId s = nl.add_node("s");
+  const NodeId d = nl.add_node("d");
+  const DeviceId t = nl.add_transistor(TransistorType::kNEnhancement, g, s, d,
+                                       8 * um, 4 * um);
+  ASSERT_EQ(nl.gated_by(g).size(), 1u);
+  EXPECT_EQ(nl.gated_by(g)[0], t);
+  EXPECT_TRUE(nl.gated_by(s).empty());
+  EXPECT_EQ(nl.channels_at(s).size(), 1u);
+  EXPECT_EQ(nl.channels_at(d).size(), 1u);
+  EXPECT_TRUE(nl.channels_at(g).empty());
+}
+
+TEST(Netlist, TransistorPreconditions) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  // source == drain
+  EXPECT_THROW(nl.add_transistor(TransistorType::kNEnhancement, a, b, b,
+                                 8 * um, 4 * um),
+               ContractViolation);
+  // non-positive dimensions
+  EXPECT_THROW(nl.add_transistor(TransistorType::kNEnhancement, a, a, b, 0.0,
+                                 4 * um),
+               ContractViolation);
+  EXPECT_THROW(nl.add_transistor(TransistorType::kNEnhancement, a, a, b,
+                                 8 * um, -1.0),
+               ContractViolation);
+  // invalid node id
+  EXPECT_THROW(nl.add_transistor(TransistorType::kNEnhancement,
+                                 NodeId::invalid(), a, b, 8 * um, 4 * um),
+               ContractViolation);
+}
+
+TEST(Netlist, OtherEndAndConnects) {
+  Netlist nl;
+  const NodeId g = nl.add_node("g");
+  const NodeId s = nl.add_node("s");
+  const NodeId d = nl.add_node("d");
+  const DeviceId t = nl.add_transistor(TransistorType::kPEnhancement, g, s, d,
+                                       6 * um, 3 * um);
+  const Transistor& tr = nl.device(t);
+  EXPECT_EQ(tr.other_end(s), d);
+  EXPECT_EQ(tr.other_end(d), s);
+  EXPECT_TRUE(tr.connects(s));
+  EXPECT_FALSE(tr.connects(g));
+  EXPECT_THROW(tr.other_end(g), ContractViolation);
+  EXPECT_DOUBLE_EQ(tr.aspect(), 2.0);
+}
+
+TEST(Netlist, RoleMarking) {
+  Netlist nl;
+  const NodeId v = nl.mark_power("vdd");
+  const NodeId g = nl.mark_ground("gnd");
+  const NodeId in = nl.mark_input("in");
+  const NodeId out = nl.mark_output("out");
+  const NodeId pc = nl.mark_precharged("bus");
+  EXPECT_TRUE(nl.node(v).is_power);
+  EXPECT_TRUE(nl.node(g).is_ground);
+  EXPECT_TRUE(nl.node(in).is_input);
+  EXPECT_TRUE(nl.node(out).is_output);
+  EXPECT_TRUE(nl.node(pc).is_precharged);
+  EXPECT_TRUE(nl.is_rail(v));
+  EXPECT_TRUE(nl.is_rail(g));
+  EXPECT_FALSE(nl.is_rail(in));
+  EXPECT_EQ(nl.power_node(), v);
+  EXPECT_EQ(nl.ground_node(), g);
+}
+
+TEST(Netlist, AmbiguousRailsReportedAsNullopt) {
+  Netlist nl;
+  nl.mark_power("vdd1");
+  nl.mark_power("vdd2");
+  EXPECT_FALSE(nl.power_node().has_value());
+}
+
+TEST(Netlist, CapAccumulates) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  nl.add_cap(a, 5 * fF);
+  nl.add_cap(a, 3 * fF);
+  EXPECT_DOUBLE_EQ(nl.node(a).cap, 8 * fF);
+  EXPECT_THROW(nl.add_cap(a, -1 * fF), ContractViolation);
+}
+
+TEST(Netlist, IdsAreDense) {
+  Netlist nl;
+  nl.add_node("a");
+  nl.add_node("b");
+  const auto ids = nl.node_ids();
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids[0].index(), 0u);
+  EXPECT_EQ(ids[1].index(), 1u);
+}
+
+TEST(TypeNames, LettersAndStrings) {
+  EXPECT_EQ(to_letter(TransistorType::kNEnhancement), "e");
+  EXPECT_EQ(to_letter(TransistorType::kNDepletion), "d");
+  EXPECT_EQ(to_letter(TransistorType::kPEnhancement), "p");
+  EXPECT_EQ(to_string(Transition::kRise), "rise");
+  EXPECT_EQ(to_string(Transition::kFall), "fall");
+  EXPECT_EQ(opposite(Transition::kRise), Transition::kFall);
+  EXPECT_EQ(opposite(Transition::kFall), Transition::kRise);
+}
+
+// --- checks --------------------------------------------------------------
+
+Netlist inverter_netlist() {
+  Netlist nl;
+  const NodeId vdd = nl.mark_power("vdd");
+  const NodeId gnd = nl.mark_ground("gnd");
+  const NodeId in = nl.mark_input("in");
+  const NodeId out = nl.mark_output("out");
+  nl.add_transistor(TransistorType::kNEnhancement, in, gnd, out, 8 * um,
+                    4 * um);
+  nl.add_transistor(TransistorType::kNDepletion, out, out, vdd, 4 * um,
+                    8 * um);
+  return nl;
+}
+
+TEST(Checks, CleanInverterPasses) {
+  const Netlist nl = inverter_netlist();
+  const auto ds = check(nl);
+  EXPECT_TRUE(all_ok(ds)) << to_string(nl, ds);
+  EXPECT_TRUE(ds.empty()) << to_string(nl, ds);
+}
+
+TEST(Checks, MissingRailsIsError) {
+  Netlist nl;
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  const NodeId g = nl.add_node("g");
+  nl.add_transistor(TransistorType::kNEnhancement, g, a, b, 8 * um, 4 * um);
+  const auto ds = check(nl);
+  EXPECT_FALSE(all_ok(ds));
+}
+
+TEST(Checks, PowerAndGroundConflictIsError) {
+  Netlist nl;
+  nl.mark_power("x");
+  nl.mark_ground("x");
+  EXPECT_FALSE(all_ok(check(nl)));
+}
+
+TEST(Checks, PermanentlyOffDeviceIsError) {
+  Netlist nl = inverter_netlist();
+  const NodeId gnd = *nl.ground_node();
+  const NodeId out = *nl.find_node("out");
+  const NodeId x = nl.add_node("x");
+  // n-enh gated by ground can never conduct.
+  nl.add_transistor(TransistorType::kNEnhancement, gnd, out, x, 8 * um,
+                    4 * um);
+  EXPECT_FALSE(all_ok(check(nl)));
+}
+
+TEST(Checks, PseudoNmosLoadIsLegitimate) {
+  Netlist nl;
+  const NodeId vdd = nl.mark_power("vdd");
+  const NodeId gnd = nl.mark_ground("gnd");
+  const NodeId in = nl.mark_input("in");
+  const NodeId out = nl.mark_output("out");
+  nl.add_transistor(TransistorType::kNEnhancement, in, gnd, out, 8 * um,
+                    4 * um);
+  // p load gated by ground: permanently on, allowed.
+  nl.add_transistor(TransistorType::kPEnhancement, gnd, out, vdd, 6 * um,
+                    3 * um);
+  EXPECT_TRUE(all_ok(check(nl)));
+}
+
+TEST(Checks, FloatingGateIsWarning) {
+  Netlist nl = inverter_netlist();
+  const NodeId ghost = nl.add_node("ghost");
+  const NodeId gnd = *nl.ground_node();
+  const NodeId out = *nl.find_node("out");
+  nl.add_transistor(TransistorType::kNEnhancement, ghost, gnd, out, 8 * um,
+                    4 * um);
+  const auto ds = check(nl);
+  EXPECT_TRUE(all_ok(ds));  // warning, not error
+  bool found = false;
+  for (const auto& d : ds) {
+    if (d.message.find("floating gate") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << to_string(nl, ds);
+}
+
+TEST(Checks, UnreachableChannelIslandIsWarning) {
+  Netlist nl = inverter_netlist();
+  const NodeId a = nl.add_node("islanda");
+  const NodeId b = nl.add_node("islandb");
+  const NodeId in = *nl.find_node("in");
+  nl.add_transistor(TransistorType::kNEnhancement, in, a, b, 8 * um, 4 * um);
+  const auto ds = check(nl);
+  EXPECT_TRUE(all_ok(ds));
+  bool found = false;
+  for (const auto& d : ds) {
+    if (d.message.find("no channel path") != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << to_string(nl, ds);
+}
+
+TEST(Checks, DiagnosticRenderingMentionsDevice) {
+  Netlist nl = inverter_netlist();
+  const NodeId gnd = *nl.ground_node();
+  const NodeId out = *nl.find_node("out");
+  const NodeId x = nl.add_node("x");
+  nl.add_transistor(TransistorType::kNEnhancement, gnd, out, x, 8 * um,
+                    4 * um);
+  const auto ds = check(nl);
+  const std::string text = to_string(nl, ds);
+  EXPECT_NE(text.find("permanently off"), std::string::npos);
+  EXPECT_NE(text.find("g=gnd"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sldm

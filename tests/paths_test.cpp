@@ -1,0 +1,139 @@
+// Tests for k-worst-path enumeration.
+#include <gtest/gtest.h>
+
+#include "delay/rctree.h"
+#include "gen/generators.h"
+#include "tech/tech.h"
+#include "timing/analyzer.h"
+#include "util/contracts.h"
+
+namespace sldm {
+namespace {
+
+TEST(KWorstPaths, ChainHasExactlyOnePath) {
+  const Tech tech = nmos4();
+  const RcTreeModel model;
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 3, 1);
+  TimingAnalyzer an(g.netlist, tech, model);
+  an.add_input_event(g.input, Transition::kRise, 0.0, 1e-9);
+  an.run();
+  const auto worst = an.worst_arrival(true);
+  ASSERT_TRUE(worst.has_value());
+  const auto paths = an.k_worst_paths(worst->node, worst->dir, 5);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].steps.size(), 4u);  // input + 3 stages
+  EXPECT_NEAR(paths[0].arrival, worst->time, 1e-15);
+}
+
+TEST(KWorstPaths, FirstPathMatchesCriticalPath) {
+  const Tech tech = cmos3();
+  const RcTreeModel model;
+  const GeneratedCircuit g = nand_chain(Style::kCmos, 3);
+  TimingAnalyzer an(g.netlist, tech, model);
+  an.add_input_event(g.input, Transition::kRise, 0.0, 1e-9);
+  an.run();
+  const auto worst = an.worst_arrival(true);
+  ASSERT_TRUE(worst.has_value());
+  const auto paths = an.k_worst_paths(worst->node, worst->dir, 3);
+  ASSERT_FALSE(paths.empty());
+  const auto crit = an.critical_path(worst->node, worst->dir);
+  ASSERT_EQ(paths[0].steps.size(), crit.size());
+  for (std::size_t i = 0; i < crit.size(); ++i) {
+    EXPECT_EQ(paths[0].steps[i].node, crit[i].node) << i;
+    EXPECT_EQ(paths[0].steps[i].dir, crit[i].dir) << i;
+  }
+  EXPECT_NEAR(paths[0].arrival, worst->time, 1e-15);
+}
+
+TEST(KWorstPaths, MultiplePathsThroughPassNetworkAreRanked) {
+  // A NAND gate observed through its output inverter: the y-fall event
+  // has two triggers (a0 and a1), so with both inputs seeded there are
+  // at least two distinct event paths to the output.
+  const Tech tech = cmos3();
+  const RcTreeModel model;
+  const GeneratedCircuit g = nand_chain(Style::kCmos, 2);
+  TimingAnalyzer an(g.netlist, tech, model);
+  an.add_all_input_events(1e-9);
+  an.run();
+  const auto paths = an.k_worst_paths(g.output, Transition::kRise, 10);
+  EXPECT_GE(paths.size(), 2u);
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(paths[i - 1].arrival, paths[i].arrival) << "sorted desc";
+  }
+  // Paths must be distinct event chains.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    bool differs = paths[i].steps.size() != paths[0].steps.size();
+    if (!differs) {
+      for (std::size_t s = 0; s < paths[0].steps.size(); ++s) {
+        if (paths[i].steps[s].node != paths[0].steps[s].node ||
+            paths[i].steps[s].dir != paths[0].steps[s].dir ||
+            paths[i].steps[s].description != paths[0].steps[s].description) {
+          differs = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(differs) << "path " << i << " duplicates path 0";
+  }
+}
+
+TEST(KWorstPaths, KTruncatesTheList) {
+  const Tech tech = nmos4();
+  const RcTreeModel model;
+  const GeneratedCircuit g = barrel_shifter(Style::kNmos, 3);
+  TimingAnalyzer an(g.netlist, tech, model);
+  an.add_all_input_events(1e-9);
+  an.run();
+  const auto all = an.k_worst_paths(g.output, Transition::kRise, 50);
+  const auto two = an.k_worst_paths(g.output, Transition::kRise, 2);
+  EXPECT_LE(two.size(), 2u);
+  if (all.size() >= 2) {
+    ASSERT_EQ(two.size(), 2u);
+    EXPECT_NEAR(two[0].arrival, all[0].arrival, 1e-15);
+    EXPECT_NEAR(two[1].arrival, all[1].arrival, 1e-15);
+  }
+}
+
+TEST(KWorstPaths, WorkBoundIsHonored) {
+  const Tech tech = nmos4();
+  const RcTreeModel model;
+  const GeneratedCircuit g = barrel_shifter(Style::kNmos, 4);
+  TimingAnalyzer an(g.netlist, tech, model);
+  an.add_all_input_events(1e-9);
+  an.run();
+  TimingAnalyzer::PathQueryOptions tight;
+  tight.max_explored = 3;
+  const auto paths =
+      an.k_worst_paths(g.output, Transition::kRise, 10, tight);
+  // With almost no exploration budget, few (possibly zero) paths.
+  EXPECT_LE(paths.size(), 3u);
+}
+
+TEST(KWorstPaths, NoPathsToUnreachableEvent) {
+  const Tech tech = nmos4();
+  const RcTreeModel model;
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 2, 1);
+  TimingAnalyzer an(g.netlist, tech, model);
+  an.add_input_event(g.input, Transition::kRise, 0.0, 1e-9);
+  an.run();
+  // s2 never falls under a rise-only seed.
+  const NodeId s2 = *g.netlist.find_node("s2");
+  EXPECT_TRUE(an.k_worst_paths(s2, Transition::kFall, 5).empty());
+}
+
+TEST(KWorstPaths, ValidatesArguments) {
+  const Tech tech = nmos4();
+  const RcTreeModel model;
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 1, 1);
+  TimingAnalyzer an(g.netlist, tech, model);
+  an.add_input_event(g.input, Transition::kRise, 0.0, 1e-9);
+  EXPECT_THROW(an.k_worst_paths(g.output, Transition::kFall, 1),
+               ContractViolation)
+      << "must run() first";
+  an.run();
+  EXPECT_THROW(an.k_worst_paths(g.output, Transition::kFall, 0),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace sldm

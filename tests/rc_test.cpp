@@ -1,0 +1,213 @@
+// Tests for RC tree analysis (Elmore, RPH bounds) and resistive
+// networks (effective resistance), with textbook oracles.
+#include <gtest/gtest.h>
+
+#include "rc/rc_tree.h"
+#include "rc/resistive_network.h"
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace sldm {
+namespace {
+
+TEST(RcTree, SingleSectionElmoreIsRc) {
+  RcTree t;
+  const std::size_t n = t.add_node(0, 1e3, 1e-12);
+  EXPECT_DOUBLE_EQ(t.elmore(n), 1e-9);
+  EXPECT_DOUBLE_EQ(t.total_time_constant(), 1e-9);
+  EXPECT_DOUBLE_EQ(t.delay_50(n), kLn2 * 1e-9);
+  EXPECT_DOUBLE_EQ(t.slope(n), kSlopeFactor * 1e-9);
+}
+
+TEST(RcTree, UniformChainElmoreFormula) {
+  // N equal sections of R and C: Elmore at the end = RC * N(N+1)/2.
+  const int N = 5;
+  const double R = 2e3;
+  const double C = 50e-15;
+  RcTree t;
+  std::size_t cur = 0;
+  for (int i = 0; i < N; ++i) cur = t.add_node(cur, R, C);
+  EXPECT_NEAR(t.elmore(cur), R * C * N * (N + 1) / 2.0, 1e-20);
+  // Lumped product would be (NR)(NC) = N^2 RC: the chain is ~2x faster.
+  EXPECT_NEAR((R * N) * (C * N) / t.elmore(cur),
+              2.0 * N / (N + 1.0), 1e-9);
+}
+
+TEST(RcTree, BranchCapsLoadTheTrunk) {
+  // A side branch hanging off the middle of a chain adds its cap times
+  // the shared (trunk) resistance to the far node's Elmore delay.
+  RcTree t;
+  const std::size_t a = t.add_node(0, 1e3, 10e-15);
+  const std::size_t b = t.add_node(a, 1e3, 10e-15);
+  const Seconds before = t.elmore(b);
+  const std::size_t side = t.add_node(a, 5e3, 20e-15);
+  (void)side;
+  const Seconds after = t.elmore(b);
+  // The branch cap (20 fF) sees only the shared 1 kOhm.
+  EXPECT_NEAR(after - before, 1e3 * 20e-15, 1e-21);
+}
+
+TEST(RcTree, CommonResistanceIsLcaPath) {
+  RcTree t;
+  const std::size_t a = t.add_node(0, 1e3, 1e-15);
+  const std::size_t b = t.add_node(a, 2e3, 1e-15);
+  const std::size_t c = t.add_node(a, 4e3, 1e-15);
+  EXPECT_DOUBLE_EQ(t.common_resistance(b, c), 1e3);     // share root->a
+  EXPECT_DOUBLE_EQ(t.common_resistance(b, b), 3e3);     // full path
+  EXPECT_DOUBLE_EQ(t.common_resistance(b, 0), 0.0);     // root
+  EXPECT_DOUBLE_EQ(t.path_resistance(c), 5e3);
+}
+
+TEST(RcTree, SubtreeAndTotalCap) {
+  RcTree t(2e-15);
+  const std::size_t a = t.add_node(0, 1e3, 3e-15);
+  const std::size_t b = t.add_node(a, 1e3, 5e-15);
+  t.add_cap(b, 1e-15);
+  EXPECT_DOUBLE_EQ(t.subtree_cap(a), 9e-15);
+  EXPECT_DOUBLE_EQ(t.subtree_cap(b), 6e-15);
+  EXPECT_DOUBLE_EQ(t.total_cap(), 11e-15);
+}
+
+TEST(RcTree, RphBoundsBracketTheExponentialEstimate) {
+  RcTree t;
+  std::size_t cur = 0;
+  for (int i = 0; i < 4; ++i) cur = t.add_node(cur, 1e3, 20e-15);
+  const auto b = t.rph_bounds(cur, 0.5);
+  EXPECT_LE(b.lower, t.delay_50(cur));
+  EXPECT_GE(b.upper, t.delay_50(cur));
+  EXPECT_GE(b.lower, 0.0);
+}
+
+TEST(RcTree, RphBoundsTightenTowardLowThreshold) {
+  RcTree t;
+  const std::size_t n = t.add_node(0, 1e3, 1e-12);
+  const auto b20 = t.rph_bounds(n, 0.2);
+  const auto b80 = t.rph_bounds(n, 0.8);
+  EXPECT_LT(b20.upper, b80.upper);
+  EXPECT_LE(b20.lower, b80.lower);
+  EXPECT_THROW(t.rph_bounds(n, 0.0), ContractViolation);
+  EXPECT_THROW(t.rph_bounds(n, 1.0), ContractViolation);
+}
+
+TEST(RcTree, SingleSectionBoundsAreClassic) {
+  // For a single RC section, T_D == T_P == RC:
+  // lower(v) = v * RC, upper(v) = RC / (1 - v).
+  RcTree t;
+  const std::size_t n = t.add_node(0, 1e3, 1e-12);
+  const auto b = t.rph_bounds(n, 0.5);
+  EXPECT_NEAR(b.lower, 0.5e-9, 1e-15);
+  EXPECT_NEAR(b.upper, 2e-9, 1e-15);
+}
+
+TEST(RcTree, InputValidation) {
+  RcTree t;
+  EXPECT_THROW(t.add_node(5, 1e3, 0.0), ContractViolation);   // bad parent
+  EXPECT_THROW(t.add_node(0, 0.0, 0.0), ContractViolation);   // zero R
+  EXPECT_THROW(t.add_node(0, 1e3, -1.0), ContractViolation);  // negative C
+  EXPECT_THROW(t.elmore(3), ContractViolation);
+}
+
+// --- ResistiveNetwork ------------------------------------------------------
+
+TEST(ResistiveNetwork, SeriesAndParallelHelpers) {
+  EXPECT_DOUBLE_EQ(series(1e3, 2e3), 3e3);
+  EXPECT_DOUBLE_EQ(parallel(2e3, 2e3), 1e3);
+}
+
+TEST(ResistiveNetwork, SeriesChain) {
+  ResistiveNetwork n;
+  const auto a = n.add_terminal();
+  const auto b = n.add_terminal();
+  const auto c = n.add_terminal();
+  n.add_resistor(a, b, 1e3);
+  n.add_resistor(b, c, 2e3);
+  EXPECT_NEAR(n.effective_resistance(a, c), 3e3, 1e-6);
+}
+
+TEST(ResistiveNetwork, ParallelPair) {
+  ResistiveNetwork n;
+  const auto a = n.add_terminal();
+  const auto b = n.add_terminal();
+  n.add_resistor(a, b, 2e3);
+  n.add_resistor(a, b, 2e3);
+  EXPECT_NEAR(n.effective_resistance(a, b), 1e3, 1e-6);
+}
+
+TEST(ResistiveNetwork, WheatstoneBridge) {
+  // Balanced bridge: the cross resistor carries no current, so
+  // R_eff = (1k + 1k) || (1k + 1k) = 1k regardless of the bridge arm.
+  ResistiveNetwork n;
+  const auto a = n.add_terminal();
+  const auto t1 = n.add_terminal();
+  const auto t2 = n.add_terminal();
+  const auto b = n.add_terminal();
+  n.add_resistor(a, t1, 1e3);
+  n.add_resistor(a, t2, 1e3);
+  n.add_resistor(t1, b, 1e3);
+  n.add_resistor(t2, b, 1e3);
+  n.add_resistor(t1, t2, 7e3);  // arbitrary bridge arm
+  EXPECT_NEAR(n.effective_resistance(a, b), 1e3, 1e-6);
+}
+
+TEST(ResistiveNetwork, DisconnectedThrows) {
+  ResistiveNetwork n;
+  const auto a = n.add_terminal();
+  const auto b = n.add_terminal();
+  const auto c = n.add_terminal();
+  n.add_resistor(a, b, 1e3);
+  EXPECT_THROW(n.effective_resistance(a, c), NumericalError);
+}
+
+TEST(ResistiveNetwork, Validation) {
+  ResistiveNetwork n;
+  const auto a = n.add_terminal();
+  EXPECT_THROW(n.add_resistor(a, a, 1e3), ContractViolation);
+  EXPECT_THROW(n.add_resistor(a, 9, 1e3), ContractViolation);
+  EXPECT_THROW(n.effective_resistance(a, a), ContractViolation);
+}
+
+// Property: effective resistance of a random ladder equals the explicit
+// series/parallel fold.
+class LadderProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LadderProperty, MatchesSeriesParallelFold) {
+  const int rungs = GetParam();
+  ResistiveNetwork n;
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+  const auto a = n.add_terminal();
+  const auto b = n.add_terminal();
+  // Build a ladder a - r1 - x1 - r2 - x2 ... - b with rung resistors
+  // from each xi to b; fold the same structure with series()/parallel().
+  double folded = 0.0;
+  std::size_t cur = a;
+  double series_acc = 0.0;
+  for (int i = 0; i < rungs; ++i) {
+    const double r_series = 1e3 * (i + 1);
+    const double r_rung = 2e3 * (i + 1);
+    const auto x = n.add_terminal();
+    n.add_resistor(cur, x, r_series);
+    n.add_resistor(x, b, r_rung);
+    cur = x;
+    (void)series_acc;
+    (void)folded;
+  }
+  // Fold from the far end: R = r_series_k + (r_rung_k || R_next).
+  double r_eff = 0.0;
+  bool first = true;
+  for (int i = rungs - 1; i >= 0; --i) {
+    const double r_series = 1e3 * (i + 1);
+    const double r_rung = 2e3 * (i + 1);
+    r_eff = first ? series(r_series, r_rung)
+                  : series(r_series, parallel(r_rung, r_eff));
+    first = false;
+  }
+  EXPECT_NEAR(n.effective_resistance(a, b) / r_eff, 1.0, 1e-6);
+  (void)left;
+  (void)right;
+}
+
+INSTANTIATE_TEST_SUITE_P(Rungs, LadderProperty, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace sldm

@@ -1,0 +1,154 @@
+// Tests for the .sim reader/writer, including a round-trip property over
+// every generated benchmark circuit.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "gen/generators.h"
+#include "netlist/sim_io.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace sldm {
+namespace {
+
+Netlist parse(const std::string& text) {
+  std::istringstream in(text);
+  return read_sim(in, "<test>");
+}
+
+TEST(SimIo, ParsesTransistorRecords) {
+  const Netlist nl = parse(
+      "| units: 100\n"
+      "e in gnd out 4 8\n"
+      "d out out vdd 8 4\n");
+  EXPECT_EQ(nl.device_count(), 2u);
+  EXPECT_EQ(nl.node_count(), 4u);
+  const Transistor& t = nl.device(DeviceId(0));
+  EXPECT_EQ(t.type, TransistorType::kNEnhancement);
+  EXPECT_DOUBLE_EQ(t.length, 4e-6);
+  EXPECT_DOUBLE_EQ(t.width, 8e-6);
+}
+
+TEST(SimIo, RecognizesRailNamesAutomatically) {
+  const Netlist nl = parse("e in GND out 4 8\ne in2 Vdd out 4 8\n");
+  EXPECT_TRUE(nl.node(*nl.find_node("GND")).is_ground);
+  EXPECT_TRUE(nl.node(*nl.find_node("Vdd")).is_power);
+}
+
+TEST(SimIo, NSynonymForE) {
+  const Netlist nl = parse("n in gnd out 4 8\n");
+  EXPECT_EQ(nl.device(DeviceId(0)).type, TransistorType::kNEnhancement);
+}
+
+TEST(SimIo, ParsesPType) {
+  const Netlist nl = parse("p in vdd out 3 6\n");
+  EXPECT_EQ(nl.device(DeviceId(0)).type, TransistorType::kPEnhancement);
+}
+
+TEST(SimIo, UnitsHeaderScalesDimensions) {
+  // units: 50 means one file unit = 0.5 micron.
+  const Netlist nl = parse("| units: 50\ne a gnd b 4 8\n");
+  EXPECT_DOUBLE_EQ(nl.device(DeviceId(0)).length, 2e-6);
+  EXPECT_DOUBLE_EQ(nl.device(DeviceId(0)).width, 4e-6);
+}
+
+TEST(SimIo, GroundedCapRecord) {
+  const Netlist nl = parse("c busnode 12.5\n");
+  const NodeId n = *nl.find_node("busnode");
+  EXPECT_DOUBLE_EQ(nl.node(n).cap, 12.5 * units::fF);
+}
+
+TEST(SimIo, InternodalCapLumpedToBothEnds) {
+  const Netlist nl = parse("C a b 4\n");
+  EXPECT_DOUBLE_EQ(nl.node(*nl.find_node("a")).cap, 4 * units::fF);
+  EXPECT_DOUBLE_EQ(nl.node(*nl.find_node("b")).cap, 4 * units::fF);
+}
+
+TEST(SimIo, RoleRecords) {
+  const Netlist nl = parse(
+      "@vdd vcc\n@gnd vee\n@in a b\n@out y\n@precharged bus\n");
+  EXPECT_TRUE(nl.node(*nl.find_node("vcc")).is_power);
+  EXPECT_TRUE(nl.node(*nl.find_node("vee")).is_ground);
+  EXPECT_TRUE(nl.node(*nl.find_node("a")).is_input);
+  EXPECT_TRUE(nl.node(*nl.find_node("b")).is_input);
+  EXPECT_TRUE(nl.node(*nl.find_node("y")).is_output);
+  EXPECT_TRUE(nl.node(*nl.find_node("bus")).is_precharged);
+}
+
+TEST(SimIo, CommentsAndBlankLinesIgnored) {
+  const Netlist nl = parse("\n| a comment\n\ne in gnd out 4 8\n");
+  EXPECT_EQ(nl.device_count(), 1u);
+}
+
+TEST(SimIo, ErrorsCarryLineNumbers) {
+  try {
+    parse("e in gnd out 4 8\nbogus record\n");
+    FAIL() << "should have thrown";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.file(), "<test>");
+  }
+}
+
+TEST(SimIo, RejectsMalformedRecords) {
+  EXPECT_THROW(parse("e in gnd out\n"), ParseError);           // missing dims
+  EXPECT_THROW(parse("e in gnd out 0 8\n"), ParseError);       // zero length
+  EXPECT_THROW(parse("e in gnd gnd 4 8\n"), ParseError);       // s == d
+  EXPECT_THROW(parse("c node\n"), ParseError);                 // missing cap
+  EXPECT_THROW(parse("c node -3\n"), ParseError);              // negative cap
+  EXPECT_THROW(parse("C a b\n"), ParseError);                  // missing cap
+  EXPECT_THROW(parse("@bogus x\n"), ParseError);               // unknown role
+  EXPECT_THROW(parse("@in\n"), ParseError);                    // empty role
+  EXPECT_THROW(parse("| units: abc\ne a gnd b 4 8\n"), ParseError);
+}
+
+TEST(SimIo, RejectsBadUnitsAndUnknownRecord) {
+  EXPECT_THROW(parse("| units: -5\n"), ParseError);
+  EXPECT_THROW(parse("zzz 1 2 3\n"), ParseError);
+}
+
+TEST(SimIo, MissingFileThrows) {
+  EXPECT_THROW(read_sim_file("/nonexistent/file.sim"), Error);
+}
+
+// Round-trip property: write + reparse preserves the circuit.
+class SimIoRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimIoRoundTrip, GeneratedCircuitSurvivesRoundTrip) {
+  const auto suite = accuracy_suite(Style::kNmos);
+  const auto& g = suite[static_cast<std::size_t>(GetParam())];
+  const Netlist& a = g.netlist;
+  const Netlist b = reparse(a);
+
+  ASSERT_EQ(b.node_count(), a.node_count());
+  ASSERT_EQ(b.device_count(), a.device_count());
+  for (NodeId n : a.node_ids()) {
+    const Node& na = a.node(n);
+    const auto found = b.find_node(na.name);
+    ASSERT_TRUE(found.has_value()) << na.name;
+    const Node& nb = b.node(*found);
+    EXPECT_EQ(nb.is_power, na.is_power) << na.name;
+    EXPECT_EQ(nb.is_ground, na.is_ground) << na.name;
+    EXPECT_EQ(nb.is_input, na.is_input) << na.name;
+    EXPECT_EQ(nb.is_output, na.is_output) << na.name;
+    EXPECT_EQ(nb.is_precharged, na.is_precharged) << na.name;
+    EXPECT_NEAR(nb.cap, na.cap, 1e-21) << na.name;
+  }
+  for (DeviceId d : a.device_ids()) {
+    const Transistor& ta = a.device(d);
+    const Transistor& tb = b.device(d);
+    EXPECT_EQ(tb.type, ta.type);
+    EXPECT_EQ(b.node(tb.gate).name, a.node(ta.gate).name);
+    EXPECT_EQ(b.node(tb.source).name, a.node(ta.source).name);
+    EXPECT_EQ(b.node(tb.drain).name, a.node(ta.drain).name);
+    EXPECT_NEAR(tb.width, ta.width, 1e-12);
+    EXPECT_NEAR(tb.length, ta.length, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSuiteCircuits, SimIoRoundTrip,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace sldm

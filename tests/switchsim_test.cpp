@@ -1,0 +1,250 @@
+// Tests for the switch-level logic simulator: gate truth tables in both
+// logic styles, strength resolution, dynamic charge, unknowns, and the
+// bridge into value-aware timing analysis.
+#include <gtest/gtest.h>
+
+#include "delay/rctree.h"
+#include "gen/generators.h"
+#include "switchsim/simulator.h"
+#include "tech/tech.h"
+#include "timing/analyzer.h"
+#include "util/contracts.h"
+#include "util/error.h"
+
+namespace sldm {
+namespace {
+
+TEST(Logic, ResolveAndNames) {
+  EXPECT_EQ(resolve(Logic::k0, Logic::k0), Logic::k0);
+  EXPECT_EQ(resolve(Logic::k1, Logic::k1), Logic::k1);
+  EXPECT_EQ(resolve(Logic::k0, Logic::k1), Logic::kX);
+  EXPECT_EQ(resolve(Logic::kX, Logic::kX), Logic::kX);
+  EXPECT_EQ(to_char(Logic::k0), '0');
+  EXPECT_EQ(to_char(Logic::k1), '1');
+  EXPECT_EQ(to_char(Logic::kX), 'x');
+  EXPECT_EQ(to_string(Strength::kWeak), "weak");
+  EXPECT_TRUE(stronger(Strength::kDriven, Strength::kWeak));
+  EXPECT_EQ(weaker_of(Strength::kDriven, Strength::kCharged),
+            Strength::kCharged);
+}
+
+class InverterTruth : public ::testing::TestWithParam<std::tuple<int, bool>> {
+};
+
+TEST_P(InverterTruth, BothStyles) {
+  const Style style =
+      std::get<0>(GetParam()) == 0 ? Style::kNmos : Style::kCmos;
+  const bool in_high = std::get<1>(GetParam());
+  const GeneratedCircuit g = inverter_chain(style, 1, 1);
+  SwitchSimulator sim(g.netlist);
+  sim.set_input(g.input, in_high);
+  sim.settle();
+  EXPECT_EQ(sim.value(g.output), logic_from_bool(!in_high))
+      << to_string(style) << " in=" << in_high;
+}
+
+INSTANTIATE_TEST_SUITE_P(Styles, InverterTruth,
+                         ::testing::Combine(::testing::Values(0, 1),
+                                            ::testing::Bool()));
+
+TEST(SwitchSim, NandTruthTable) {
+  for (const Style style : {Style::kNmos, Style::kCmos}) {
+    const GeneratedCircuit g = nand_chain(style, 2);
+    const NodeId a0 = g.input;
+    const NodeId a1 = g.high_inputs[0];
+    const NodeId y = *g.netlist.find_node("y");
+    for (const bool va : {false, true}) {
+      for (const bool vb : {false, true}) {
+        SwitchSimulator sim(g.netlist);
+        sim.set_input(a0, va);
+        sim.set_input(a1, vb);
+        sim.settle();
+        EXPECT_EQ(sim.value(y), logic_from_bool(!(va && vb)))
+            << to_string(style) << ' ' << va << vb;
+        // The observer inverter re-inverts.
+        EXPECT_EQ(sim.value(g.output), logic_from_bool(va && vb));
+      }
+    }
+  }
+}
+
+TEST(SwitchSim, NorTruthTable) {
+  for (const Style style : {Style::kNmos, Style::kCmos}) {
+    const GeneratedCircuit g = nor_chain(style, 2);
+    const NodeId y = *g.netlist.find_node("y");
+    for (const bool va : {false, true}) {
+      for (const bool vb : {false, true}) {
+        SwitchSimulator sim(g.netlist);
+        sim.set_input(g.input, va);
+        sim.set_input(g.low_inputs[0], vb);
+        sim.settle();
+        EXPECT_EQ(sim.value(y), logic_from_bool(!(va || vb)))
+            << to_string(style) << ' ' << va << vb;
+      }
+    }
+  }
+}
+
+TEST(SwitchSim, RatioedFightStrongBeatsWeak) {
+  // nMOS inverter with input high: the driven pull-down overrides the
+  // weak depletion load.
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 1, 1);
+  SwitchSimulator sim(g.netlist);
+  sim.set_input(g.input, true);
+  sim.settle();
+  EXPECT_EQ(sim.value(g.output), Logic::k0);
+  EXPECT_EQ(sim.strength(g.output), Strength::kDriven);
+  // Input low: only the weak load drives.
+  SwitchSimulator sim2(g.netlist);
+  sim2.set_input(g.input, false);
+  sim2.settle();
+  EXPECT_EQ(sim2.value(g.output), Logic::k1);
+  EXPECT_EQ(sim2.strength(g.output), Strength::kWeak);
+}
+
+TEST(SwitchSim, PassGatePassesAndIsolates) {
+  const GeneratedCircuit g = pass_chain(Style::kNmos, 2);
+  const NodeId sel = g.high_inputs[0];
+  const NodeId p2 = *g.netlist.find_node("p2");
+  {
+    SwitchSimulator sim(g.netlist);
+    sim.set_input(g.input, true);  // in=1 -> p0=0, passed along
+    sim.set_input(sel, true);
+    sim.settle();
+    EXPECT_EQ(sim.value(p2), Logic::k0);
+    EXPECT_EQ(sim.value(g.output), Logic::k1);
+  }
+  {
+    SwitchSimulator sim(g.netlist);
+    sim.set_input(g.input, true);
+    sim.set_input(sel, false);  // chain cut: p2 keeps its (unknown) charge
+    sim.settle();
+    EXPECT_EQ(sim.value(p2), Logic::kX);
+    EXPECT_EQ(sim.strength(p2), Strength::kCharged);
+  }
+}
+
+TEST(SwitchSim, DynamicNodeRetainsPrecharge) {
+  const GeneratedCircuit g = precharged_bus(Style::kNmos, 2);
+  const NodeId bus = *g.netlist.find_node("bus");
+  SwitchSimulator sim(g.netlist);
+  for (NodeId n : g.high_inputs) sim.set_input(n, true);
+  for (NodeId n : g.low_inputs) sim.set_input(n, false);
+  sim.set_input(g.input, false);  // data off: nothing pulls the bus down
+  sim.precharge();
+  sim.settle();
+  EXPECT_EQ(sim.value(bus), Logic::k1);
+  EXPECT_EQ(sim.strength(bus), Strength::kCharged);
+
+  // Fire the data input: the bus discharges through the stack.
+  sim.set_input(g.input, true);
+  sim.settle();
+  EXPECT_EQ(sim.value(bus), Logic::k0);
+  EXPECT_EQ(sim.strength(bus), Strength::kDriven);
+}
+
+TEST(SwitchSim, UnknownGateProducesX) {
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 1, 1);
+  SwitchSimulator sim(g.netlist);
+  // Input left unset -> X.
+  sim.settle();
+  EXPECT_EQ(sim.value(g.output), Logic::kX);
+}
+
+TEST(SwitchSim, XDoesNotLeakThroughDefiniteGates) {
+  // NAND with one input 0 outputs 1 regardless of the other input.
+  const GeneratedCircuit g = nand_chain(Style::kCmos, 2);
+  const NodeId y = *g.netlist.find_node("y");
+  SwitchSimulator sim(g.netlist);
+  sim.set_input(g.input, false);
+  // g.high_inputs[0] left X.
+  sim.settle();
+  EXPECT_EQ(sim.value(y), Logic::k1);
+}
+
+TEST(SwitchSim, RingOscillatorSettlesToX) {
+  // Ternary simulation's classic answer for an oscillator: the loop
+  // nodes cannot hold a definite value, so they settle to X (the
+  // two-pass unknown handling absorbs the oscillation).
+  CircuitBuilder b(Style::kCmos);
+  const NodeId start = b.input("start");
+  const NodeId n1 = b.inverter(start, "n1");
+  const NodeId n2 = b.inverter(n1, "n2");
+  const NodeId n3 = b.inverter(n2, "n3");
+  const Sizing s = Sizing::standard(Style::kCmos);
+  b.netlist().add_transistor(TransistorType::kNEnhancement, n3, b.gnd(), n1,
+                             s.driver_w, s.driver_l);
+  b.netlist().add_transistor(TransistorType::kPEnhancement, n3, n1, b.vdd(),
+                             s.load_w, s.load_l);
+  SwitchSimOptions opts;
+  opts.max_iterations = 64;
+  SwitchSimulator sim(b.netlist(), opts);
+  sim.set_input(start, true);
+  sim.settle();
+  EXPECT_EQ(sim.value(n1), Logic::kX);
+  EXPECT_EQ(sim.value(n2), Logic::kX);
+  EXPECT_EQ(sim.value(n3), Logic::kX);
+}
+
+TEST(SwitchSim, DecoderSelectsExactlyOneRow) {
+  const GeneratedCircuit g = address_decoder(Style::kNmos, 3);
+  SwitchSimulator sim(g.netlist);
+  sim.set_input(g.input, true);  // a0 = 1, others 0 -> address 1
+  for (NodeId n : g.low_inputs) sim.set_input(n, false);
+  sim.settle();
+  for (int r = 0; r < 8; ++r) {
+    const NodeId row = *g.netlist.find_node("row" + std::to_string(r));
+    EXPECT_EQ(sim.value(row), logic_from_bool(r == 1)) << "row " << r;
+  }
+}
+
+TEST(SwitchSim, FixedValuesFeedValueAwareTiming) {
+  // Simulate the barrel shifter's steady state, then use the settled
+  // values to pin the analyzer: stages through deselected passes vanish.
+  const GeneratedCircuit g = barrel_shifter(Style::kNmos, 4);
+  SwitchSimulator sim(g.netlist);
+  sim.set_input(g.input, false);
+  for (NodeId n : g.high_inputs) sim.set_input(n, true);
+  for (NodeId n : g.low_inputs) sim.set_input(n, false);
+  sim.settle();
+
+  AnalyzerOptions opts;
+  for (const auto& [node, v] : sim.fixed_values()) {
+    // Pin only the select lines (inputs); pinning everything would
+    // freeze the data path we are about to analyze.
+    if (g.netlist.node(node).is_input && node != g.input) {
+      opts.extract.fixed_values[node] = v;
+    }
+  }
+  const Tech tech = nmos4();
+  const RcTreeModel model;
+  TimingAnalyzer pinned(g.netlist, tech, model, opts);
+  pinned.add_input_event(g.input, Transition::kRise, 0.0, 1e-9);
+  pinned.run();
+
+  TimingAnalyzer unpinned(g.netlist, tech, model);
+  unpinned.add_input_event(g.input, Transition::kRise, 0.0, 1e-9);
+  unpinned.run();
+
+  // Both find the output arrival, but the pinned analysis sees fewer
+  // stages (deselected shift legs are gone).
+  EXPECT_TRUE(pinned.arrival(g.output, Transition::kRise).has_value());
+  EXPECT_LT(pinned.stages().size(), unpinned.stages().size());
+}
+
+TEST(SwitchSim, DumpAndAccessors) {
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 1, 1);
+  SwitchSimulator sim(g.netlist);
+  sim.set_input(g.input, true);
+  sim.settle();
+  const std::string d = sim.dump();
+  EXPECT_NE(d.find("in=1"), std::string::npos);
+  EXPECT_NE(d.find("vdd=1"), std::string::npos);
+  EXPECT_NE(d.find("gnd=0"), std::string::npos);
+  EXPECT_THROW(sim.set_input(g.output, true), ContractViolation);
+  const auto fixed = sim.fixed_values();
+  EXPECT_TRUE(fixed.count(g.input));
+}
+
+}  // namespace
+}  // namespace sldm

@@ -1,0 +1,233 @@
+// Unit tests for src/util: contracts, interpolation, statistics,
+// strings, and table rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/contracts.h"
+#include "util/interp.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/text_table.h"
+#include "util/units.h"
+
+namespace sldm {
+namespace {
+
+// --- contracts -----------------------------------------------------------
+
+TEST(Contracts, ExpectsThrowsOnViolation) {
+  EXPECT_THROW(SLDM_EXPECTS(false), ContractViolation);
+  EXPECT_NO_THROW(SLDM_EXPECTS(true));
+}
+
+TEST(Contracts, EnsuresThrowsOnViolation) {
+  EXPECT_THROW(SLDM_ENSURES(1 == 2), ContractViolation);
+}
+
+TEST(Contracts, MessageNamesKindAndExpression) {
+  try {
+    SLDM_ASSERT(2 + 2 == 5);
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("invariant"), std::string::npos);
+    EXPECT_NE(what.find("2 + 2 == 5"), std::string::npos);
+  }
+}
+
+// --- PiecewiseLinear -----------------------------------------------------
+
+TEST(PiecewiseLinear, SinglePointIsConstant) {
+  const PiecewiseLinear f({1.0}, {7.0});
+  EXPECT_DOUBLE_EQ(f(0.0), 7.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 7.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 7.0);
+}
+
+TEST(PiecewiseLinear, InterpolatesLinearly) {
+  const PiecewiseLinear f({0.0, 1.0, 3.0}, {0.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(f(2.0), 1.0);
+}
+
+TEST(PiecewiseLinear, ClampsOutsideDomain) {
+  const PiecewiseLinear f({0.0, 1.0}, {3.0, 5.0});
+  EXPECT_DOUBLE_EQ(f(-10.0), 3.0);
+  EXPECT_DOUBLE_EQ(f(10.0), 5.0);
+}
+
+TEST(PiecewiseLinear, DerivativeOfSegments) {
+  const PiecewiseLinear f({0.0, 1.0, 3.0}, {0.0, 2.0, 0.0});
+  EXPECT_DOUBLE_EQ(f.derivative(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(f.derivative(2.0), -1.0);
+  EXPECT_DOUBLE_EQ(f.derivative(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.derivative(4.0), 0.0);
+}
+
+TEST(PiecewiseLinear, RejectsUnsortedOrMismatched) {
+  EXPECT_THROW(PiecewiseLinear({1.0, 0.5}, {0.0, 0.0}), ContractViolation);
+  EXPECT_THROW(PiecewiseLinear({0.0, 0.0}, {0.0, 1.0}), ContractViolation);
+  EXPECT_THROW(PiecewiseLinear({0.0}, {0.0, 1.0}), ContractViolation);
+  EXPECT_THROW(PiecewiseLinear({}, {}), ContractViolation);
+}
+
+TEST(PiecewiseLinear, MaxAbsDifference) {
+  const PiecewiseLinear f({0.0, 1.0}, {0.0, 1.0});
+  const PiecewiseLinear g({0.0, 1.0}, {0.5, 1.5});
+  EXPECT_NEAR(f.max_abs_difference(g), 0.5, 1e-12);
+  EXPECT_NEAR(f.max_abs_difference(f), 0.0, 1e-12);
+}
+
+TEST(Spacing, LogSpacedEndpointsAndMonotone) {
+  const auto xs = log_spaced(0.01, 100.0, 9);
+  ASSERT_EQ(xs.size(), 9u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.01);
+  EXPECT_DOUBLE_EQ(xs.back(), 100.0);
+  for (std::size_t i = 1; i < xs.size(); ++i) EXPECT_GT(xs[i], xs[i - 1]);
+  // Log spacing: constant ratio.
+  const double ratio = xs[1] / xs[0];
+  for (std::size_t i = 2; i < xs.size(); ++i) {
+    EXPECT_NEAR(xs[i] / xs[i - 1], ratio, 1e-9);
+  }
+}
+
+TEST(Spacing, LinSpaced) {
+  const auto xs = lin_spaced(-1.0, 1.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs[0], -1.0);
+  EXPECT_DOUBLE_EQ(xs[2], 0.0);
+  EXPECT_DOUBLE_EQ(xs[4], 1.0);
+}
+
+TEST(Spacing, RejectsBadArguments) {
+  EXPECT_THROW(log_spaced(0.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(log_spaced(1.0, 1.0, 4), ContractViolation);
+  EXPECT_THROW(lin_spaced(0.0, 1.0, 1), ContractViolation);
+}
+
+// --- stats ---------------------------------------------------------------
+
+TEST(Stats, SummaryOfKnownSample) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, SingleElementSummary) {
+  const Summary s = summarize({42.0});
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.p90, 42.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(xs, 1.0), 10.0);
+}
+
+TEST(Stats, EmptySummaryRejected) {
+  EXPECT_THROW(summarize({}), ContractViolation);
+}
+
+TEST(Histogram, CountsAndClamps) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 4
+  h.add(-3.0);  // clamped into bin 0
+  h.add(42.0);  // clamped into bin 4
+  h.add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(4), 10.0);
+  EXPECT_FALSE(h.to_ascii().empty());
+}
+
+// --- strings -------------------------------------------------------------
+
+TEST(Strings, SplitWs) {
+  const auto t = split_ws("  a\tbb   c ");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "bb");
+  EXPECT_EQ(t[2], "c");
+  EXPECT_TRUE(split_ws("   ").empty());
+}
+
+TEST(Strings, SplitOnDelimiterKeepsEmptyFields) {
+  const auto t = split("a::b:", ':');
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_EQ(t[0], "a");
+  EXPECT_EQ(t[1], "");
+  EXPECT_EQ(t[2], "b");
+  EXPECT_EQ(t[3], "");
+}
+
+TEST(Strings, TrimAndLower) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(to_lower("VdD!"), "vdd!");
+}
+
+TEST(Strings, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*parse_double("2.5e-9"), 2.5e-9);
+  EXPECT_FALSE(parse_double("2.5x").has_value());
+  EXPECT_FALSE(parse_double("").has_value());
+}
+
+TEST(Strings, ParseLongStrict) {
+  EXPECT_EQ(*parse_long("-17"), -17);
+  EXPECT_FALSE(parse_long("17.0").has_value());
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(format("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(format("%.2f", 1.239), "1.24");
+}
+
+// --- text table ----------------------------------------------------------
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(s.find("---"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RowArityEnforced) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, NumericRow) {
+  TextTable t({"label", "x", "y"});
+  t.add_row_numeric("row", {1.23456, 2.0}, 2);
+  EXPECT_NE(t.to_string().find("1.23"), std::string::npos);
+}
+
+// --- units ---------------------------------------------------------------
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(to_ns(3e-9), 3.0);
+  EXPECT_DOUBLE_EQ(to_fF(2e-15), 2.0);
+  EXPECT_DOUBLE_EQ(to_kohm(5e3), 5.0);
+  EXPECT_DOUBLE_EQ(4.0 * units::um, 4e-6);
+}
+
+}  // namespace
+}  // namespace sldm

@@ -1,0 +1,136 @@
+// Tests for waveform storage and the delay/slope measurements.
+#include <gtest/gtest.h>
+
+#include "analog/waveform.h"
+#include "util/contracts.h"
+
+namespace sldm {
+namespace {
+
+Waveform ramp01(Seconds t0, Seconds t1) {
+  // 0 V before t0, linear to 1 V at t1, flat after.
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(t0, 0.0);
+  w.append(t1, 1.0);
+  w.append(t1 + 1e-9, 1.0);
+  return w;
+}
+
+TEST(Waveform, AppendRequiresIncreasingTime) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(1.0, 2.0);
+  EXPECT_THROW(w.append(1.0, 3.0), ContractViolation);
+  EXPECT_THROW(w.append(0.5, 3.0), ContractViolation);
+}
+
+TEST(Waveform, AtInterpolatesAndClamps) {
+  const Waveform w = ramp01(1e-9, 3e-9);
+  EXPECT_DOUBLE_EQ(w.at(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(w.at(0.5e-9), 0.0);
+  EXPECT_NEAR(w.at(2e-9), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(w.at(10e-9), 1.0);
+}
+
+TEST(Waveform, MinMax) {
+  const Waveform w = ramp01(1e-9, 3e-9);
+  EXPECT_DOUBLE_EQ(w.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(w.max_value(), 1.0);
+}
+
+TEST(Waveform, RisingCrossInterpolated) {
+  const Waveform w = ramp01(1e-9, 3e-9);
+  const auto t = w.cross(0.5, Transition::kRise);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 2e-9, 1e-15);
+}
+
+TEST(Waveform, FallingCross) {
+  Waveform w;
+  w.append(0.0, 5.0);
+  w.append(1e-9, 5.0);
+  w.append(2e-9, 0.0);
+  const auto t = w.cross(2.5, Transition::kFall);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 1.5e-9, 1e-15);
+  EXPECT_FALSE(w.cross(2.5, Transition::kRise).has_value());
+}
+
+TEST(Waveform, CrossRespectsAfter) {
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1e-9, 1.0);  // first rise
+  w.append(2e-9, 0.0);
+  w.append(3e-9, 1.0);  // second rise
+  const auto t = w.cross(0.5, Transition::kRise, 1.5e-9);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_NEAR(*t, 2.5e-9, 1e-15);
+}
+
+TEST(Waveform, NoCrossReturnsNullopt) {
+  const Waveform w = ramp01(1e-9, 3e-9);
+  EXPECT_FALSE(w.cross(1.5, Transition::kRise).has_value());
+  EXPECT_FALSE(w.cross(0.5, Transition::kFall).has_value());
+}
+
+TEST(Waveform, TransitionTimeOfLinearRampEqualsRampTime) {
+  // For an exact linear ramp of duration T over the full swing, the
+  // 10-90 measure scaled by 1/0.8 recovers T.
+  const Seconds T = 4e-9;
+  const Waveform w = ramp01(1e-9, 1e-9 + T);
+  const auto s = w.transition_time(0.0, 1.0, Transition::kRise);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, T, 1e-14);
+}
+
+TEST(Waveform, TransitionTimeFalling) {
+  Waveform w;
+  w.append(0.0, 1.0);
+  w.append(1e-9, 1.0);
+  w.append(5e-9, 0.0);
+  w.append(6e-9, 0.0);
+  const auto s = w.transition_time(0.0, 1.0, Transition::kFall);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(*s, 4e-9, 1e-14);
+}
+
+TEST(Waveform, TransitionTimeRequiresFullTraversal) {
+  // Rises only to 0.5: no 90% crossing.
+  Waveform w;
+  w.append(0.0, 0.0);
+  w.append(1e-9, 0.5);
+  EXPECT_FALSE(
+      w.transition_time(0.0, 1.0, Transition::kRise).has_value());
+}
+
+TEST(MeasureDelay, BetweenTwoRamps) {
+  const Waveform in = ramp01(1e-9, 2e-9);    // 50% at 1.5 ns
+  const Waveform out = ramp01(3e-9, 5e-9);   // 50% at 4 ns
+  const auto d = measure_delay(in, Transition::kRise, out, Transition::kRise,
+                               0.5);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_NEAR(*d, 2.5e-9, 1e-14);
+}
+
+TEST(MeasureDelay, OutputCrossingMustFollowInput) {
+  // The output crossing search starts at the input crossing.
+  Waveform in = ramp01(5e-9, 6e-9);  // input crosses at 5.5 ns
+  Waveform out = ramp01(1e-9, 2e-9);  // output crossed earlier: not found
+  EXPECT_FALSE(measure_delay(in, Transition::kRise, out, Transition::kRise,
+                             0.5)
+                   .has_value());
+}
+
+TEST(MeasureDelay, MissingInputCrossing) {
+  Waveform flat;
+  flat.append(0.0, 0.0);
+  flat.append(1e-9, 0.0);
+  const Waveform out = ramp01(1e-9, 2e-9);
+  EXPECT_FALSE(measure_delay(flat, Transition::kRise, out, Transition::kRise,
+                             0.5)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace sldm
