@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_charge_sharing.dir/bench_ext_charge_sharing.cpp.o"
+  "CMakeFiles/bench_ext_charge_sharing.dir/bench_ext_charge_sharing.cpp.o.d"
+  "bench_ext_charge_sharing"
+  "bench_ext_charge_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_charge_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

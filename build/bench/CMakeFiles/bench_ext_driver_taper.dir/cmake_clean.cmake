@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_driver_taper.dir/bench_ext_driver_taper.cpp.o"
+  "CMakeFiles/bench_ext_driver_taper.dir/bench_ext_driver_taper.cpp.o.d"
+  "bench_ext_driver_taper"
+  "bench_ext_driver_taper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_driver_taper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_sram.dir/bench_ext_sram.cpp.o"
+  "CMakeFiles/bench_ext_sram.dir/bench_ext_sram.cpp.o.d"
+  "bench_ext_sram"
+  "bench_ext_sram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_sram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_delay_vs_risetime.dir/bench_fig2_delay_vs_risetime.cpp.o"
+  "CMakeFiles/bench_fig2_delay_vs_risetime.dir/bench_fig2_delay_vs_risetime.cpp.o.d"
+  "bench_fig2_delay_vs_risetime"
+  "bench_fig2_delay_vs_risetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_delay_vs_risetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_precharged_bus.dir/bench_fig5_precharged_bus.cpp.o"
+  "CMakeFiles/bench_fig5_precharged_bus.dir/bench_fig5_precharged_bus.cpp.o.d"
+  "bench_fig5_precharged_bus"
+  "bench_fig5_precharged_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_precharged_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

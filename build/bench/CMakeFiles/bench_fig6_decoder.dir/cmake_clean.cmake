@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_decoder.dir/bench_fig6_decoder.cpp.o"
+  "CMakeFiles/bench_fig6_decoder.dir/bench_fig6_decoder.cpp.o.d"
+  "bench_fig6_decoder"
+  "bench_fig6_decoder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_decoder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

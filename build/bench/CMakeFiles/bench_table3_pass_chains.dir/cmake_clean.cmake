@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pass_chains.dir/bench_table3_pass_chains.cpp.o"
+  "CMakeFiles/bench_table3_pass_chains.dir/bench_table3_pass_chains.cpp.o.d"
+  "bench_table3_pass_chains"
+  "bench_table3_pass_chains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pass_chains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adder_timing.dir/adder_timing.cpp.o"
+  "CMakeFiles/adder_timing.dir/adder_timing.cpp.o.d"
+  "adder_timing"
+  "adder_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adder_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_tech.dir/calibrate_tech.cpp.o"
+  "CMakeFiles/calibrate_tech.dir/calibrate_tech.cpp.o.d"
+  "calibrate_tech"
+  "calibrate_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shifter_timing.dir/shifter_timing.cpp.o"
+  "CMakeFiles/shifter_timing.dir/shifter_timing.cpp.o.d"
+  "shifter_timing"
+  "shifter_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shifter_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

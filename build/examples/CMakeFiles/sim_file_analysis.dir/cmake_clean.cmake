@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_file_analysis.dir/sim_file_analysis.cpp.o"
+  "CMakeFiles/sim_file_analysis.dir/sim_file_analysis.cpp.o.d"
+  "sim_file_analysis"
+  "sim_file_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_file_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

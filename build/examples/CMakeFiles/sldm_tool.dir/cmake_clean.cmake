@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_tool.dir/sldm_cli.cpp.o"
+  "CMakeFiles/sldm_tool.dir/sldm_cli.cpp.o.d"
+  "sldm"
+  "sldm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

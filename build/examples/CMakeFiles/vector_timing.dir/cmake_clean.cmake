@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vector_timing.dir/vector_timing.cpp.o"
+  "CMakeFiles/vector_timing.dir/vector_timing.cpp.o.d"
+  "vector_timing"
+  "vector_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vector_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("netlist")
+subdirs("tech")
+subdirs("analog")
+subdirs("rc")
+subdirs("delay")
+subdirs("switchsim")
+subdirs("timing")
+subdirs("calib")
+subdirs("gen")
+subdirs("compare")
+subdirs("cli")

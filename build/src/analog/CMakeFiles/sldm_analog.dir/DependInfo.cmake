@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/circuit.cpp" "src/analog/CMakeFiles/sldm_analog.dir/circuit.cpp.o" "gcc" "src/analog/CMakeFiles/sldm_analog.dir/circuit.cpp.o.d"
+  "/root/repo/src/analog/elaborate.cpp" "src/analog/CMakeFiles/sldm_analog.dir/elaborate.cpp.o" "gcc" "src/analog/CMakeFiles/sldm_analog.dir/elaborate.cpp.o.d"
+  "/root/repo/src/analog/export.cpp" "src/analog/CMakeFiles/sldm_analog.dir/export.cpp.o" "gcc" "src/analog/CMakeFiles/sldm_analog.dir/export.cpp.o.d"
+  "/root/repo/src/analog/matrix.cpp" "src/analog/CMakeFiles/sldm_analog.dir/matrix.cpp.o" "gcc" "src/analog/CMakeFiles/sldm_analog.dir/matrix.cpp.o.d"
+  "/root/repo/src/analog/sparse.cpp" "src/analog/CMakeFiles/sldm_analog.dir/sparse.cpp.o" "gcc" "src/analog/CMakeFiles/sldm_analog.dir/sparse.cpp.o.d"
+  "/root/repo/src/analog/transient.cpp" "src/analog/CMakeFiles/sldm_analog.dir/transient.cpp.o" "gcc" "src/analog/CMakeFiles/sldm_analog.dir/transient.cpp.o.d"
+  "/root/repo/src/analog/waveform.cpp" "src/analog/CMakeFiles/sldm_analog.dir/waveform.cpp.o" "gcc" "src/analog/CMakeFiles/sldm_analog.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tech/CMakeFiles/sldm_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sldm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sldm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_analog.dir/circuit.cpp.o"
+  "CMakeFiles/sldm_analog.dir/circuit.cpp.o.d"
+  "CMakeFiles/sldm_analog.dir/elaborate.cpp.o"
+  "CMakeFiles/sldm_analog.dir/elaborate.cpp.o.d"
+  "CMakeFiles/sldm_analog.dir/export.cpp.o"
+  "CMakeFiles/sldm_analog.dir/export.cpp.o.d"
+  "CMakeFiles/sldm_analog.dir/matrix.cpp.o"
+  "CMakeFiles/sldm_analog.dir/matrix.cpp.o.d"
+  "CMakeFiles/sldm_analog.dir/sparse.cpp.o"
+  "CMakeFiles/sldm_analog.dir/sparse.cpp.o.d"
+  "CMakeFiles/sldm_analog.dir/transient.cpp.o"
+  "CMakeFiles/sldm_analog.dir/transient.cpp.o.d"
+  "CMakeFiles/sldm_analog.dir/waveform.cpp.o"
+  "CMakeFiles/sldm_analog.dir/waveform.cpp.o.d"
+  "libsldm_analog.a"
+  "libsldm_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

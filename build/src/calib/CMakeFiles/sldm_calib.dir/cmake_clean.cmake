@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_calib.dir/calibrate.cpp.o"
+  "CMakeFiles/sldm_calib.dir/calibrate.cpp.o.d"
+  "libsldm_calib.a"
+  "libsldm_calib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_calib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

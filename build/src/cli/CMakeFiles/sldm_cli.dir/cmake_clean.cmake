@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_cli.dir/cli.cpp.o"
+  "CMakeFiles/sldm_cli.dir/cli.cpp.o.d"
+  "libsldm_cli.a"
+  "libsldm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

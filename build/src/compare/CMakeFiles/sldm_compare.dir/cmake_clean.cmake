@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_compare.dir/harness.cpp.o"
+  "CMakeFiles/sldm_compare.dir/harness.cpp.o.d"
+  "libsldm_compare.a"
+  "libsldm_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/delay/bounds.cpp" "src/delay/CMakeFiles/sldm_delay.dir/bounds.cpp.o" "gcc" "src/delay/CMakeFiles/sldm_delay.dir/bounds.cpp.o.d"
+  "/root/repo/src/delay/lumped.cpp" "src/delay/CMakeFiles/sldm_delay.dir/lumped.cpp.o" "gcc" "src/delay/CMakeFiles/sldm_delay.dir/lumped.cpp.o.d"
+  "/root/repo/src/delay/rctree.cpp" "src/delay/CMakeFiles/sldm_delay.dir/rctree.cpp.o" "gcc" "src/delay/CMakeFiles/sldm_delay.dir/rctree.cpp.o.d"
+  "/root/repo/src/delay/slope.cpp" "src/delay/CMakeFiles/sldm_delay.dir/slope.cpp.o" "gcc" "src/delay/CMakeFiles/sldm_delay.dir/slope.cpp.o.d"
+  "/root/repo/src/delay/slope_table.cpp" "src/delay/CMakeFiles/sldm_delay.dir/slope_table.cpp.o" "gcc" "src/delay/CMakeFiles/sldm_delay.dir/slope_table.cpp.o.d"
+  "/root/repo/src/delay/stage.cpp" "src/delay/CMakeFiles/sldm_delay.dir/stage.cpp.o" "gcc" "src/delay/CMakeFiles/sldm_delay.dir/stage.cpp.o.d"
+  "/root/repo/src/delay/unit.cpp" "src/delay/CMakeFiles/sldm_delay.dir/unit.cpp.o" "gcc" "src/delay/CMakeFiles/sldm_delay.dir/unit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rc/CMakeFiles/sldm_rc.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sldm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sldm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/sldm_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sldm_tech.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

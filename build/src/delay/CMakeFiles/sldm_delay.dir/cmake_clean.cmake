@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_delay.dir/bounds.cpp.o"
+  "CMakeFiles/sldm_delay.dir/bounds.cpp.o.d"
+  "CMakeFiles/sldm_delay.dir/lumped.cpp.o"
+  "CMakeFiles/sldm_delay.dir/lumped.cpp.o.d"
+  "CMakeFiles/sldm_delay.dir/rctree.cpp.o"
+  "CMakeFiles/sldm_delay.dir/rctree.cpp.o.d"
+  "CMakeFiles/sldm_delay.dir/slope.cpp.o"
+  "CMakeFiles/sldm_delay.dir/slope.cpp.o.d"
+  "CMakeFiles/sldm_delay.dir/slope_table.cpp.o"
+  "CMakeFiles/sldm_delay.dir/slope_table.cpp.o.d"
+  "CMakeFiles/sldm_delay.dir/stage.cpp.o"
+  "CMakeFiles/sldm_delay.dir/stage.cpp.o.d"
+  "CMakeFiles/sldm_delay.dir/unit.cpp.o"
+  "CMakeFiles/sldm_delay.dir/unit.cpp.o.d"
+  "libsldm_delay.a"
+  "libsldm_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_gen.dir/builder.cpp.o"
+  "CMakeFiles/sldm_gen.dir/builder.cpp.o.d"
+  "CMakeFiles/sldm_gen.dir/generators.cpp.o"
+  "CMakeFiles/sldm_gen.dir/generators.cpp.o.d"
+  "libsldm_gen.a"
+  "libsldm_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_netlist.dir/checks.cpp.o"
+  "CMakeFiles/sldm_netlist.dir/checks.cpp.o.d"
+  "CMakeFiles/sldm_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/sldm_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/sldm_netlist.dir/sim_io.cpp.o"
+  "CMakeFiles/sldm_netlist.dir/sim_io.cpp.o.d"
+  "CMakeFiles/sldm_netlist.dir/stats.cpp.o"
+  "CMakeFiles/sldm_netlist.dir/stats.cpp.o.d"
+  "libsldm_netlist.a"
+  "libsldm_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rc/rc_tree.cpp" "src/rc/CMakeFiles/sldm_rc.dir/rc_tree.cpp.o" "gcc" "src/rc/CMakeFiles/sldm_rc.dir/rc_tree.cpp.o.d"
+  "/root/repo/src/rc/resistive_network.cpp" "src/rc/CMakeFiles/sldm_rc.dir/resistive_network.cpp.o" "gcc" "src/rc/CMakeFiles/sldm_rc.dir/resistive_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/sldm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/sldm_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sldm_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sldm_netlist.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

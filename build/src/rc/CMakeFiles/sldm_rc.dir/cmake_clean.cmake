@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_rc.dir/rc_tree.cpp.o"
+  "CMakeFiles/sldm_rc.dir/rc_tree.cpp.o.d"
+  "CMakeFiles/sldm_rc.dir/resistive_network.cpp.o"
+  "CMakeFiles/sldm_rc.dir/resistive_network.cpp.o.d"
+  "libsldm_rc.a"
+  "libsldm_rc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_rc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

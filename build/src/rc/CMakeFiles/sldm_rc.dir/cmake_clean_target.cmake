@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsldm_rc.a"
+)

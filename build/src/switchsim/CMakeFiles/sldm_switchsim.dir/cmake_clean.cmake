@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_switchsim.dir/simulator.cpp.o"
+  "CMakeFiles/sldm_switchsim.dir/simulator.cpp.o.d"
+  "libsldm_switchsim.a"
+  "libsldm_switchsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_switchsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

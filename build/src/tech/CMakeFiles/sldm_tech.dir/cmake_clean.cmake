@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_tech.dir/tech.cpp.o"
+  "CMakeFiles/sldm_tech.dir/tech.cpp.o.d"
+  "CMakeFiles/sldm_tech.dir/tech_io.cpp.o"
+  "CMakeFiles/sldm_tech.dir/tech_io.cpp.o.d"
+  "libsldm_tech.a"
+  "libsldm_tech.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_tech.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

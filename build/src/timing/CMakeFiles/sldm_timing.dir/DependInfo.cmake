@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/analyzer.cpp" "src/timing/CMakeFiles/sldm_timing.dir/analyzer.cpp.o" "gcc" "src/timing/CMakeFiles/sldm_timing.dir/analyzer.cpp.o.d"
+  "/root/repo/src/timing/charge_sharing.cpp" "src/timing/CMakeFiles/sldm_timing.dir/charge_sharing.cpp.o" "gcc" "src/timing/CMakeFiles/sldm_timing.dir/charge_sharing.cpp.o.d"
+  "/root/repo/src/timing/constraints.cpp" "src/timing/CMakeFiles/sldm_timing.dir/constraints.cpp.o" "gcc" "src/timing/CMakeFiles/sldm_timing.dir/constraints.cpp.o.d"
+  "/root/repo/src/timing/paths.cpp" "src/timing/CMakeFiles/sldm_timing.dir/paths.cpp.o" "gcc" "src/timing/CMakeFiles/sldm_timing.dir/paths.cpp.o.d"
+  "/root/repo/src/timing/report.cpp" "src/timing/CMakeFiles/sldm_timing.dir/report.cpp.o" "gcc" "src/timing/CMakeFiles/sldm_timing.dir/report.cpp.o.d"
+  "/root/repo/src/timing/slack.cpp" "src/timing/CMakeFiles/sldm_timing.dir/slack.cpp.o" "gcc" "src/timing/CMakeFiles/sldm_timing.dir/slack.cpp.o.d"
+  "/root/repo/src/timing/stage_extract.cpp" "src/timing/CMakeFiles/sldm_timing.dir/stage_extract.cpp.o" "gcc" "src/timing/CMakeFiles/sldm_timing.dir/stage_extract.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/delay/CMakeFiles/sldm_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sldm_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sldm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sldm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rc/CMakeFiles/sldm_rc.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/sldm_analog.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

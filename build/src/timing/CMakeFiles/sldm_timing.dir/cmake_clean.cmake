@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_timing.dir/analyzer.cpp.o"
+  "CMakeFiles/sldm_timing.dir/analyzer.cpp.o.d"
+  "CMakeFiles/sldm_timing.dir/charge_sharing.cpp.o"
+  "CMakeFiles/sldm_timing.dir/charge_sharing.cpp.o.d"
+  "CMakeFiles/sldm_timing.dir/constraints.cpp.o"
+  "CMakeFiles/sldm_timing.dir/constraints.cpp.o.d"
+  "CMakeFiles/sldm_timing.dir/paths.cpp.o"
+  "CMakeFiles/sldm_timing.dir/paths.cpp.o.d"
+  "CMakeFiles/sldm_timing.dir/report.cpp.o"
+  "CMakeFiles/sldm_timing.dir/report.cpp.o.d"
+  "CMakeFiles/sldm_timing.dir/slack.cpp.o"
+  "CMakeFiles/sldm_timing.dir/slack.cpp.o.d"
+  "CMakeFiles/sldm_timing.dir/stage_extract.cpp.o"
+  "CMakeFiles/sldm_timing.dir/stage_extract.cpp.o.d"
+  "libsldm_timing.a"
+  "libsldm_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

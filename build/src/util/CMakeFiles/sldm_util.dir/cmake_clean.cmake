@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sldm_util.dir/contracts.cpp.o"
+  "CMakeFiles/sldm_util.dir/contracts.cpp.o.d"
+  "CMakeFiles/sldm_util.dir/interp.cpp.o"
+  "CMakeFiles/sldm_util.dir/interp.cpp.o.d"
+  "CMakeFiles/sldm_util.dir/stats.cpp.o"
+  "CMakeFiles/sldm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/sldm_util.dir/strings.cpp.o"
+  "CMakeFiles/sldm_util.dir/strings.cpp.o.d"
+  "CMakeFiles/sldm_util.dir/text_table.cpp.o"
+  "CMakeFiles/sldm_util.dir/text_table.cpp.o.d"
+  "libsldm_util.a"
+  "libsldm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sldm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

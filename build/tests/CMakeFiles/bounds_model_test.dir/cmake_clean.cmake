@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bounds_model_test.dir/bounds_model_test.cpp.o"
+  "CMakeFiles/bounds_model_test.dir/bounds_model_test.cpp.o.d"
+  "bounds_model_test"
+  "bounds_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bounds_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calib_test.dir/calib_test.cpp.o"
+  "CMakeFiles/calib_test.dir/calib_test.cpp.o.d"
+  "calib_test"
+  "calib_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calib_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

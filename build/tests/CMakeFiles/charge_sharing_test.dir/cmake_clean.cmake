@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/charge_sharing_test.dir/charge_sharing_test.cpp.o"
+  "CMakeFiles/charge_sharing_test.dir/charge_sharing_test.cpp.o.d"
+  "charge_sharing_test"
+  "charge_sharing_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/charge_sharing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decoder_pla_test.dir/decoder_pla_test.cpp.o"
+  "CMakeFiles/decoder_pla_test.dir/decoder_pla_test.cpp.o.d"
+  "decoder_pla_test"
+  "decoder_pla_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decoder_pla_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

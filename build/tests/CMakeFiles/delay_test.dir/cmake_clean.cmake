@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delay_test.dir/delay_test.cpp.o"
+  "CMakeFiles/delay_test.dir/delay_test.cpp.o.d"
+  "delay_test"
+  "delay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

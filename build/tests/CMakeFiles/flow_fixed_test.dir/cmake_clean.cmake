@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_fixed_test.dir/flow_fixed_test.cpp.o"
+  "CMakeFiles/flow_fixed_test.dir/flow_fixed_test.cpp.o.d"
+  "flow_fixed_test"
+  "flow_fixed_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_fixed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

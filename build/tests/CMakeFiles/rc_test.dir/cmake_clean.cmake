@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rc_test.dir/rc_test.cpp.o"
+  "CMakeFiles/rc_test.dir/rc_test.cpp.o.d"
+  "rc_test"
+  "rc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

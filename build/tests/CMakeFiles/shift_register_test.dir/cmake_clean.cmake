@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shift_register_test.dir/shift_register_test.cpp.o"
+  "CMakeFiles/shift_register_test.dir/shift_register_test.cpp.o.d"
+  "shift_register_test"
+  "shift_register_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shift_register_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_io_test.dir/sim_io_test.cpp.o"
+  "CMakeFiles/sim_io_test.dir/sim_io_test.cpp.o.d"
+  "sim_io_test"
+  "sim_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stage_extract_test.cpp" "tests/CMakeFiles/stage_extract_test.dir/stage_extract_test.cpp.o" "gcc" "tests/CMakeFiles/stage_extract_test.dir/stage_extract_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cli/CMakeFiles/sldm_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/compare/CMakeFiles/sldm_compare.dir/DependInfo.cmake"
+  "/root/repo/build/src/calib/CMakeFiles/sldm_calib.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen/CMakeFiles/sldm_gen.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/sldm_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/switchsim/CMakeFiles/sldm_switchsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/delay/CMakeFiles/sldm_delay.dir/DependInfo.cmake"
+  "/root/repo/build/src/rc/CMakeFiles/sldm_rc.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/sldm_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/tech/CMakeFiles/sldm_tech.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/sldm_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sldm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

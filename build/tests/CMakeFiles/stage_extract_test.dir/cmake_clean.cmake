@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_extract_test.dir/stage_extract_test.cpp.o"
+  "CMakeFiles/stage_extract_test.dir/stage_extract_test.cpp.o.d"
+  "stage_extract_test"
+  "stage_extract_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_extract_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
