@@ -2,17 +2,23 @@
 //
 // The paper's speed claim: switch-level timing analysis runs orders of
 // magnitude faster than circuit simulation, with the gap widening with
-// circuit size.  google-benchmark measures the analyzer per model on
-// growing random-logic networks; the simulator is timed directly (it is
-// far too slow to iterate) and a speedup table is printed at the end.
+// circuit size.  google-benchmark measures the analyzer per model (and
+// per extraction thread count) on growing random-logic networks; the
+// simulator is timed directly (it is far too slow to iterate) and a
+// speedup table is printed at the end, followed by a thread-scaling
+// table that splits analyzer runtime into stage extraction vs arrival
+// propagation using AnalyzerStats.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <vector>
 
 #include "compare/harness.h"
 #include "util/strings.h"
 #include "util/text_table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -32,22 +38,41 @@ void BM_Analyzer(benchmark::State& state) {
   const auto layers = static_cast<int>(state.range(0));
   const auto width = static_cast<int>(state.range(1));
   const auto model_index = static_cast<std::size_t>(state.range(2));
+  const auto threads = static_cast<int>(state.range(3));
   const CompareContext& ctx = CompareContext::get(Style::kCmos);
   const GeneratedCircuit& g = circuit_for(layers, width);
   const DelayModel* model = ctx.models()[model_index];
+  AnalyzerOptions opts;
+  opts.threads = threads;
 
   for (auto _ : state) {
-    const AnalyzeOnlyResult r = run_analyzer(g, ctx.tech(), *model, 1e-9);
+    const AnalyzeOnlyResult r =
+        run_analyzer(g, ctx.tech(), *model, 1e-9, opts);
     benchmark::DoNotOptimize(r.delay);
   }
   state.counters["devices"] =
       static_cast<double>(g.netlist.device_count());
+  state.counters["threads"] = static_cast<double>(threads);
   state.SetLabel(model->name());
 }
 
 BENCHMARK(BM_Analyzer)
-    ->ArgsProduct({{2, 4, 8}, {4, 8, 16}, {0, 1, 2}})
+    ->ArgsProduct({{2, 4, 8}, {4, 8, 16}, {0, 1, 2}, {1, 4}})
     ->Unit(benchmark::kMillisecond);
+
+/// Best-of-n analyzer run (the analyzer is fast enough to repeat).
+AnalyzeOnlyResult best_analyzer_run(const GeneratedCircuit& g,
+                                    const CompareContext& ctx,
+                                    const AnalyzerOptions& opts, int n) {
+  AnalyzeOnlyResult best;
+  best.analyze_time = 1e9;
+  for (int i = 0; i < n; ++i) {
+    const AnalyzeOnlyResult r =
+        run_analyzer(g, ctx.tech(), *ctx.models()[2], 1e-9, opts);
+    if (r.analyze_time < best.analyze_time) best = r;
+  }
+  return best;
+}
 
 void print_speedup_table() {
   const CompareContext& ctx = CompareContext::get(Style::kCmos);
@@ -64,17 +89,64 @@ void print_speedup_table() {
   circuits.push_back(inverter_chain(Style::kCmos, 24, 4));
   for (const GeneratedCircuit& g : circuits) {
     const SimulateOnlyResult sim = run_simulation(g, ctx.tech(), 1e-9);
-    // Median-of-3 analyzer timing (it is fast enough to repeat).
-    Seconds best = 1e9;
-    AnalyzeOnlyResult ar;
-    for (int i = 0; i < 3; ++i) {
-      ar = run_analyzer(g, ctx.tech(), *ctx.models()[2], 1e-9);
-      best = std::min(best, ar.analyze_time);
-    }
+    const AnalyzeOnlyResult ar =
+        best_analyzer_run(g, ctx, AnalyzerOptions{}, 3);
     table.add_row({g.name, std::to_string(g.netlist.device_count()),
                    format("%.4f", sim.simulate_time),
-                   format("%.6f", best),
-                   format("%.0fx", sim.simulate_time / best)});
+                   format("%.6f", ar.analyze_time),
+                   format("%.0fx", sim.simulate_time / ar.analyze_time)});
+  }
+  std::cout << table.to_string();
+}
+
+void print_thread_scaling_table() {
+  const CompareContext& ctx = CompareContext::get(Style::kCmos);
+  const int hw = ThreadPool::hardware_threads();
+  std::cout << "\nAnalyzer thread scaling (slope model): stage extraction "
+               "is per-CCC parallel,\narrival propagation is sequential; "
+               "hardware_concurrency = "
+            << hw << "\n\n";
+  std::vector<int> thread_counts = {1, 2, 4, hw};
+  std::sort(thread_counts.begin(), thread_counts.end());
+  thread_counts.erase(
+      std::unique(thread_counts.begin(), thread_counts.end()),
+      thread_counts.end());
+
+  std::vector<std::string> header = {"circuit", "devices", "stages",
+                                     "cccs", "prop (ms)"};
+  for (int t : thread_counts) {
+    header.push_back(format("extract t=%d (ms)", t));
+  }
+  header.push_back("speedup");
+  TextTable table(header);
+
+  std::vector<GeneratedCircuit> circuits;
+  circuits.push_back(inverter_chain(Style::kCmos, 24, 4));
+  circuits.push_back(barrel_shifter(Style::kCmos, 6));
+  circuits.push_back(random_logic(Style::kCmos, 8, 16, 0x5DC + 8u));
+  circuits.push_back(random_logic(Style::kCmos, 12, 24, 0x5DC + 12u));
+  for (const GeneratedCircuit& g : circuits) {
+    std::vector<std::string> row = {
+        g.name, std::to_string(g.netlist.device_count())};
+    Seconds base_extract = 0.0;
+    Seconds last_extract = 0.0;
+    std::vector<std::string> extract_cells;
+    for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+      AnalyzerOptions opts;
+      opts.threads = thread_counts[i];
+      const AnalyzeOnlyResult r = best_analyzer_run(g, ctx, opts, 5);
+      if (i == 0) {
+        base_extract = r.extract_time;
+        row.push_back(std::to_string(r.stage_count));
+        row.push_back(std::to_string(r.ccc_count));
+        row.push_back(format("%.3f", r.propagate_time * 1e3));
+      }
+      last_extract = r.extract_time;
+      extract_cells.push_back(format("%.3f", r.extract_time * 1e3));
+    }
+    row.insert(row.end(), extract_cells.begin(), extract_cells.end());
+    row.push_back(format("%.2fx", base_extract / last_extract));
+    table.add_row(row);
   }
   std::cout << table.to_string();
 }
@@ -86,5 +158,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_speedup_table();
+  print_thread_scaling_table();
   return 0;
 }

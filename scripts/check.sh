@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configure + build the asan preset and run the full
+# test suite under AddressSanitizer/UBSan.  Usage: scripts/check.sh [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 2)
+while getopts "j:" opt; do
+  case "$opt" in
+    j) jobs="$OPTARG" ;;
+    *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
+  esac
+done
+
+cmake --preset asan
+cmake --build --preset asan -j "$jobs"
+ctest --preset asan -j "$jobs"
+echo "check.sh: all tests passed under asan+ubsan"

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <ostream>
+#include <set>
 
 #include "analog/elaborate.h"
 #include "analog/export.h"
@@ -36,16 +37,22 @@ class UsageError : public Error {
   using Error::Error;
 };
 
-/// Parsed --key value options plus positional arguments.
+/// Boolean options (present/absent, no value token follows).
+const std::set<std::string> kFlagOptions = {"stats"};
+
+/// Parsed --key value options, --flag switches, and positional
+/// arguments.
 struct Options {
   std::vector<std::string> positional;
   std::map<std::string, std::string> values;
+  std::set<std::string> flags;
 
   std::optional<std::string> get(const std::string& key) const {
     const auto it = values.find(key);
     if (it == values.end()) return std::nullopt;
     return it->second;
   }
+  bool flag(const std::string& key) const { return flags.count(key) > 0; }
 };
 
 Options parse_options(const std::vector<std::string>& args,
@@ -54,6 +61,10 @@ Options parse_options(const std::vector<std::string>& args,
   for (std::size_t i = first; i < args.size(); ++i) {
     if (starts_with(args[i], "--")) {
       const std::string key = args[i].substr(2);
+      if (kFlagOptions.count(key) > 0) {
+        out.flags.insert(key);
+        continue;
+      }
       if (i + 1 >= args.size()) {
         throw UsageError("option --" + key + " needs a value");
       }
@@ -125,7 +136,13 @@ int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
   Tech tech = load_tech(opts);
   const std::unique_ptr<DelayModel> model = make_model(opts, tech, err);
 
-  TimingAnalyzer analyzer(nl, tech, *model);
+  AnalyzerOptions aopts;
+  if (const auto threads = opts.get("threads")) {
+    const auto v = parse_long(*threads);
+    if (!v || *v < 1) throw Error("bad --threads value");
+    aopts.threads = static_cast<int>(*v);
+  }
+  TimingAnalyzer analyzer(nl, tech, *model, aopts);
   Constraints constraints;
   if (const auto ct = opts.get("constraints")) {
     constraints = read_constraints_file(*ct);
@@ -144,6 +161,9 @@ int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
 
   out << "model: " << model->name() << "\n\n"
       << format_output_arrivals(nl, analyzer) << '\n';
+  if (opts.flag("stats")) {
+    out << format_analyzer_stats(nl, analyzer) << '\n';
+  }
   if (constraints.required) {
     const SlackReport slack =
         compute_slack(nl, analyzer, *constraints.required);

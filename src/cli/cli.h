@@ -11,6 +11,10 @@
 //        --constraints <file.ct>             input events + budget
 //        --slope-ns <x>                      default input slope
 //        --paths <k>                         report k worst paths
+//        --threads <n>                       stage-extraction workers
+//                                            (results identical for any n)
+//        --stats                             per-phase timing + per-CCC
+//                                            stage census
 //   sldm chargeshare <file.sim> [--tech ...] dynamic-node audit
 //   sldm sim <file.sim> [--tech ...]         transient simulation
 //        --tstop-ns <x> --csv <out.csv> --vcd <out.vcd>

@@ -73,17 +73,28 @@ const ModelResult& ComparisonResult::model(const std::string& name) const {
 }
 
 AnalyzeOnlyResult run_analyzer(const GeneratedCircuit& g, const Tech& tech,
-                               const DelayModel& model, Seconds input_slope) {
+                               const DelayModel& model, Seconds input_slope,
+                               const AnalyzerOptions& options) {
   const Seconds t0 = now_seconds();
-  TimingAnalyzer analyzer(g.netlist, tech, model);
+  TimingAnalyzer analyzer(g.netlist, tech, model, options);
   analyzer.add_input_event(g.input, Transition::kRise, 0.0, input_slope);
   analyzer.run();
   AnalyzeOnlyResult out;
   const auto worst = analyzer.worst_arrival(/*outputs_only=*/true);
   out.delay = worst ? worst->time : 0.0;
   out.analyze_time = now_seconds() - t0;
-  out.stage_evaluations = analyzer.stage_evaluations();
+  const AnalyzerStats& st = analyzer.stats();
+  out.extract_time = st.extract_seconds;
+  out.propagate_time = st.propagate_seconds;
+  out.stage_evaluations = st.stage_evaluations;
+  out.stage_count = st.stage_count;
+  out.ccc_count = st.ccc_count;
   return out;
+}
+
+AnalyzeOnlyResult run_analyzer(const GeneratedCircuit& g, const Tech& tech,
+                               const DelayModel& model, Seconds input_slope) {
+  return run_analyzer(g, tech, model, input_slope, AnalyzerOptions{});
 }
 
 SimulateOnlyResult run_simulation(const GeneratedCircuit& g, const Tech& tech,

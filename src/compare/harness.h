@@ -18,6 +18,7 @@
 #include "delay/model.h"
 #include "gen/generators.h"
 #include "tech/tech.h"
+#include "timing/analyzer.h"
 
 namespace sldm {
 
@@ -79,9 +80,16 @@ ComparisonResult run_comparison(const GeneratedCircuit& g,
 /// analog reference is measured separately or skipped).
 struct AnalyzeOnlyResult {
   Seconds delay = 0.0;
-  Seconds analyze_time = 0.0;
+  Seconds analyze_time = 0.0;     ///< total wall time (extract + run)
+  Seconds extract_time = 0.0;     ///< stage-extraction phase
+  Seconds propagate_time = 0.0;   ///< arrival-propagation phase
   std::size_t stage_evaluations = 0;
+  std::size_t stage_count = 0;
+  std::size_t ccc_count = 0;
 };
+AnalyzeOnlyResult run_analyzer(const GeneratedCircuit& g, const Tech& tech,
+                               const DelayModel& model, Seconds input_slope,
+                               const AnalyzerOptions& options);
 AnalyzeOnlyResult run_analyzer(const GeneratedCircuit& g, const Tech& tech,
                                const DelayModel& model, Seconds input_slope);
 

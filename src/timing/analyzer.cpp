@@ -1,12 +1,22 @@
 #include "timing/analyzer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 
 #include "util/contracts.h"
 #include "util/error.h"
 
 namespace sldm {
+namespace {
+
+Seconds now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 TimingAnalyzer::TimingAnalyzer(const Netlist& nl, const Tech& tech,
                                const DelayModel& model,
@@ -15,10 +25,26 @@ TimingAnalyzer::TimingAnalyzer(const Netlist& nl, const Tech& tech,
       tech_(tech),
       model_(model),
       options_(options),
-      stages_(extract_all_stages(nl, options.extract)),
+      ccc_(nl),
       stages_by_trigger_(nl.node_count() * 2),
-      arrivals_(nl.node_count() * 2),
+      arrival_time_(nl.node_count() * 2, 0.0),
+      arrival_slope_(nl.node_count() * 2, 0.0),
+      arrival_from_(nl.node_count() * 2, UINT32_MAX),
+      arrival_via_(nl.node_count() * 2, SIZE_MAX),
+      arrival_valid_(nl.node_count() * 2, 0),
       update_counts_(static_cast<std::size_t>(nl.node_count()) * 2, 0) {
+  SLDM_EXPECTS(options.threads >= 1);
+  const Seconds t0 = now_seconds();
+  PartitionedStages extracted =
+      extract_stages_partitioned(nl, options.extract, ccc_, options.threads);
+  stages_ = std::move(extracted.stages);
+  stats_.extract_seconds = now_seconds() - t0;
+  stats_.ccc_count = ccc_.count();
+  stats_.widest_ccc = ccc_.widest();
+  stats_.stages_per_ccc = std::move(extracted.per_ccc);
+  stats_.stage_count = stages_.size();
+  stats_.threads = options.threads;
+
   for (std::size_t s = 0; s < stages_.size(); ++s) {
     const TimingStage& ts = stages_[s];
     const NodeId fire_node =
@@ -31,19 +57,30 @@ std::size_t TimingAnalyzer::key(NodeId node, Transition dir) const {
   return node.index() * 2 + (dir == Transition::kRise ? 0 : 1);
 }
 
+void TimingAnalyzer::require_not_ran(const char* what) const {
+  if (ran_) {
+    throw Error(std::string(what) +
+                " called after run(); call reset() to start a new "
+                "analysis or construct a fresh TimingAnalyzer");
+  }
+}
+
 void TimingAnalyzer::add_input_event(NodeId input, Transition dir,
                                      Seconds time, Seconds slope) {
+  require_not_ran("add_input_event");
   SLDM_EXPECTS(nl_.node(input).is_input);
   SLDM_EXPECTS(slope >= 0.0);
-  SLDM_EXPECTS(!ran_);
-  ArrivalInfo info;
-  info.time = time;
-  info.slope = slope;
-  arrivals_[key(input, dir)] = info;
-  seeds_.emplace_back(input, dir);
+  const std::size_t k = key(input, dir);
+  arrival_time_[k] = time;
+  arrival_slope_[k] = slope;
+  arrival_from_[k] = UINT32_MAX;
+  arrival_via_[k] = SIZE_MAX;
+  arrival_valid_[k] = 1;
+  seeds_.push_back(static_cast<std::uint32_t>(k));
 }
 
 void TimingAnalyzer::add_all_input_events(Seconds slope) {
+  require_not_ran("add_all_input_events");
   for (NodeId n : nl_.node_ids()) {
     if (!nl_.node(n).is_input) continue;
     add_input_event(n, Transition::kRise, 0.0, slope);
@@ -52,53 +89,79 @@ void TimingAnalyzer::add_all_input_events(Seconds slope) {
 }
 
 void TimingAnalyzer::run() {
-  SLDM_EXPECTS(!ran_);
+  require_not_ran("run");
   ran_ = true;
-  std::deque<std::pair<NodeId, Transition>> work(seeds_.begin(), seeds_.end());
-  std::vector<bool> queued(arrivals_.size(), false);
-  for (const auto& [n, d] : seeds_) queued[key(n, d)] = true;
+  const Seconds t0 = now_seconds();
+
+  // Explicit FIFO worklist of packed (node, dir) keys with in-queue
+  // deduplication: an event already awaiting processing is not enqueued
+  // again, it simply gets processed with its latest arrival.
+  std::deque<std::uint32_t> work(seeds_.begin(), seeds_.end());
+  std::vector<char> queued(arrival_valid_.size(), 0);
+  for (const std::uint32_t k : seeds_) queued[k] = 1;
+  stats_.worklist_pushes += seeds_.size();
+  Stage stage;  // element storage reused across evaluations
 
   while (!work.empty()) {
-    const auto [gate, gdir] = work.front();
+    const std::uint32_t fire_key = work.front();
     work.pop_front();
-    queued[key(gate, gdir)] = false;
-    const auto& info = arrivals_[key(gate, gdir)];
-    SLDM_ASSERT(info.has_value());
-    const Seconds t0 = info->time;
-    const Seconds slope0 = info->slope;
+    queued[fire_key] = 0;
+    SLDM_ASSERT(arrival_valid_[fire_key]);
+    const Seconds t_fire = arrival_time_[fire_key];
+    const Seconds slope_fire = arrival_slope_[fire_key];
 
-    for (std::size_t s : stages_by_trigger_[key(gate, gdir)]) {
+    for (std::size_t s : stages_by_trigger_[fire_key]) {
       const TimingStage& ts = stages_[s];
-      const Stage stage = make_stage(nl_, tech_, ts, slope0);
+      make_stage(nl_, tech_, ts, slope_fire, stage);
       const DelayEstimate est = model_.estimate(stage);
-      ++stage_evaluations_;
+      ++stats_.stage_evaluations;
       const std::size_t dest_key = key(ts.destination, ts.output_dir);
-      auto& cur = arrivals_[dest_key];
-      const Seconds t_new = t0 + est.delay;
-      if (cur.has_value() && t_new <= cur->time) continue;
+      const Seconds t_new = t_fire + est.delay;
+      if (arrival_valid_[dest_key] && t_new <= arrival_time_[dest_key]) {
+        continue;
+      }
       if (++update_counts_[dest_key] > options_.max_updates_per_arrival) {
         throw Error("timing loop detected at node '" +
                     nl_.node(ts.destination).name +
                     "': arrival keeps increasing");
       }
-      ArrivalInfo next;
-      next.time = t_new;
-      next.slope = est.output_slope;
-      next.from_node = gate;
-      next.from_dir = gdir;
-      next.via_stage = s;
-      cur = next;
+      arrival_time_[dest_key] = t_new;
+      arrival_slope_[dest_key] = est.output_slope;
+      arrival_from_[dest_key] = static_cast<std::uint32_t>(fire_key);
+      arrival_via_[dest_key] = s;
+      arrival_valid_[dest_key] = 1;
+      ++stats_.arrival_updates;
       if (!queued[dest_key]) {
-        queued[dest_key] = true;
-        work.emplace_back(ts.destination, ts.output_dir);
+        queued[dest_key] = 1;
+        work.push_back(static_cast<std::uint32_t>(dest_key));
+        ++stats_.worklist_pushes;
       }
     }
   }
+  stats_.propagate_seconds = now_seconds() - t0;
+}
+
+void TimingAnalyzer::reset() {
+  std::fill(arrival_valid_.begin(), arrival_valid_.end(), 0);
+  std::fill(update_counts_.begin(), update_counts_.end(), 0);
+  seeds_.clear();
+  ran_ = false;
 }
 
 std::optional<ArrivalInfo> TimingAnalyzer::arrival(NodeId node,
                                                    Transition dir) const {
-  return arrivals_[key(node, dir)];
+  const std::size_t k = key(node, dir);
+  if (!arrival_valid_[k]) return std::nullopt;
+  ArrivalInfo info;
+  info.time = arrival_time_[k];
+  info.slope = arrival_slope_[k];
+  if (arrival_from_[k] != UINT32_MAX) {
+    info.from_node = NodeId(arrival_from_[k] / 2);
+    info.from_dir =
+        arrival_from_[k] % 2 == 0 ? Transition::kRise : Transition::kFall;
+  }
+  info.via_stage = arrival_via_[k];
+  return info;
 }
 
 std::optional<TimingAnalyzer::Worst> TimingAnalyzer::worst_arrival(
@@ -108,10 +171,10 @@ std::optional<TimingAnalyzer::Worst> TimingAnalyzer::worst_arrival(
     if (outputs_only && !nl_.node(n).is_output) continue;
     if (nl_.node(n).is_input) continue;  // input events are seeds
     for (Transition dir : {Transition::kRise, Transition::kFall}) {
-      const auto& info = arrivals_[key(n, dir)];
-      if (!info) continue;
-      if (!worst || info->time > worst->time) {
-        worst = Worst{n, dir, info->time};
+      const std::size_t k = key(n, dir);
+      if (!arrival_valid_[k]) continue;
+      if (!worst || arrival_time_[k] > worst->time) {
+        worst = Worst{n, dir, arrival_time_[k]};
       }
     }
   }
@@ -125,8 +188,8 @@ std::vector<PathStep> TimingAnalyzer::critical_path(NodeId node,
   Transition cdir = dir;
   // Bounded walk: each step strictly decreases arrival time, so the
   // node-count bound can only be exceeded by corrupted predecessors.
-  for (std::size_t guard = 0; guard <= arrivals_.size(); ++guard) {
-    const auto& info = arrivals_[key(cur, cdir)];
+  for (std::size_t guard = 0; guard <= arrival_valid_.size(); ++guard) {
+    const auto info = arrival(cur, cdir);
     SLDM_EXPECTS(info.has_value());
     PathStep step;
     step.node = cur;

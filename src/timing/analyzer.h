@@ -6,13 +6,23 @@
 // estimate produces a candidate (time, slope) at the stage destination,
 // and the latest candidate wins.  Critical paths are recovered by
 // walking the recorded predecessors.
+//
+// Pipeline: construction decomposes the netlist into channel-connected
+// components (timing/ccc.h) and extracts stages per component, fanned
+// out over AnalyzerOptions::threads workers with a deterministic merge
+// (stage indices are identical for every thread count).  Propagation
+// runs an explicit FIFO worklist with in-queue deduplication over a
+// flat structure-of-arrays arrival store.  AnalyzerStats reports where
+// the time went.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "delay/model.h"
+#include "timing/ccc.h"
 #include "timing/stage_extract.h"
 
 namespace sldm {
@@ -23,6 +33,26 @@ struct AnalyzerOptions {
   /// Safety valve: maximum times a (node, direction) arrival may be
   /// improved before the analyzer reports a structural loop.
   int max_updates_per_arrival = 64;
+  /// Worker threads for stage extraction (1 = fully sequential; results
+  /// are bit-identical for any value).  Must be >= 1.
+  int threads = 1;
+};
+
+/// Observability counters for one analyzer lifetime: where did the time
+/// go (extraction vs propagation), and how much work did each phase do.
+/// Counter fields accumulate across run()/reset() cycles; wall-clock
+/// fields hold the most recent phase execution.
+struct AnalyzerStats {
+  std::size_t ccc_count = 0;        ///< channel-connected components
+  std::size_t widest_ccc = 0;       ///< member nodes in the largest CCC
+  std::vector<std::size_t> stages_per_ccc;  ///< indexed by CCC id
+  std::size_t stage_count = 0;      ///< total extracted stages
+  std::size_t stage_evaluations = 0;  ///< delay-model calls during run()
+  std::size_t worklist_pushes = 0;  ///< events enqueued (incl. seeds)
+  std::size_t arrival_updates = 0;  ///< arrival improvements committed
+  Seconds extract_seconds = 0.0;    ///< stage-extraction wall clock
+  Seconds propagate_seconds = 0.0;  ///< run() wall clock
+  int threads = 1;                  ///< extraction worker count used
 };
 
 /// Final arrival data at one (node, transition).
@@ -48,23 +78,31 @@ struct PathStep {
 
 class TimingAnalyzer {
  public:
-  /// Extracts all stages up-front.  `nl`, `tech`, and `model` must
+  /// Extracts all stages up-front (per channel-connected component,
+  /// over options.threads workers).  `nl`, `tech`, and `model` must
   /// outlive the analyzer.
   TimingAnalyzer(const Netlist& nl, const Tech& tech, const DelayModel& model,
                  AnalyzerOptions options = {});
 
   /// Declares a primary-input event.  Precondition: `input` is marked
   /// is_input; slope >= 0.  May be called repeatedly before run().
+  /// Throws Error if run() already completed (reset() first).
   void add_input_event(NodeId input, Transition dir, Seconds time,
                        Seconds slope);
 
   /// Convenience: both transitions on every input at t=0 with `slope`
-  /// (full worst-case analysis).
+  /// (full worst-case analysis).  Same post-run() Error as
+  /// add_input_event.
   void add_all_input_events(Seconds slope);
 
   /// Propagates to fixpoint.  Throws Error if a structural loop exceeds
-  /// the update bound.
+  /// the update bound, or if run() already completed (reset() first).
   void run();
+
+  /// Discards arrivals and seeds so a new set of input events can be
+  /// analyzed without re-extracting stages.  Wall-clock stats of the
+  /// extraction phase are kept; propagation counters keep accumulating.
+  void reset();
 
   /// Arrival at (node, dir), if the node can switch that way at all.
   std::optional<ArrivalInfo> arrival(NodeId node, Transition dir) const;
@@ -110,24 +148,45 @@ class TimingAnalyzer {
   /// All extracted stages (index space of ArrivalInfo::via_stage).
   const std::vector<TimingStage>& stages() const { return stages_; }
 
+  /// The channel-connected component partition extraction ran over.
+  const CccPartition& components() const { return ccc_; }
+
+  /// Phase timings and work counters (see AnalyzerStats).
+  const AnalyzerStats& stats() const { return stats_; }
+
   /// Work counter for the Table 5 runtime comparison.
-  std::size_t stage_evaluations() const { return stage_evaluations_; }
+  std::size_t stage_evaluations() const { return stats_.stage_evaluations; }
 
  private:
+  /// Flat arrival key: (node, dir) -> node * 2 + dir.
   std::size_t key(NodeId node, Transition dir) const;
+
+  /// Requires that run() has not completed yet (Error otherwise).
+  void require_not_ran(const char* what) const;
 
   const Netlist& nl_;
   const Tech& tech_;
   const DelayModel& model_;
   AnalyzerOptions options_;
+  CccPartition ccc_;
   std::vector<TimingStage> stages_;
   /// stages indexed by trigger gate node and gate direction.
   std::vector<std::vector<std::size_t>> stages_by_trigger_;
-  std::vector<std::optional<ArrivalInfo>> arrivals_;
+
+  // Arrival store: structure-of-arrays keyed by key(node, dir).  The
+  // hot propagation loop touches time_/slope_/valid_ only; predecessor
+  // bookkeeping lives in parallel arrays instead of an optional-of-
+  // struct so the inner loop stays on dense doubles.
+  std::vector<Seconds> arrival_time_;
+  std::vector<Seconds> arrival_slope_;
+  std::vector<std::uint32_t> arrival_from_;  ///< packed key; UINT32_MAX none
+  std::vector<std::size_t> arrival_via_;     ///< stage idx; SIZE_MAX seeds
+  std::vector<char> arrival_valid_;
+
   std::vector<int> update_counts_;
-  std::vector<std::pair<NodeId, Transition>> seeds_;
+  std::vector<std::uint32_t> seeds_;  ///< packed keys, insertion order
   bool ran_ = false;
-  std::size_t stage_evaluations_ = 0;
+  AnalyzerStats stats_;
 };
 
 }  // namespace sldm

@@ -1,0 +1,87 @@
+#include "timing/ccc.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/contracts.h"
+
+namespace sldm {
+namespace {
+
+/// Union-find with path halving; components are extracted in a second
+/// deterministic pass, so no union-by-rank bookkeeping is needed beyond
+/// keeping the smaller root (which also makes roots deterministic).
+std::size_t find_root(std::vector<std::size_t>& parent, std::size_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+}  // namespace
+
+CccPartition::CccPartition(const Netlist& nl)
+    : component_of_(nl.node_count(), kNone) {
+  const std::size_t n = nl.node_count();
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), std::size_t{0});
+
+  auto is_bridge = [&](NodeId id) { return !nl.is_rail(id); };
+
+  for (DeviceId d : nl.device_ids()) {
+    const Transistor& t = nl.device(d);
+    if (is_bridge(t.source) && is_bridge(t.drain)) {
+      std::size_t a = find_root(parent, t.source.index());
+      std::size_t b = find_root(parent, t.drain.index());
+      if (a == b) continue;
+      if (b < a) std::swap(a, b);
+      parent[b] = a;  // smaller index wins: deterministic roots
+    }
+  }
+
+  // Number components in order of smallest member id and collect
+  // members (node_ids() is ascending, so members come out sorted).
+  std::vector<std::size_t> component_of_root(n, kNone);
+  for (NodeId id : nl.node_ids()) {
+    if (nl.is_rail(id)) continue;
+    if (nl.channels_at(id).empty()) continue;  // gate-only node
+    const std::size_t root = find_root(parent, id.index());
+    std::size_t& c = component_of_root[root];
+    if (c == kNone) {
+      c = members_.size();
+      members_.emplace_back();
+    }
+    component_of_[id.index()] = c;
+    members_[c].push_back(id);
+  }
+
+  // Attribute devices: a device belongs to every component one of its
+  // channel terminals is in (at most one, since rails are not bridges
+  // and non-rail terminals of one device share a component).
+  device_counts_.assign(members_.size(), 0);
+  for (DeviceId d : nl.device_ids()) {
+    const Transistor& t = nl.device(d);
+    std::size_t c = component_of_[t.source.index()];
+    if (c == kNone) c = component_of_[t.drain.index()];
+    if (c != kNone) ++device_counts_[c];
+  }
+}
+
+const std::vector<NodeId>& CccPartition::members(std::size_t c) const {
+  SLDM_EXPECTS(c < members_.size());
+  return members_[c];
+}
+
+std::size_t CccPartition::device_count(std::size_t c) const {
+  SLDM_EXPECTS(c < device_counts_.size());
+  return device_counts_[c];
+}
+
+std::size_t CccPartition::widest() const {
+  std::size_t best = 0;
+  for (const auto& m : members_) best = std::max(best, m.size());
+  return best;
+}
+
+}  // namespace sldm

@@ -1,0 +1,59 @@
+// Channel-connected component (CCC) decomposition.
+//
+// Crystal's unit of circuit structure: two nodes belong to the same CCC
+// when a chain of transistor channels connects them without passing
+// through a supply rail.  Every channel path the stage extractor
+// enumerates stays inside one CCC (rails, chip inputs, and pinned nodes
+// terminate traversal; rails additionally never *bridge* two
+// components), so per-CCC extraction jobs touch disjoint destination
+// sets and can run in parallel with no shared mutable state.
+//
+// The partition is purely structural: it depends only on the Netlist,
+// not on ExtractOptions, so it is computed once and reused across
+// analyses of the same circuit.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.h"
+
+namespace sldm {
+
+class CccPartition {
+ public:
+  /// Nodes outside every component (rails and nodes with no channel
+  /// terminals) map here.
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  /// Computes the partition.  Components are numbered deterministically
+  /// in order of their smallest member node id.
+  explicit CccPartition(const Netlist& nl);
+
+  /// Number of components.
+  std::size_t count() const { return members_.size(); }
+
+  /// The component containing `n`, or kNone.
+  std::size_t component_of(NodeId n) const {
+    return component_of_[n.index()];
+  }
+
+  /// Member nodes of component `c`, ascending by node id.
+  /// Precondition: c < count().
+  const std::vector<NodeId>& members(std::size_t c) const;
+
+  /// Number of transistors with at least one channel terminal in `c`
+  /// (rail-to-component devices count toward the component).
+  /// Precondition: c < count().
+  std::size_t device_count(std::size_t c) const;
+
+  /// The largest component's member count (0 when there are none).
+  std::size_t widest() const;
+
+ private:
+  std::vector<std::size_t> component_of_;  ///< per node, kNone for rails
+  std::vector<std::vector<NodeId>> members_;
+  std::vector<std::size_t> device_counts_;
+};
+
+}  // namespace sldm

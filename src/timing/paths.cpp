@@ -19,7 +19,7 @@ std::vector<TimingAnalyzer::EnumeratedPath> TimingAnalyzer::k_worst_paths(
 
   std::vector<EnumeratedPath> found;
   std::size_t explored = 0;
-  std::vector<bool> on_path(arrivals_.size(), false);
+  std::vector<bool> on_path(arrival_valid_.size(), false);
   std::vector<PathStep> steps;
 
   auto dfs = [&](auto&& self, NodeId n, Transition d, Seconds t,
@@ -46,10 +46,13 @@ std::vector<TimingAnalyzer::EnumeratedPath> TimingAnalyzer::k_worst_paths(
     on_path[kk] = false;
   };
 
-  for (const auto& [seed_node, seed_dir] : seeds_) {
-    const auto& info = arrivals_[key(seed_node, seed_dir)];
-    SLDM_ASSERT(info.has_value());
-    dfs(dfs, seed_node, seed_dir, info->time, info->slope, "<- input");
+  for (const std::uint32_t seed_key : seeds_) {
+    SLDM_ASSERT(arrival_valid_[seed_key]);
+    const NodeId seed_node(seed_key / 2);
+    const Transition seed_dir =
+        seed_key % 2 == 0 ? Transition::kRise : Transition::kFall;
+    dfs(dfs, seed_node, seed_dir, arrival_time_[seed_key],
+        arrival_slope_[seed_key], "<- input");
   }
 
   std::sort(found.begin(), found.end(),

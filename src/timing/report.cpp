@@ -1,5 +1,7 @@
 #include "timing/report.h"
 
+#include <algorithm>
+#include <numeric>
 #include <sstream>
 
 #include "util/strings.h"
@@ -48,6 +50,42 @@ std::string format_all_arrivals(const Netlist& nl,
                    fall ? format("%.3f", to_ns(fall->slope)) : "-"});
   }
   return table.to_string();
+}
+
+std::string format_analyzer_stats(const Netlist& nl,
+                                  const TimingAnalyzer& analyzer,
+                                  std::size_t max_cccs) {
+  const AnalyzerStats& st = analyzer.stats();
+  std::ostringstream os;
+  os << "analyzer stats:\n"
+     << format("  extraction : %9.3f ms  (%zu stages, %zu CCCs, "
+               "%d thread%s)\n",
+               st.extract_seconds * 1e3, st.stage_count, st.ccc_count,
+               st.threads, st.threads == 1 ? "" : "s")
+     << format("  propagation: %9.3f ms  (%zu stage evaluations, "
+               "%zu worklist pushes, %zu arrival updates)\n",
+               st.propagate_seconds * 1e3, st.stage_evaluations,
+               st.worklist_pushes, st.arrival_updates);
+
+  // Per-CCC census, largest stage contribution first.
+  std::vector<std::size_t> order(st.stages_per_ccc.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return st.stages_per_ccc[a] > st.stages_per_ccc[b];
+                   });
+  if (order.size() > max_cccs) order.resize(max_cccs);
+  const CccPartition& ccc = analyzer.components();
+  TextTable table({"ccc", "nodes", "devices", "stages", "example node"});
+  for (std::size_t c : order) {
+    table.add_row({std::to_string(c),
+                   std::to_string(ccc.members(c).size()),
+                   std::to_string(ccc.device_count(c)),
+                   std::to_string(st.stages_per_ccc[c]),
+                   nl.node(ccc.members(c).front()).name});
+  }
+  os << table.to_string();
+  return os.str();
 }
 
 }  // namespace sldm

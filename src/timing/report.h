@@ -19,4 +19,11 @@ std::string format_output_arrivals(const Netlist& nl,
 std::string format_all_arrivals(const Netlist& nl,
                                 const TimingAnalyzer& analyzer);
 
+/// The analyzer's instrumentation report: per-phase wall clock
+/// (extraction vs propagation), work counters, and a per-CCC stage
+/// census (largest components first, up to `max_cccs` rows).
+std::string format_analyzer_stats(const Netlist& nl,
+                                  const TimingAnalyzer& analyzer,
+                                  std::size_t max_cccs = 10);
+
 }  // namespace sldm

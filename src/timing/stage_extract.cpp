@@ -1,9 +1,10 @@
 #include "timing/stage_extract.h"
 
-#include <set>
+#include <algorithm>
 #include <sstream>
 
 #include "util/contracts.h"
+#include "util/thread_pool.h"
 
 namespace sldm {
 namespace {
@@ -37,22 +38,28 @@ bool blocks_traversal(const Netlist& nl, const ExtractOptions& options,
          (info.is_precharged && dir == Transition::kRise);
 }
 
-/// Depth-first enumeration of simple channel paths dest -> source.
-/// `device_filter` restricts which devices may appear on the path.
-/// Flow annotations are enforced: moving the *search* from node n to
-/// node m means the *signal* flows m -> n, so the device must allow
-/// conduction entering at m.
+/// Depth-first enumeration of simple channel paths dest -> source into
+/// `out` (cleared first).  `device_filter` restricts which devices may
+/// appear on the path.  Flow annotations are enforced: moving the
+/// *search* from node n to node m means the *signal* flows m -> n, so
+/// the device must allow conduction entering at m.
+///
+/// Uses the scratch's visited marks and stack; both are restored to
+/// their empty state on return (the DFS unmarks on unwind), so one
+/// scratch serves any number of sequential queries without clearing.
 template <typename Filter>
-std::vector<std::vector<DeviceId>> enumerate_paths(
-    const Netlist& nl, NodeId dest, Transition dir,
-    const ExtractOptions& options, Filter device_filter) {
-  std::vector<std::vector<DeviceId>> paths;
-  std::vector<bool> visited(nl.node_count(), false);
-  std::vector<DeviceId> stack;
+void enumerate_paths(const Netlist& nl, NodeId dest, Transition dir,
+                     const ExtractOptions& options, Filter device_filter,
+                     ExtractScratch& scratch, PathList& out) {
+  out.clear();
+  scratch.visited.resize(nl.node_count(), 0);
+  auto& visited = scratch.visited;
+  auto& stack = scratch.stack;
+  SLDM_ASSERT(stack.empty());
 
   auto dfs = [&](auto&& self, NodeId n) -> void {
-    if (paths.size() >= kMaxPathsPerQuery) return;
-    visited[n.index()] = true;
+    if (out.size() >= kMaxPathsPerQuery) return;
+    visited[n.index()] = 1;
     for (DeviceId d : nl.channels_at(n)) {
       if (!device_filter(d)) continue;
       const Transistor& t = nl.device(d);
@@ -62,26 +69,27 @@ std::vector<std::vector<DeviceId>> enumerate_paths(
       stack.push_back(d);
       if (is_source_for(nl, options, m, dir)) {
         // Emit in source->dest order.
-        paths.emplace_back(stack.rbegin(), stack.rend());
+        out.devices.insert(out.devices.end(), stack.rbegin(), stack.rend());
+        out.offsets.push_back(
+            static_cast<std::uint32_t>(out.devices.size()));
       } else if (!blocks_traversal(nl, options, m, dir) &&
                  static_cast<int>(stack.size()) < options.max_depth) {
         self(self, m);
       }
       stack.pop_back();
     }
-    visited[n.index()] = false;
+    visited[n.index()] = 0;
   };
   dfs(dfs, dest);
-  return paths;
 }
 
 /// The node at the source end of a source->dest path.
-NodeId path_source(const Netlist& nl, NodeId dest,
-                   const std::vector<DeviceId>& path) {
+template <typename It>
+NodeId path_source(const Netlist& nl, NodeId dest, It first, It last) {
   // Walk from dest backwards to find the far end.
   NodeId cur = dest;
-  for (auto it = path.rbegin(); it != path.rend(); ++it) {
-    cur = nl.device(*it).other_end(cur);
+  for (It it = last; it != first;) {
+    cur = nl.device(*--it).other_end(cur);
   }
   return cur;
 }
@@ -131,74 +139,86 @@ bool always_on(const Netlist& nl, DeviceId d) {
   return always_on(nl, ExtractOptions{}, d);
 }
 
-std::vector<TimingStage> stages_to(const Netlist& nl, NodeId dest,
-                                   Transition dir,
-                                   const ExtractOptions& options) {
-  std::vector<TimingStage> stages;
+void stages_to(const Netlist& nl, NodeId dest, Transition dir,
+               const ExtractOptions& options, ExtractScratch& scratch,
+               std::vector<TimingStage>& out) {
   const Node& dest_info = nl.node(dest);
   // Rails, pinned nodes, and inputs never switch.
   if (known_value(nl, options, dest).has_value() || dest_info.is_input) {
-    return stages;
+    return;
   }
 
   // --- ON-trigger stages: a transistor on the path turns on. ----------
-  const auto paths =
-      enumerate_paths(nl, dest, dir, options,
-                      [&](DeviceId d) { return can_conduct(nl, options, d); });
-  for (const auto& path : paths) {
-    const NodeId src = path_source(nl, dest, path);
-    for (DeviceId d : path) {
+  enumerate_paths(
+      nl, dest, dir, options,
+      [&](DeviceId d) { return can_conduct(nl, options, d); }, scratch,
+      scratch.paths);
+  const PathList& paths = scratch.paths;
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    const auto first = paths.devices.begin() + paths.offsets[p];
+    const auto last = paths.devices.begin() + paths.offsets[p + 1];
+    const NodeId src = path_source(nl, dest, first, last);
+    for (auto it = first; it != last; ++it) {
+      const DeviceId d = *it;
       if (always_on(nl, options, d)) continue;  // loads never trigger
-      stages.push_back(TimingStage{.source = src,
-                                   .destination = dest,
-                                   .output_dir = dir,
-                                   .path = path,
-                                   .trigger = d,
-                                   .trigger_gate_dir =
-                                       on_gate_dir(nl.device(d).type),
-                                   .trigger_is_release = false});
+      out.push_back(TimingStage{.source = src,
+                                .destination = dest,
+                                .output_dir = dir,
+                                .path = {first, last},
+                                .trigger = d,
+                                .trigger_gate_dir =
+                                    on_gate_dir(nl.device(d).type),
+                                .trigger_is_release = false});
     }
     // A chip-input source also fires the stage with its own edge (the
     // only trigger when every path device is constant-on).
     if (nl.node(src).is_input) {
-      stages.push_back(TimingStage{.source = src,
-                                   .destination = dest,
-                                   .output_dir = dir,
-                                   .path = path,
-                                   .trigger = path.front(),
-                                   .trigger_gate_dir = dir,
-                                   .trigger_is_release = false,
-                                   .source_triggered = true});
+      out.push_back(TimingStage{.source = src,
+                                .destination = dest,
+                                .output_dir = dir,
+                                .path = {first, last},
+                                .trigger = *first,
+                                .trigger_gate_dir = dir,
+                                .trigger_is_release = false,
+                                .source_triggered = true});
     }
   }
 
   // --- Release stages: an always-on load restores the node after the
   // opposing network shuts off (ratioed logic). -------------------------
-  const auto load_paths =
-      enumerate_paths(nl, dest, dir, options,
-                      [&](DeviceId d) { return always_on(nl, options, d); });
-  if (!load_paths.empty()) {
-    const auto opposing =
-        enumerate_paths(nl, dest, opposite(dir), options, [&](DeviceId d) {
-          return can_conduct(nl, options, d);
-        });
-    // Each switching device on an opposing path is a release trigger.
-    std::set<DeviceId> release_triggers;
-    for (const auto& opp : opposing) {
-      for (DeviceId d : opp) {
-        if (!always_on(nl, options, d)) release_triggers.insert(d);
-      }
+  enumerate_paths(
+      nl, dest, dir, options,
+      [&](DeviceId d) { return always_on(nl, options, d); }, scratch,
+      scratch.load_paths);
+  const PathList& load_paths = scratch.load_paths;
+  if (load_paths.size() != 0) {
+    enumerate_paths(
+        nl, dest, opposite(dir), options,
+        [&](DeviceId d) { return can_conduct(nl, options, d); }, scratch,
+        scratch.opposing);
+    // Each switching device on an opposing path is a release trigger
+    // (sorted and deduplicated for a deterministic emission order).
+    auto& triggers = scratch.release_triggers;
+    triggers.clear();
+    for (DeviceId d : scratch.opposing.devices) {
+      if (!always_on(nl, options, d)) triggers.push_back(d);
     }
-    for (const auto& load : load_paths) {
-      const NodeId src = path_source(nl, dest, load);
+    std::sort(triggers.begin(), triggers.end());
+    triggers.erase(std::unique(triggers.begin(), triggers.end()),
+                   triggers.end());
+    for (std::size_t p = 0; p < load_paths.size(); ++p) {
+      const auto first = load_paths.devices.begin() + load_paths.offsets[p];
+      const auto last =
+          load_paths.devices.begin() + load_paths.offsets[p + 1];
+      const NodeId src = path_source(nl, dest, first, last);
       // Only rail-driven loads restore a level.
       if (!nl.node(src).is_power && !nl.node(src).is_ground) continue;
-      for (DeviceId d : release_triggers) {
-        stages.push_back(
+      for (DeviceId d : triggers) {
+        out.push_back(
             TimingStage{.source = src,
                         .destination = dest,
                         .output_dir = dir,
-                        .path = load,
+                        .path = {first, last},
                         .trigger = d,
                         .trigger_gate_dir =
                             opposite(on_gate_dir(nl.device(d).type)),
@@ -206,30 +226,110 @@ std::vector<TimingStage> stages_to(const Netlist& nl, NodeId dest,
       }
     }
   }
+}
+
+std::vector<TimingStage> stages_to(const Netlist& nl, NodeId dest,
+                                   Transition dir,
+                                   const ExtractOptions& options) {
+  std::vector<TimingStage> stages;
+  ExtractScratch scratch;
+  stages_to(nl, dest, dir, options, scratch, stages);
   return stages;
 }
 
 std::vector<TimingStage> extract_all_stages(const Netlist& nl,
                                             const ExtractOptions& options) {
   std::vector<TimingStage> all;
+  ExtractScratch scratch;
   for (NodeId n : nl.node_ids()) {
     if (nl.channels_at(n).empty()) continue;
     for (Transition dir : {Transition::kRise, Transition::kFall}) {
-      auto stages = stages_to(nl, n, dir, options);
-      all.insert(all.end(), std::make_move_iterator(stages.begin()),
-                 std::make_move_iterator(stages.end()));
+      stages_to(nl, n, dir, options, scratch, all);
     }
   }
   return all;
 }
 
-Stage make_stage(const Netlist& nl, const Tech& tech, const TimingStage& ts,
-                 Seconds input_slope) {
+PartitionedStages extract_stages_partitioned(const Netlist& nl,
+                                             const ExtractOptions& options,
+                                             const CccPartition& ccc,
+                                             int threads) {
+  SLDM_EXPECTS(threads >= 1);
+  PartitionedStages out;
+  out.per_ccc.assign(ccc.count(), 0);
+
+  // Per-component buckets; each job writes only its own component's
+  // slot, so the merge below needs no synchronization beyond the pool's
+  // wait() barrier.
+  std::vector<std::vector<TimingStage>> per_ccc(ccc.count());
+
+  // Group components into contiguous chunks of roughly equal device
+  // weight so a few big CCCs don't serialize the tail and thousands of
+  // tiny ones don't drown the queue in task overhead.
+  std::size_t total_weight = 0;
+  for (std::size_t c = 0; c < ccc.count(); ++c) {
+    total_weight += ccc.device_count(c) + 1;
+  }
+  const std::size_t target_chunks =
+      std::max<std::size_t>(1, static_cast<std::size_t>(threads) * 8);
+  const std::size_t chunk_weight =
+      std::max<std::size_t>(1, total_weight / target_chunks);
+
+  ThreadPool pool(threads);
+  std::size_t begin = 0;
+  while (begin < ccc.count()) {
+    std::size_t end = begin;
+    std::size_t weight = 0;
+    while (end < ccc.count() && weight < chunk_weight) {
+      weight += ccc.device_count(end) + 1;
+      ++end;
+    }
+    pool.submit([&nl, &options, &ccc, &per_ccc, begin, end] {
+      ExtractScratch scratch;
+      for (std::size_t c = begin; c < end; ++c) {
+        std::vector<TimingStage>& bucket = per_ccc[c];
+        for (NodeId n : ccc.members(c)) {
+          for (Transition dir : {Transition::kRise, Transition::kFall}) {
+            stages_to(nl, n, dir, options, scratch, bucket);
+          }
+        }
+      }
+    });
+    begin = end;
+  }
+  pool.wait();
+
+  // Deterministic merge: global node-id order, exactly the order the
+  // sequential extract_all_stages produces.  Component members are
+  // ascending and components are numbered by smallest member, but
+  // component *ranges* of node ids can interleave, so merge per node.
+  std::size_t total = 0;
+  for (const auto& bucket : per_ccc) total += bucket.size();
+  out.stages.reserve(total);
+  // Position of the next unconsumed stage per component bucket.
+  std::vector<std::size_t> cursor(ccc.count(), 0);
+  for (NodeId n : nl.node_ids()) {
+    const std::size_t c = ccc.component_of(n);
+    if (c == CccPartition::kNone) continue;
+    std::vector<TimingStage>& bucket = per_ccc[c];
+    std::size_t& cur = cursor[c];
+    while (cur < bucket.size() && bucket[cur].destination == n) {
+      out.stages.push_back(std::move(bucket[cur]));
+      ++cur;
+      ++out.per_ccc[c];
+    }
+  }
+  SLDM_ENSURES(out.stages.size() == total);
+  return out;
+}
+
+void make_stage(const Netlist& nl, const Tech& tech, const TimingStage& ts,
+                Seconds input_slope, Stage& out) {
   SLDM_EXPECTS(!ts.path.empty());
-  Stage stage;
-  stage.output_dir = ts.output_dir;
-  stage.input_slope = input_slope;
-  stage.trigger_index = 0;
+  out.elements.clear();
+  out.output_dir = ts.output_dir;
+  out.input_slope = input_slope;
+  out.trigger_index = 0;
   NodeId cur = ts.source;
   for (std::size_t i = 0; i < ts.path.size(); ++i) {
     const Transistor& t = nl.device(ts.path[i]);
@@ -239,14 +339,20 @@ Stage make_stage(const Netlist& nl, const Tech& tech, const TimingStage& ts,
     el.type = t.type;
     el.resistance = tech.resistance(t, ts.output_dir);
     el.cap = tech.node_capacitance(nl, next);
-    stage.elements.push_back(el);
+    out.elements.push_back(el);
     if (!ts.trigger_is_release && ts.path[i] == ts.trigger) {
-      stage.trigger_index = i;
+      out.trigger_index = i;
     }
     cur = next;
   }
   SLDM_ENSURES(cur == ts.destination);
-  validate(stage);
+  validate(out);
+}
+
+Stage make_stage(const Netlist& nl, const Tech& tech, const TimingStage& ts,
+                 Seconds input_slope) {
+  Stage stage;
+  make_stage(nl, tech, ts, input_slope, stage);
   return stage;
 }
 

@@ -17,6 +17,7 @@
 //    devices it gates are constant-on or constant-off.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
 #include <vector>
@@ -24,6 +25,7 @@
 #include "delay/stage.h"
 #include "netlist/netlist.h"
 #include "tech/tech.h"
+#include "timing/ccc.h"
 
 namespace sldm {
 
@@ -75,16 +77,70 @@ bool can_conduct(const Netlist& nl, DeviceId d);
 bool always_on(const Netlist& nl, const ExtractOptions& options, DeviceId d);
 bool always_on(const Netlist& nl, DeviceId d);
 
+/// Flat storage for a batch of channel paths (concatenated device
+/// lists); path `i` occupies [offsets[i], offsets[i+1]) of `devices`.
+/// Reused across queries so path enumeration does not allocate per path.
+struct PathList {
+  std::vector<DeviceId> devices;
+  std::vector<std::uint32_t> offsets{0};
+
+  void clear() {
+    devices.clear();
+    offsets.assign(1, 0);
+  }
+  std::size_t size() const { return offsets.size() - 1; }
+};
+
+/// Reusable workspace for stage extraction.  One scratch per thread;
+/// queries through the same scratch must not run concurrently.  All
+/// buffers grow to the high-water mark of the netlist and stay
+/// allocated, which removes the per-(node, direction) allocation churn
+/// of the DFS hot path.
+struct ExtractScratch {
+  std::vector<char> visited;        ///< per-node DFS mark (self-clearing)
+  std::vector<DeviceId> stack;      ///< DFS channel stack
+  PathList paths;                   ///< ON-trigger candidate paths
+  PathList load_paths;              ///< always-on load paths
+  PathList opposing;                ///< opposing-network paths
+  std::vector<DeviceId> release_triggers;  ///< sorted, deduplicated
+};
+
 /// All stages that can drive `dest` to `dir`, including release stages
-/// through always-on loads.
+/// through always-on loads.  Appends to `out` in deterministic order.
+void stages_to(const Netlist& nl, NodeId dest, Transition dir,
+               const ExtractOptions& options, ExtractScratch& scratch,
+               std::vector<TimingStage>& out);
+
+/// Convenience form (allocates its own scratch).
 std::vector<TimingStage> stages_to(const Netlist& nl, NodeId dest,
                                    Transition dir,
                                    const ExtractOptions& options = {});
 
 /// All stages in the whole netlist (every non-rail, channel-connected
-/// node, both directions).
+/// node, both directions), in ascending (node id, rise-then-fall)
+/// order.
 std::vector<TimingStage> extract_all_stages(
     const Netlist& nl, const ExtractOptions& options = {});
+
+/// Result of a component-partitioned whole-netlist extraction.
+struct PartitionedStages {
+  /// Same contents and order as extract_all_stages (bit-identical for
+  /// any thread count).
+  std::vector<TimingStage> stages;
+  /// Stage count per CCC of the partition used for extraction.
+  std::vector<std::size_t> per_ccc;
+};
+
+/// Extracts the whole netlist by fanning the channel-connected
+/// components of `ccc` out over `threads` workers (threads == 1 runs
+/// inline with no pool).  Each component is an independent job with its
+/// own scratch; results are merged back into global node-id order, so
+/// stage indices are identical to the sequential path regardless of
+/// thread count.  Precondition: threads >= 1; ccc was built from `nl`.
+PartitionedStages extract_stages_partitioned(const Netlist& nl,
+                                             const ExtractOptions& options,
+                                             const CccPartition& ccc,
+                                             int threads);
 
 /// Converts a TimingStage into the electrical Stage the delay models
 /// consume: per-device effective resistances for the output direction
@@ -93,6 +149,12 @@ std::vector<TimingStage> extract_all_stages(
 /// driver of the path (the load device).
 Stage make_stage(const Netlist& nl, const Tech& tech, const TimingStage& ts,
                  Seconds input_slope);
+
+/// In-place form for hot loops: rebuilds `out` (element storage is
+/// reused across calls, so a loop-local Stage avoids one allocation per
+/// delay-model evaluation).
+void make_stage(const Netlist& nl, const Tech& tech, const TimingStage& ts,
+                Seconds input_slope, Stage& out);
 
 /// Human-readable one-line description, for reports.
 std::string describe(const Netlist& nl, const TimingStage& ts);

@@ -1,0 +1,116 @@
+#include "util/thread_pool.h"
+
+#include <utility>
+
+#include "util/contracts.h"
+
+namespace sldm {
+
+ThreadPool::ThreadPool(int threads) : threads_(threads) {
+  SLDM_EXPECTS(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 1; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::run_one(std::function<void()>& task) {
+  try {
+    task();
+  } catch (...) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (threads_ == 1) {
+    // Inline path: execution order is submission order; the only shared
+    // state touched is the error slot.
+    ++in_flight_;
+    run_one(task);
+    --in_flight_;
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  work_available_.notify_one();
+  // A task submitted from inside a task must also wake a coordinator
+  // blocked in wait() so it can help drain the queue.
+  all_done_.notify_all();
+}
+
+void ThreadPool::wait() {
+  if (threads_ > 1) {
+    // Drain the queue from the coordinating thread too, so a pool of k
+    // threads applies k-way parallelism, not k-1.
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (true) {
+      if (!queue_.empty()) {
+        std::function<void()> task = std::move(queue_.front());
+        queue_.pop_front();
+        lock.unlock();
+        run_one(task);
+        lock.lock();
+        if (--in_flight_ == 0) all_done_.notify_all();
+        continue;
+      }
+      if (in_flight_ == 0) break;
+      all_done_.wait(lock, [this] {
+        return in_flight_ == 0 || !queue_.empty();
+      });
+    }
+  }
+  std::exception_ptr err;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    err = std::exchange(first_error_, nullptr);
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    work_available_.wait(lock, [this] {
+      return shutting_down_ || !queue_.empty();
+    });
+    if (queue_.empty()) {
+      if (shutting_down_) return;
+      continue;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    lock.unlock();
+    run_one(task);
+    lock.lock();
+    if (--in_flight_ == 0) all_done_.notify_all();
+  }
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn) {
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&fn, i] { fn(i); });
+  }
+  pool.wait();
+}
+
+}  // namespace sldm

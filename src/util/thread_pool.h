@@ -1,0 +1,73 @@
+// A small fixed-size worker pool for fanning independent tasks out over
+// threads.
+//
+// Design constraints (shared by every parallel pass in sldm):
+//  * determinism is the caller's problem -- the pool only promises that
+//    every submitted task runs exactly once and that wait() establishes a
+//    happens-before edge from all task bodies to the caller;
+//  * exceptions thrown by a task are captured and rethrown from wait()
+//    (first one wins, later ones are dropped), so contract violations and
+//    sldm::Error diagnostics surface on the coordinating thread;
+//  * a pool of size 1 runs tasks inline on the calling thread at submit
+//    time: no worker is spawned, no synchronization happens, and the
+//    execution order is exactly the submission order.  Thread count 1 is
+//    therefore bit-identical (and cost-identical) to not having a pool.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sldm {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers (the calling thread participates via
+  /// inline execution when threads == 1).  Precondition: threads >= 1.
+  explicit ThreadPool(int threads);
+
+  /// Joins all workers.  Pending tasks are finished first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.  With a single-thread pool the task runs inline
+  /// before submit() returns (exceptions still surface from wait()).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first captured task exception, if any.  The pool is reusable after
+  /// wait() returns.
+  void wait();
+
+  int thread_count() const { return threads_; }
+
+  /// The parallelism the host offers (>= 1 even when unknown).
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+  void run_one(std::function<void()>& task);
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  ///< queued + currently executing
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+/// Runs `fn(i)` for i in [0, count) across `pool`, one task per index,
+/// and waits for completion.  Rethrows the first task exception.
+void parallel_for(ThreadPool& pool, std::size_t count,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace sldm
