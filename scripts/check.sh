@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configure + build the asan preset and run the full
-# test suite under AddressSanitizer/UBSan.  Usage: scripts/check.sh [-j N]
+# Sanitizer gate, run before merging:
+#   1. asan preset: the full test suite under AddressSanitizer/UBSan;
+#   2. tsan preset: the concurrency-sensitive suites (parallel stage
+#      extraction and the incremental-update pipeline built on it)
+#      under ThreadSanitizer.
+# Any test failure (or sanitizer report, which fails the test) aborts
+# with a nonzero exit.  Usage: scripts/check.sh [-j N]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,3 +22,9 @@ cmake --preset asan
 cmake --build --preset asan -j "$jobs"
 ctest --preset asan -j "$jobs"
 echo "check.sh: all tests passed under asan+ubsan"
+
+cmake --preset tsan
+cmake --build --preset tsan -j "$jobs" \
+  --target parallel_timing_test eco_timing_test
+ctest --preset tsan -j "$jobs" -R 'parallel_timing_test|eco_timing_test'
+echo "check.sh: threaded suites passed under tsan"

@@ -12,7 +12,7 @@ AnalogNode Elaboration::analog(NodeId n) const {
 
 void Elaboration::apply_precharge(const Netlist& nl, Volts v,
                                   TransientOptions& options) const {
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     if (nl.node(n).is_precharged) {
       options.initial_conditions[analog(n)] = v;
     }
@@ -26,7 +26,7 @@ Elaboration elaborate(const Netlist& nl, const Tech& tech,
 
   // Nodes: ground maps to the analog ground; everything else gets its
   // own analog node.
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     const Node& info = nl.node(n);
     if (info.is_ground) {
       node_map[n.index()] = kGround;
@@ -42,7 +42,7 @@ Elaboration elaborate(const Netlist& nl, const Tech& tech,
     const bool inserted = stim_by_node.emplace(s.node, &s.source).second;
     SLDM_EXPECTS(inserted);  // one stimulus per input
   }
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     const Node& info = nl.node(n);
     if (info.is_ground) continue;
     if (info.is_power) {
@@ -58,7 +58,7 @@ Elaboration elaborate(const Netlist& nl, const Tech& tech,
 
   // Lumped node capacitances (skip source-driven nodes: a cap across an
   // ideal source is invisible and only slows the integrator).
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     const Node& info = nl.node(n);
     if (info.is_ground || info.is_power || info.is_input) continue;
     const Farads c = tech.node_capacitance(nl, n);
@@ -68,7 +68,7 @@ Elaboration elaborate(const Netlist& nl, const Tech& tech,
   }
 
   // Transistors.
-  for (DeviceId d : nl.device_ids()) {
+  for (DeviceId d : nl.all_devices()) {
     const Transistor& t = nl.device(d);
     if (!tech.has(t.type)) {
       throw Error("technology '" + tech.name() + "' has no device type " +

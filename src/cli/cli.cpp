@@ -17,6 +17,7 @@
 #include "delay/slope.h"
 #include "delay/unit.h"
 #include "netlist/checks.h"
+#include "netlist/eco_io.h"
 #include "netlist/sim_io.h"
 #include "netlist/stats.h"
 #include "tech/tech_io.h"
@@ -38,7 +39,7 @@ class UsageError : public Error {
 };
 
 /// Boolean options (present/absent, no value token follows).
-const std::set<std::string> kFlagOptions = {"stats"};
+const std::set<std::string> kFlagOptions = {"stats", "json", "verify"};
 
 /// Parsed --key value options, --flag switches, and positional
 /// arguments.
@@ -128,21 +129,20 @@ int cmd_stats(const Options& opts, std::ostream& out) {
   return 0;
 }
 
-int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
-  if (opts.positional.size() != 1) {
-    throw UsageError("usage: time <file.sim> [options]");
-  }
-  const Netlist nl = read_sim_file(opts.positional[0]);
-  Tech tech = load_tech(opts);
-  const std::unique_ptr<DelayModel> model = make_model(opts, tech, err);
-
+AnalyzerOptions analyzer_options(const Options& opts) {
   AnalyzerOptions aopts;
   if (const auto threads = opts.get("threads")) {
     const auto v = parse_long(*threads);
     if (!v || *v < 1) throw Error("bad --threads value");
     aopts.threads = static_cast<int>(*v);
   }
-  TimingAnalyzer analyzer(nl, tech, *model, aopts);
+  return aopts;
+}
+
+/// Seeds input events from --constraints or --slope-ns (both commands
+/// share the convention).  Returns the constraints for slack reporting.
+Constraints seed_events(const Options& opts, const Netlist& nl,
+                        TimingAnalyzer& analyzer) {
   Constraints constraints;
   if (const auto ct = opts.get("constraints")) {
     constraints = read_constraints_file(*ct);
@@ -157,13 +157,34 @@ int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
     }
     analyzer.add_all_input_events(slope_ns * 1e-9);
   }
+  return constraints;
+}
+
+void emit_stats(const Options& opts, const Netlist& nl,
+                const TimingAnalyzer& analyzer, std::ostream& out) {
+  if (!opts.flag("stats") && !opts.flag("json")) return;
+  if (opts.flag("json")) {
+    out << analyzer_stats_json(analyzer.stats()) << '\n';
+  } else {
+    out << format_analyzer_stats(nl, analyzer) << '\n';
+  }
+}
+
+int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (opts.positional.size() != 1) {
+    throw UsageError("usage: time <file.sim> [options]");
+  }
+  const Netlist nl = read_sim_file(opts.positional[0]);
+  Tech tech = load_tech(opts);
+  const std::unique_ptr<DelayModel> model = make_model(opts, tech, err);
+
+  TimingAnalyzer analyzer(nl, tech, *model, analyzer_options(opts));
+  const Constraints constraints = seed_events(opts, nl, analyzer);
   analyzer.run();
 
   out << "model: " << model->name() << "\n\n"
       << format_output_arrivals(nl, analyzer) << '\n';
-  if (opts.flag("stats")) {
-    out << format_analyzer_stats(nl, analyzer) << '\n';
-  }
+  emit_stats(opts, nl, analyzer, out);
   if (constraints.required) {
     const SlackReport slack =
         compute_slack(nl, analyzer, *constraints.required);
@@ -182,6 +203,63 @@ int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
             << format_path(nl, p.steps) << '\n';
       }
     }
+  }
+  return 0;
+}
+
+int cmd_eco(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (opts.positional.size() != 2) {
+    throw UsageError("usage: eco <file.sim> <file.eco> [options]");
+  }
+  Netlist nl = read_sim_file(opts.positional[0]);
+  Tech tech = load_tech(opts);
+  const std::unique_ptr<DelayModel> model = make_model(opts, tech, err);
+
+  TimingAnalyzer analyzer(nl, tech, *model, analyzer_options(opts));
+  seed_events(opts, nl, analyzer);
+  analyzer.run();
+  out << "model: " << model->name() << "\n\nbaseline:\n"
+      << format_output_arrivals(nl, analyzer) << '\n';
+
+  const std::size_t applied = apply_eco_file(opts.positional[1], nl);
+  analyzer.update();
+  out << "applied " << applied << " edit(s); incremental re-timing:\n"
+      << format_output_arrivals(nl, analyzer) << '\n';
+  emit_stats(opts, nl, analyzer, out);
+
+  if (opts.flag("verify")) {
+    TimingAnalyzer fresh(nl, tech, *model, analyzer_options(opts));
+    seed_events(opts, nl, fresh);
+    fresh.run();
+    std::size_t mismatches = 0;
+    for (NodeId n : nl.all_nodes()) {
+      for (Transition dir : {Transition::kRise, Transition::kFall}) {
+        const auto a = analyzer.arrival(n, dir);
+        const auto b = fresh.arrival(n, dir);
+        const bool same =
+            a.has_value() == b.has_value() &&
+            (!a || (a->time == b->time && a->slope == b->slope &&
+                    a->from_node == b->from_node &&
+                    a->from_dir == b->from_dir &&
+                    a->via_stage == b->via_stage));
+        if (!same) {
+          ++mismatches;
+          err << "verify mismatch at " << nl.node(n).name << ' '
+              << to_string(dir) << '\n';
+        }
+      }
+    }
+    if (mismatches > 0) {
+      err << "verify FAILED: " << mismatches
+          << " arrival(s) differ from a full rebuild\n";
+      return 1;
+    }
+    out << "verify: incremental update is bit-identical to a full "
+           "rebuild\n";
+  }
+  if (const auto path = opts.get("write")) {
+    write_sim_file(nl, *path);
+    out << "wrote " << *path << '\n';
   }
   return 0;
 }
@@ -227,7 +305,7 @@ int cmd_sim(const Options& opts, std::ostream& out) {
                                   std::max(c.slope, 1e-12))});
     }
   } else {
-    for (NodeId n : nl.node_ids()) {
+    for (NodeId n : nl.all_nodes()) {
       if (nl.node(n).is_input) {
         stimuli.push_back(
             {n, PwlSource::edge(0.0, tech.vdd(), 2e-9, 1e-9)});
@@ -249,7 +327,7 @@ int cmd_sim(const Options& opts, std::ostream& out) {
 
   // Export watched nodes: inputs + outputs + precharged.
   std::vector<WaveformColumn> columns;
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     const Node& info = nl.node(n);
     if (info.is_input || info.is_output || info.is_precharged) {
       columns.push_back({info.name, &result.at(elab.analog(n))});
@@ -266,7 +344,7 @@ int cmd_sim(const Options& opts, std::ostream& out) {
   out << format("simulated %.1f ns: %zu steps, %zu newton iterations\n",
                 tstop_ns, result.accepted_steps, result.newton_iterations);
   // Final levels of the outputs.
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     if (!nl.node(n).is_output) continue;
     const Waveform& w = result.at(elab.analog(n));
     out << format("%s settles at %.2f V\n", nl.node(n).name.c_str(),
@@ -295,7 +373,7 @@ int cmd_calibrate(const Options& opts, std::ostream& out) {
 }
 
 void usage(std::ostream& err) {
-  err << "usage: sldm <check|stats|time|chargeshare|sim|calibrate> ...\n"
+  err << "usage: sldm <check|stats|time|eco|chargeshare|sim|calibrate> ...\n"
          "see src/cli/cli.h for per-command options\n";
 }
 
@@ -313,6 +391,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "check") return cmd_check(opts, out);
     if (cmd == "stats") return cmd_stats(opts, out);
     if (cmd == "time") return cmd_time(opts, out, err);
+    if (cmd == "eco") return cmd_eco(opts, out, err);
     if (cmd == "chargeshare") return cmd_chargeshare(opts, out);
     if (cmd == "sim") return cmd_sim(opts, out);
     if (cmd == "calibrate") return cmd_calibrate(opts, out);

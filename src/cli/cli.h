@@ -15,6 +15,17 @@
 //                                            (results identical for any n)
 //        --stats                             per-phase timing + per-CCC
 //                                            stage census
+//        --json                              with --stats: emit the
+//                                            counters as one JSON object
+//   sldm eco <file.sim> <file.eco> [options] incremental what-if timing
+//        (time options above, plus:)         analyzes the circuit, applies
+//        --verify                            the edit script (FORMATS.md),
+//        --write <out.sim>                   and re-times via the
+//                                            incremental update() path;
+//                                            --verify cross-checks against
+//                                            a full rebuild (exit 1 on
+//                                            mismatch), --write saves the
+//                                            edited netlist
 //   sldm chargeshare <file.sim> [--tech ...] dynamic-node audit
 //   sldm sim <file.sim> [--tech ...]         transient simulation
 //        --tstop-ns <x> --csv <out.csv> --vcd <out.vcd>

@@ -89,6 +89,7 @@ AnalyzeOnlyResult run_analyzer(const GeneratedCircuit& g, const Tech& tech,
   out.stage_evaluations = st.stage_evaluations;
   out.stage_count = st.stage_count;
   out.ccc_count = st.ccc_count;
+  out.stats = st;
   return out;
 }
 

@@ -86,6 +86,7 @@ struct AnalyzeOnlyResult {
   std::size_t stage_evaluations = 0;
   std::size_t stage_count = 0;
   std::size_t ccc_count = 0;
+  AnalyzerStats stats;            ///< full counter set (analyzer_stats_json)
 };
 AnalyzeOnlyResult run_analyzer(const GeneratedCircuit& g, const Tech& tech,
                                const DelayModel& model, Seconds input_slope,

@@ -14,13 +14,15 @@ std::string to_string(Severity s) {
 namespace {
 
 /// Marks every node reachable from a value source through channel edges.
+/// Pinned nodes (Node::fixed) supply their constant value, so they count
+/// as sources too.
 std::vector<bool> reachable_from_sources(const Netlist& nl) {
   std::vector<bool> seen(nl.node_count(), false);
   std::queue<NodeId> work;
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     const Node& info = nl.node(n);
     if (info.is_power || info.is_ground || info.is_input ||
-        info.is_precharged) {
+        info.is_precharged || info.fixed >= 0) {
       seen[n.index()] = true;
       work.push(n);
     }
@@ -47,7 +49,7 @@ std::vector<Diagnostic> check(const Netlist& nl) {
 
   bool has_power = false;
   bool has_ground = false;
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     const Node& info = nl.node(n);
     has_power = has_power || info.is_power;
     has_ground = has_ground || info.is_ground;
@@ -67,7 +69,7 @@ std::vector<Diagnostic> check(const Netlist& nl) {
                    NodeId::invalid(), DeviceId::invalid()});
   }
 
-  for (DeviceId d : nl.device_ids()) {
+  for (DeviceId d : nl.all_devices()) {
     const Transistor& t = nl.device(d);
     // Rail-gated devices that are permanently ON are legitimate loads
     // (depletion pull-ups, pseudo-nMOS p loads); permanently OFF ones
@@ -85,7 +87,7 @@ std::vector<Diagnostic> check(const Netlist& nl) {
   }
 
   const std::vector<bool> reachable = reachable_from_sources(nl);
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     const Node& info = nl.node(n);
     const bool rail_or_source =
         info.is_power || info.is_ground || info.is_input || info.is_precharged;

@@ -1,0 +1,200 @@
+#include "netlist/eco_io.h"
+
+#include <fstream>
+#include <istream>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace sldm {
+namespace {
+
+NodeId lookup(const Netlist& nl, const std::string& name,
+              const std::string& origin, int lineno) {
+  const auto id = nl.find_node(name);
+  if (!id) throw ParseError(origin, lineno, "unknown node '" + name + "'");
+  return *id;
+}
+
+/// All devices whose (gate, source, drain) names match, channel
+/// terminals in either order.
+std::vector<DeviceId> match_devices(const Netlist& nl, NodeId gate,
+                                    NodeId src, NodeId drn) {
+  std::vector<DeviceId> out;
+  for (DeviceId d : nl.all_devices()) {
+    const Transistor& t = nl.device(d);
+    if (t.gate != gate) continue;
+    if ((t.source == src && t.drain == drn) ||
+        (t.source == drn && t.drain == src)) {
+      out.push_back(d);
+    }
+  }
+  return out;
+}
+
+std::vector<DeviceId> require_devices(const Netlist& nl,
+                                      const std::vector<std::string>& tokens,
+                                      const std::string& origin, int lineno) {
+  const NodeId gate = lookup(nl, tokens[1], origin, lineno);
+  const NodeId src = lookup(nl, tokens[2], origin, lineno);
+  const NodeId drn = lookup(nl, tokens[3], origin, lineno);
+  std::vector<DeviceId> devices = match_devices(nl, gate, src, drn);
+  if (devices.empty()) {
+    throw ParseError(origin, lineno,
+                     "no device matches gate=" + tokens[1] + " channel=" +
+                         tokens[2] + "/" + tokens[3]);
+  }
+  return devices;
+}
+
+double require_positive(const std::string& token, const std::string& origin,
+                        int lineno, const char* what) {
+  const auto v = parse_double(token);
+  if (!v || *v <= 0.0) {
+    throw ParseError(origin, lineno, std::string("bad ") + what + " '" +
+                                         token + "' (positive number)");
+  }
+  return *v;
+}
+
+}  // namespace
+
+std::size_t apply_eco(std::istream& in, Netlist& nl,
+                      const std::string& origin) {
+  std::size_t applied = 0;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '|') continue;
+    const auto tokens = split_ws(stripped);
+    const std::string& kind = tokens[0];
+
+    if (kind == "width" || kind == "length") {
+      if (tokens.size() != 5) {
+        throw ParseError(origin, lineno,
+                         kind + " record: " + kind +
+                             " <gate> <src> <drn> <microns>");
+      }
+      const double um =
+          require_positive(tokens[4], origin, lineno, "dimension");
+      for (DeviceId d : require_devices(nl, tokens, origin, lineno)) {
+        if (kind == "width") {
+          nl.set_width(d, um * units::um);
+        } else {
+          nl.set_length(d, um * units::um);
+        }
+      }
+    } else if (kind == "flow") {
+      if (tokens.size() != 5) {
+        throw ParseError(origin, lineno,
+                         "flow record: flow <gate> <src> <drn> <s>d|d>s|both>");
+      }
+      Flow flow;
+      if (tokens[4] == "s>d") {
+        flow = Flow::kSourceToDrain;
+      } else if (tokens[4] == "d>s") {
+        flow = Flow::kDrainToSource;
+      } else if (tokens[4] == "both") {
+        flow = Flow::kBidirectional;
+      } else {
+        throw ParseError(origin, lineno,
+                         "bad flow value '" + tokens[4] + "'");
+      }
+      for (DeviceId d : require_devices(nl, tokens, origin, lineno)) {
+        nl.set_flow(d, flow);
+      }
+    } else if (kind == "cap" || kind == "addcap") {
+      if (tokens.size() != 3) {
+        throw ParseError(origin, lineno,
+                         kind + " record: " + kind + " <node> <fF>");
+      }
+      const auto v = parse_double(tokens[2]);
+      if (!v || *v < 0.0) {
+        throw ParseError(origin, lineno, "bad capacitance '" + tokens[2] +
+                                             "' (non-negative fF)");
+      }
+      const NodeId n = lookup(nl, tokens[1], origin, lineno);
+      if (kind == "cap") {
+        nl.set_capacitance(n, *v * units::fF);
+      } else {
+        nl.add_cap(n, *v * units::fF);
+      }
+    } else if (kind == "set") {
+      if (tokens.size() != 3) {
+        throw ParseError(origin, lineno, "set record: set <node> <0|1|free>");
+      }
+      const NodeId n = lookup(nl, tokens[1], origin, lineno);
+      if (tokens[2] == "0") {
+        nl.set_fixed(n, false);
+      } else if (tokens[2] == "1") {
+        nl.set_fixed(n, true);
+      } else if (tokens[2] == "free") {
+        nl.set_fixed(n, std::nullopt);
+      } else {
+        throw ParseError(origin, lineno,
+                         "bad set value '" + tokens[2] + "' (0, 1, or free)");
+      }
+    } else if (kind == "node") {
+      if (tokens.size() != 2) {
+        throw ParseError(origin, lineno, "node record: node <name>");
+      }
+      nl.add_node(tokens[1]);
+    } else if (kind == "transistor") {
+      if (tokens.size() < 7 || tokens.size() > 8) {
+        throw ParseError(origin, lineno,
+                         "transistor record: transistor <e|n|d|p> <gate> "
+                         "<src> <drn> <l_um> <w_um> [flow=s>d|d>s]");
+      }
+      TransistorType type;
+      if (tokens[1] == "e" || tokens[1] == "n") {
+        type = TransistorType::kNEnhancement;
+      } else if (tokens[1] == "d") {
+        type = TransistorType::kNDepletion;
+      } else if (tokens[1] == "p") {
+        type = TransistorType::kPEnhancement;
+      } else {
+        throw ParseError(origin, lineno,
+                         "bad transistor type '" + tokens[1] + "'");
+      }
+      const double l = require_positive(tokens[5], origin, lineno, "length");
+      const double w = require_positive(tokens[6], origin, lineno, "width");
+      Flow flow = Flow::kBidirectional;
+      if (tokens.size() == 8) {
+        if (tokens[7] == "flow=s>d") {
+          flow = Flow::kSourceToDrain;
+        } else if (tokens[7] == "flow=d>s") {
+          flow = Flow::kDrainToSource;
+        } else {
+          throw ParseError(origin, lineno,
+                           "unknown device attribute '" + tokens[7] + "'");
+        }
+      }
+      // New terminals may be created on the fly (like .sim parsing).
+      const NodeId gate = nl.add_node(tokens[2]);
+      const NodeId src = nl.add_node(tokens[3]);
+      const NodeId drn = nl.add_node(tokens[4]);
+      if (src == drn) {
+        throw ParseError(origin, lineno,
+                         "transistor source and drain are the same node");
+      }
+      nl.add_transistor(type, gate, src, drn, w * units::um, l * units::um,
+                        flow);
+    } else {
+      throw ParseError(origin, lineno, "unknown eco record '" + kind + "'");
+    }
+    ++applied;
+  }
+  return applied;
+}
+
+std::size_t apply_eco_file(const std::string& path, Netlist& nl) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open eco script: " + path);
+  return apply_eco(in, nl, path);
+}
+
+}  // namespace sldm

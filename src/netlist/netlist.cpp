@@ -76,6 +76,7 @@ NodeId Netlist::add_node(const std::string& name) {
   gated_by_.emplace_back();
   channels_at_.emplace_back();
   by_name_.emplace(name, id);
+  log_.record(ChangeKind::kNodeAdded, id.value());
   return id;
 }
 
@@ -105,6 +106,7 @@ DeviceId Netlist::add_transistor(TransistorType type, NodeId gate,
   gated_by_[gate.index()].push_back(id);
   channels_at_[source.index()].push_back(id);
   channels_at_[drain.index()].push_back(id);
+  log_.record(ChangeKind::kDeviceAdded, id.value());
   return id;
 }
 
@@ -124,8 +126,37 @@ const Transistor& Netlist::device(DeviceId id) const {
 }
 
 void Netlist::set_flow(DeviceId id, Flow flow) {
-  SLDM_EXPECTS(id.valid() && id.index() < devices_.size());
+  check_device(id);
   devices_[id.index()].flow = flow;
+  log_.record(ChangeKind::kDeviceFlow, id.value());
+}
+
+void Netlist::set_width(DeviceId id, Meters width) {
+  check_device(id);
+  SLDM_EXPECTS(width > 0.0);
+  devices_[id.index()].width = width;
+  log_.record(ChangeKind::kDeviceSized, id.value());
+}
+
+void Netlist::set_length(DeviceId id, Meters length) {
+  check_device(id);
+  SLDM_EXPECTS(length > 0.0);
+  devices_[id.index()].length = length;
+  log_.record(ChangeKind::kDeviceSized, id.value());
+}
+
+void Netlist::set_capacitance(NodeId n, Farads cap) {
+  check_node(n);
+  SLDM_EXPECTS(cap >= 0.0);
+  nodes_[n.index()].cap = cap;
+  log_.record(ChangeKind::kNodeCap, n.value());
+}
+
+void Netlist::set_fixed(NodeId n, std::optional<bool> value) {
+  check_node(n);
+  nodes_[n.index()].fixed =
+      value ? static_cast<std::int8_t>(*value ? 1 : 0) : std::int8_t{-1};
+  log_.record(ChangeKind::kNodeFixed, n.value());
 }
 
 std::vector<NodeId> Netlist::node_ids() const {
@@ -159,30 +190,35 @@ const std::vector<DeviceId>& Netlist::channels_at(NodeId n) const {
 NodeId Netlist::mark_power(const std::string& name) {
   const NodeId id = add_node(name);
   nodes_[id.index()].is_power = true;
+  log_.record(ChangeKind::kNodeRole, id.value());
   return id;
 }
 
 NodeId Netlist::mark_ground(const std::string& name) {
   const NodeId id = add_node(name);
   nodes_[id.index()].is_ground = true;
+  log_.record(ChangeKind::kNodeRole, id.value());
   return id;
 }
 
 NodeId Netlist::mark_input(const std::string& name) {
   const NodeId id = add_node(name);
   nodes_[id.index()].is_input = true;
+  log_.record(ChangeKind::kNodeRole, id.value());
   return id;
 }
 
 NodeId Netlist::mark_output(const std::string& name) {
   const NodeId id = add_node(name);
   nodes_[id.index()].is_output = true;
+  log_.record(ChangeKind::kNodeRoleOutput, id.value());
   return id;
 }
 
 NodeId Netlist::mark_precharged(const std::string& name) {
   const NodeId id = add_node(name);
   nodes_[id.index()].is_precharged = true;
+  log_.record(ChangeKind::kNodeRole, id.value());
   return id;
 }
 
@@ -194,6 +230,7 @@ bool Netlist::is_rail(NodeId n) const {
 void Netlist::add_cap(NodeId n, Farads extra) {
   SLDM_EXPECTS(extra >= 0.0);
   node(n).cap += extra;
+  log_.record(ChangeKind::kNodeCap, n.value());
 }
 
 std::optional<NodeId> Netlist::power_node() const {
@@ -220,6 +257,10 @@ std::optional<NodeId> Netlist::ground_node() const {
 
 void Netlist::check_node(NodeId id) const {
   SLDM_EXPECTS(id.valid() && id.index() < nodes_.size());
+}
+
+void Netlist::check_device(DeviceId id) const {
+  SLDM_EXPECTS(id.valid() && id.index() < devices_.size());
 }
 
 }  // namespace sldm

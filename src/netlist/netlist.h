@@ -14,11 +14,13 @@
 //    evaluation phase (dynamic logic).
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "netlist/changes.h"
 #include "netlist/types.h"
 #include "util/units.h"
 
@@ -36,6 +38,16 @@ struct Node {
   bool is_input = false;       ///< driven externally
   bool is_output = false;      ///< observation point
   bool is_precharged = false;  ///< dynamic node, precharged high
+  /// Persistent pinned logic value (Crystal's "set" command as a netlist
+  /// attribute, the `@set` .sim record): -1 free, 0/1 pinned.  Pinned
+  /// nodes act as constant value sources during stage extraction.
+  std::int8_t fixed = -1;
+
+  /// The pinned value, if any.
+  std::optional<bool> fixed_value() const {
+    if (fixed < 0) return std::nullopt;
+    return fixed != 0;
+  }
 };
 
 /// One MOS transistor, modeled as a switch with a channel between
@@ -70,6 +82,13 @@ struct Transistor {
 ///
 /// Node and device ids are dense indices assigned in creation order, so
 /// they can index parallel arrays in analysis passes.
+///
+/// Every mutation is journaled in a ChangeLog (changes()), and the log
+/// length is the netlist's revision().  Incremental consumers
+/// (CccPartition::update, TimingAnalyzer::update) replay the entries
+/// recorded since the revision they last synchronized to, so ECO edits
+/// (resizing, re-annotating, or growing an already-analyzed circuit)
+/// cost work proportional to the damage, not the circuit.
 class Netlist {
  public:
   Netlist() = default;
@@ -90,6 +109,19 @@ class Netlist {
   /// Changes a device's flow annotation.
   void set_flow(DeviceId id, Flow flow);
 
+  /// Resizes a device's drawn channel.  Preconditions: id valid;
+  /// value > 0.
+  void set_width(DeviceId id, Meters width);
+  void set_length(DeviceId id, Meters length);
+
+  /// Replaces a node's explicit lumped capacitance.  Precondition:
+  /// cap >= 0.
+  void set_capacitance(NodeId n, Farads cap);
+
+  /// Pins a node to a constant logic value (Crystal's "set"), or frees
+  /// it (nullopt).  Pinned nodes act as value sources in extraction.
+  void set_fixed(NodeId n, std::optional<bool> value);
+
   std::size_t node_count() const { return nodes_.size(); }
   std::size_t device_count() const { return devices_.size(); }
 
@@ -97,9 +129,16 @@ class Netlist {
   Node& node(NodeId id);
   const Transistor& device(DeviceId id) const;
 
-  /// All node / device ids in creation order.
+  /// All node / device ids in creation order (materialized; convenience
+  /// only — hot loops should use all_nodes()/all_devices()).
   std::vector<NodeId> node_ids() const;
   std::vector<DeviceId> device_ids() const;
+
+  /// Allocation-free id iteration for hot loops.
+  IdRange<NodeId> all_nodes() const { return IdRange<NodeId>(nodes_.size()); }
+  IdRange<DeviceId> all_devices() const {
+    return IdRange<DeviceId>(devices_.size());
+  }
 
   /// Devices whose gate is `n`.
   const std::vector<DeviceId>& gated_by(NodeId n) const;
@@ -125,14 +164,22 @@ class Netlist {
   std::optional<NodeId> power_node() const;
   std::optional<NodeId> ground_node() const;
 
+  /// Monotonic edit counter (== changes().revision()).
+  std::uint64_t revision() const { return log_.revision(); }
+
+  /// The full mutation journal since construction.
+  const ChangeLog& changes() const { return log_; }
+
  private:
   void check_node(NodeId id) const;
+  void check_device(DeviceId id) const;
 
   std::vector<Node> nodes_;
   std::vector<Transistor> devices_;
   std::unordered_map<std::string, NodeId> by_name_;
   std::vector<std::vector<DeviceId>> gated_by_;
   std::vector<std::vector<DeviceId>> channels_at_;
+  ChangeLog log_;
 };
 
 }  // namespace sldm

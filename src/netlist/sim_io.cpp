@@ -119,6 +119,25 @@ Netlist read_sim(std::istream& in, const std::string& origin) {
       continue;
     }
 
+    if (kind == "@set") {
+      if (tokens.size() < 2) {
+        throw ParseError(origin, lineno,
+                         "@set record needs <name>=<0|1> entries");
+      }
+      for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const std::size_t eq = tokens[i].find('=');
+        const std::string value =
+            eq == std::string::npos ? "" : tokens[i].substr(eq + 1);
+        if (eq == 0 || (value != "0" && value != "1")) {
+          throw ParseError(origin, lineno,
+                           "@set entry must be <name>=<0|1>, got '" +
+                               tokens[i] + "'");
+        }
+        nl.set_fixed(intern_node(nl, tokens[i].substr(0, eq)), value == "1");
+      }
+      continue;
+    }
+
     if (kind[0] == '@') {
       if (tokens.size() < 2) {
         throw ParseError(origin, lineno, "role record needs node names");
@@ -154,7 +173,7 @@ Netlist read_sim_file(const std::string& path) {
 
 void write_sim(const Netlist& nl, std::ostream& out) {
   out << "| units: 100 (1 unit = 1 micron); written by sldm\n";
-  for (DeviceId d : nl.device_ids()) {
+  for (DeviceId d : nl.all_devices()) {
     const Transistor& t = nl.device(d);
     out << to_letter(t.type) << ' ' << nl.node(t.gate).name << ' '
         << nl.node(t.source).name << ' ' << nl.node(t.drain).name << ' '
@@ -164,7 +183,7 @@ void write_sim(const Netlist& nl, std::ostream& out) {
     }
     out << '\n';
   }
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     const Node& info = nl.node(n);
     if (info.cap > 0.0) {
       out << "c " << info.name << ' ' << format("%.6g", to_fF(info.cap))
@@ -173,7 +192,7 @@ void write_sim(const Netlist& nl, std::ostream& out) {
   }
   auto emit_role = [&](const char* tag, auto pred) {
     bool any = false;
-    for (NodeId n : nl.node_ids()) {
+    for (NodeId n : nl.all_nodes()) {
       if (pred(nl.node(n))) {
         if (!any) out << tag;
         any = true;
@@ -187,6 +206,15 @@ void write_sim(const Netlist& nl, std::ostream& out) {
   emit_role("@in", [](const Node& n) { return n.is_input; });
   emit_role("@out", [](const Node& n) { return n.is_output; });
   emit_role("@precharged", [](const Node& n) { return n.is_precharged; });
+  bool any_set = false;
+  for (NodeId n : nl.all_nodes()) {
+    const Node& info = nl.node(n);
+    if (info.fixed < 0) continue;
+    if (!any_set) out << "@set";
+    any_set = true;
+    out << ' ' << info.name << '=' << (info.fixed != 0 ? '1' : '0');
+  }
+  if (any_set) out << '\n';
 }
 
 void write_sim_file(const Netlist& nl, const std::string& path) {

@@ -21,6 +21,8 @@
 //   @in <name>...        chip inputs
 //   @out <name>...       observation points
 //   @precharged <name>.. dynamic nodes precharged high
+//   @set <name>=<0|1>... nodes pinned to a constant logic value
+//                        (Crystal's "set" command; kills false paths)
 //
 // Nodes named "vdd"/"vdd!" or "gnd"/"gnd!"/"vss" (case-insensitive) are
 // recognized as rails automatically.

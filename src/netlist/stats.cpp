@@ -12,14 +12,14 @@ NetlistStats compute_stats(const Netlist& nl) {
   NetlistStats s;
   s.nodes = nl.node_count();
   s.devices = nl.device_count();
-  for (DeviceId d : nl.device_ids()) {
+  for (DeviceId d : nl.all_devices()) {
     const Transistor& t = nl.device(d);
     ++s.devices_by_type[static_cast<std::size_t>(t.type)];
     const double aspect = t.aspect();
     if (s.min_aspect == 0.0 || aspect < s.min_aspect) s.min_aspect = aspect;
     s.max_aspect = std::max(s.max_aspect, aspect);
   }
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     const Node& info = nl.node(n);
     if (info.is_input) ++s.inputs;
     if (info.is_output) ++s.outputs;

@@ -48,6 +48,37 @@ using NodeId = detail::Id<detail::NodeTag>;
 /// Handle to a transistor.
 using DeviceId = detail::Id<detail::DeviceTag>;
 
+/// An allocation-free range of dense ids [0, count), for hot loops:
+/// `for (NodeId n : nl.all_nodes())`.  Contrast Netlist::node_ids(),
+/// which materializes a vector (convenience only).
+template <typename IdT>
+class IdRange {
+ public:
+  class iterator {
+   public:
+    constexpr explicit iterator(typename IdT::underlying_type v) : v_(v) {}
+    constexpr IdT operator*() const { return IdT(v_); }
+    constexpr iterator& operator++() {
+      ++v_;
+      return *this;
+    }
+    friend constexpr bool operator==(iterator a, iterator b) = default;
+
+   private:
+    typename IdT::underlying_type v_;
+  };
+
+  constexpr explicit IdRange(std::size_t count)
+      : count_(static_cast<typename IdT::underlying_type>(count)) {}
+
+  constexpr iterator begin() const { return iterator(0); }
+  constexpr iterator end() const { return iterator(count_); }
+  constexpr std::size_t size() const { return count_; }
+
+ private:
+  typename IdT::underlying_type count_;
+};
+
 /// Switch-level transistor types.
 ///
 /// NEnh / PEnh are the ordinary enhancement devices of nMOS and CMOS

@@ -40,7 +40,7 @@ std::string to_string(Strength s) {
 SwitchSimulator::SwitchSimulator(const Netlist& nl, SwitchSimOptions options)
     : nl_(nl), options_(options), state_(nl.node_count()) {
   SLDM_EXPECTS(options.max_iterations > 0);
-  for (NodeId n : nl_.node_ids()) {
+  for (NodeId n : nl_.all_nodes()) {
     const Node& info = nl_.node(n);
     if (info.is_power) {
       state_[n.index()] = {Logic::k1, Strength::kDriven};
@@ -57,7 +57,7 @@ void SwitchSimulator::set_input(NodeId n, Logic v) {
 
 void SwitchSimulator::precharge() {
   precharge_phase_ = true;
-  for (NodeId n : nl_.node_ids()) {
+  for (NodeId n : nl_.all_nodes()) {
     if (nl_.node(n).is_precharged) {
       state_[n.index()] = {Logic::k1, Strength::kDriven};
     }
@@ -65,7 +65,7 @@ void SwitchSimulator::precharge() {
   settle();
   precharge_phase_ = false;
   // The clock releases: driven precharge levels become stored charge.
-  for (NodeId n : nl_.node_ids()) {
+  for (NodeId n : nl_.all_nodes()) {
     if (nl_.node(n).is_precharged) {
       state_[n.index()].strength = Strength::kCharged;
     }
@@ -89,7 +89,7 @@ std::vector<SwitchSimulator::NodeState> SwitchSimulator::evaluate(
   // Pinned nodes never take contributions: rails and driven inputs.
   std::vector<bool> pinned(n_nodes, false);
   std::vector<NodeState> best(n_nodes);
-  for (NodeId n : nl_.node_ids()) {
+  for (NodeId n : nl_.all_nodes()) {
     const Node& info = nl_.node(n);
     if (info.is_power) {
       best[n.index()] = {Logic::k1, Strength::kDriven};
@@ -134,7 +134,7 @@ std::vector<SwitchSimulator::NodeState> SwitchSimulator::evaluate(
       throw Error("switch-level relaxation failed to converge");
     }
     changed = false;
-    for (DeviceId d : nl_.device_ids()) {
+    for (DeviceId d : nl_.all_devices()) {
       const Conduction c = conduction(d);
       if (c == Conduction::kOff) continue;
       if (c == Conduction::kMaybe && !maybes_closed) continue;
@@ -160,7 +160,7 @@ std::vector<SwitchSimulator::NodeState> SwitchSimulator::evaluate(
 void SwitchSimulator::settle() {
   // Refresh pinned input values into the visible state so conduction()
   // sees them from the first iteration.
-  for (NodeId n : nl_.node_ids()) {
+  for (NodeId n : nl_.all_nodes()) {
     if (!nl_.node(n).is_input) continue;
     const auto it = input_values_.find(n);
     state_[n.index()] = {it != input_values_.end() ? it->second : Logic::kX,
@@ -199,7 +199,7 @@ Strength SwitchSimulator::strength(NodeId n) const {
 
 std::unordered_map<NodeId, bool> SwitchSimulator::fixed_values() const {
   std::unordered_map<NodeId, bool> out;
-  for (NodeId n : nl_.node_ids()) {
+  for (NodeId n : nl_.all_nodes()) {
     const Logic v = state_[n.index()].value;
     if (v != Logic::kX) out[n] = v == Logic::k1;
   }
@@ -209,7 +209,7 @@ std::unordered_map<NodeId, bool> SwitchSimulator::fixed_values() const {
 std::string SwitchSimulator::dump() const {
   std::ostringstream os;
   bool first = true;
-  for (NodeId n : nl_.node_ids()) {
+  for (NodeId n : nl_.all_nodes()) {
     if (!first) os << ' ';
     first = false;
     os << nl_.node(n).name << '=' << to_char(state_[n.index()].value);

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
 
 #include "util/contracts.h"
 #include "util/error.h"
@@ -26,13 +25,13 @@ TimingAnalyzer::TimingAnalyzer(const Netlist& nl, const Tech& tech,
       model_(model),
       options_(options),
       ccc_(nl),
-      stages_by_trigger_(nl.node_count() * 2),
       arrival_time_(nl.node_count() * 2, 0.0),
       arrival_slope_(nl.node_count() * 2, 0.0),
       arrival_from_(nl.node_count() * 2, UINT32_MAX),
       arrival_via_(nl.node_count() * 2, SIZE_MAX),
       arrival_valid_(nl.node_count() * 2, 0),
-      update_counts_(static_cast<std::size_t>(nl.node_count()) * 2, 0) {
+      update_counts_(static_cast<std::size_t>(nl.node_count()) * 2, 0),
+      synced_revision_(nl.revision()) {
   SLDM_EXPECTS(options.threads >= 1);
   const Seconds t0 = now_seconds();
   PartitionedStages extracted =
@@ -44,7 +43,12 @@ TimingAnalyzer::TimingAnalyzer(const Netlist& nl, const Tech& tech,
   stats_.stages_per_ccc = std::move(extracted.per_ccc);
   stats_.stage_count = stages_.size();
   stats_.threads = options.threads;
+  index_stages_by_trigger();
+}
 
+void TimingAnalyzer::index_stages_by_trigger() {
+  stages_by_trigger_.assign(nl_.node_count() * 2,
+                            std::vector<std::size_t>());
   for (std::size_t s = 0; s < stages_.size(); ++s) {
     const TimingStage& ts = stages_[s];
     const NodeId fire_node =
@@ -65,9 +69,18 @@ void TimingAnalyzer::require_not_ran(const char* what) const {
   }
 }
 
+void TimingAnalyzer::require_synced(const char* what) const {
+  if (nl_.revision() != synced_revision_) {
+    throw Error(std::string(what) +
+                " called on a stale analyzer: the netlist was mutated "
+                "since the last synchronization; call update() first");
+  }
+}
+
 void TimingAnalyzer::add_input_event(NodeId input, Transition dir,
                                      Seconds time, Seconds slope) {
   require_not_ran("add_input_event");
+  require_synced("add_input_event");
   SLDM_EXPECTS(nl_.node(input).is_input);
   SLDM_EXPECTS(slope >= 0.0);
   const std::size_t k = key(input, dir);
@@ -81,7 +94,8 @@ void TimingAnalyzer::add_input_event(NodeId input, Transition dir,
 
 void TimingAnalyzer::add_all_input_events(Seconds slope) {
   require_not_ran("add_all_input_events");
-  for (NodeId n : nl_.node_ids()) {
+  require_synced("add_all_input_events");
+  for (NodeId n : nl_.all_nodes()) {
     if (!nl_.node(n).is_input) continue;
     add_input_event(n, Transition::kRise, 0.0, slope);
     add_input_event(n, Transition::kFall, 0.0, slope);
@@ -90,6 +104,7 @@ void TimingAnalyzer::add_all_input_events(Seconds slope) {
 
 void TimingAnalyzer::run() {
   require_not_ran("run");
+  require_synced("run");
   ran_ = true;
   const Seconds t0 = now_seconds();
 
@@ -100,6 +115,12 @@ void TimingAnalyzer::run() {
   std::vector<char> queued(arrival_valid_.size(), 0);
   for (const std::uint32_t k : seeds_) queued[k] = 1;
   stats_.worklist_pushes += seeds_.size();
+  propagate(work, queued);
+  stats_.propagate_seconds = now_seconds() - t0;
+}
+
+void TimingAnalyzer::propagate(std::deque<std::uint32_t>& work,
+                               std::vector<char>& queued) {
   Stage stage;  // element storage reused across evaluations
 
   while (!work.empty()) {
@@ -117,10 +138,28 @@ void TimingAnalyzer::run() {
       ++stats_.stage_evaluations;
       const std::size_t dest_key = key(ts.destination, ts.output_dir);
       const Seconds t_new = t_fire + est.delay;
-      if (arrival_valid_[dest_key] && t_new <= arrival_time_[dest_key]) {
-        continue;
+      bool tie = false;
+      if (arrival_valid_[dest_key]) {
+        if (t_new < arrival_time_[dest_key]) continue;
+        if (t_new == arrival_time_[dest_key]) {
+          // Canonical tie-break: among equal-time candidates the one
+          // with the smallest (stage index, predecessor key) wins, so
+          // the fixpoint winner is independent of processing order --
+          // the property that keeps incremental update() bit-identical
+          // to a from-scratch rebuild.
+          if (arrival_via_[dest_key] < s ||
+              (arrival_via_[dest_key] == s &&
+               arrival_from_[dest_key] <= fire_key)) {
+            continue;
+          }
+          tie = true;
+        }
       }
-      if (++update_counts_[dest_key] > options_.max_updates_per_arrival) {
+      // Tie rewrites strictly decrease the stored (stage, predecessor)
+      // pair, so they terminate on their own and don't count toward
+      // the loop bound.
+      if (!tie &&
+          ++update_counts_[dest_key] > options_.max_updates_per_arrival) {
         throw Error("timing loop detected at node '" +
                     nl_.node(ts.destination).name +
                     "': arrival keeps increasing");
@@ -138,7 +177,179 @@ void TimingAnalyzer::run() {
       }
     }
   }
-  stats_.propagate_seconds = now_seconds() - t0;
+}
+
+void TimingAnalyzer::update() {
+  const ChangeLog& log = nl_.changes();
+  if (log.revision() == synced_revision_) return;  // already in sync
+  const Seconds t0 = now_seconds();
+  const std::uint64_t since = synced_revision_;
+
+  // --- Partition sync: which components' stage sets may have changed.
+  const std::vector<std::size_t> dirty = ccc_.update(nl_, log, since);
+  bool grew = false;
+  for (std::uint64_t i = since; i < log.revision(); ++i) {
+    if (log.entry(i).kind == ChangeKind::kNodeAdded) grew = true;
+  }
+  synced_revision_ = log.revision();
+
+  // Grow the flat per-(node, dir) arrays for nodes added by the batch.
+  const std::size_t nkeys = nl_.node_count() * 2;
+  if (grew) {
+    arrival_time_.resize(nkeys, 0.0);
+    arrival_slope_.resize(nkeys, 0.0);
+    arrival_from_.resize(nkeys, UINT32_MAX);
+    arrival_via_.resize(nkeys, SIZE_MAX);
+    arrival_valid_.resize(nkeys, 0);
+    update_counts_.resize(nkeys, 0);
+  }
+
+  std::vector<char> node_dirty(nl_.node_count(), 0);
+  for (const std::size_t c : dirty) {
+    for (NodeId n : ccc_.members(c)) node_dirty[n.index()] = 1;
+  }
+
+  // --- Re-extract the dirty components only (same fan-out and per-
+  // component stage order as a full extraction).
+  const std::vector<std::vector<TimingStage>> fresh = extract_components(
+      nl_, options_.extract, ccc_, dirty, options_.threads);
+  std::size_t fresh_total = 0;
+  for (const auto& bucket : fresh) fresh_total += bucket.size();
+
+  // --- Splice: walk nodes in ascending id order (the global stage
+  // order), dropping the old stages of dirty nodes and pulling in the
+  // freshly extracted ones; clean nodes keep theirs.  remap[] carries
+  // surviving old stage indices to their new positions so retained
+  // arrivals' via_stage links stay valid.
+  std::vector<TimingStage> merged;
+  merged.reserve(stages_.size() + fresh_total);
+  std::vector<std::size_t> remap(stages_.size(), SIZE_MAX);
+  std::vector<std::size_t> cursor(fresh.size(), 0);
+  std::vector<TimingStage> old = std::move(stages_);
+  std::size_t old_i = 0;
+  std::size_t reused = 0;
+  for (NodeId n : nl_.all_nodes()) {
+    if (node_dirty[n.index()]) {
+      while (old_i < old.size() && old[old_i].destination == n) ++old_i;
+      const std::size_t c = ccc_.component_of(n);
+      const auto it = std::lower_bound(dirty.begin(), dirty.end(), c);
+      SLDM_ASSERT(it != dirty.end() && *it == c);
+      const std::size_t b = static_cast<std::size_t>(it - dirty.begin());
+      std::size_t& cur = cursor[b];
+      while (cur < fresh[b].size() && fresh[b][cur].destination == n) {
+        // fresh is const for the workers' benefit; moving out of the
+        // bucket here would be safe but reads better as an explicit
+        // copy of the small TimingStage records.
+        merged.push_back(fresh[b][cur]);
+        ++cur;
+      }
+    } else {
+      while (old_i < old.size() && old[old_i].destination == n) {
+        remap[old_i] = merged.size();
+        merged.push_back(std::move(old[old_i]));
+        ++old_i;
+        ++reused;
+      }
+    }
+  }
+  SLDM_ASSERT(old_i == old.size());
+  stages_ = std::move(merged);
+
+  // --- Refresh structure-dependent stats and the trigger index.
+  stats_.stages_per_ccc.assign(ccc_.count(), 0);
+  for (const TimingStage& ts : stages_) {
+    ++stats_.stages_per_ccc[ccc_.component_of(ts.destination)];
+  }
+  stats_.ccc_count = ccc_.count();
+  stats_.widest_ccc = ccc_.widest();
+  stats_.stage_count = stages_.size();
+  stats_.dirty_cccs = dirty.size();
+  stats_.reused_stages = reused;
+  stats_.reextracted_stages = fresh_total;
+  ++stats_.incremental_updates;
+  index_stages_by_trigger();
+
+  if (!ran_) {
+    // Structure-only sync: no arrivals to repair yet (declared seeds,
+    // if any, are untouched and stages carry no arrival state).
+    stats_.frontier_keys = 0;
+    stats_.update_seconds = now_seconds() - t0;
+    return;
+  }
+
+  // --- Damage: every (node, dir) arrival whose value may have changed.
+  // Base set: all keys of dirty components (their stage sets changed);
+  // closure: everything downstream through the recorded predecessor
+  // links.  Primary-input seeds are never stage destinations, so they
+  // keep their declared arrivals.
+  std::vector<std::vector<std::uint32_t>> successors(nkeys);
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    if (arrival_valid_[k] && arrival_from_[k] != UINT32_MAX) {
+      successors[arrival_from_[k]].push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+  std::vector<char> damaged(nkeys, 0);
+  std::deque<std::uint32_t> bfs;
+  for (const std::size_t c : dirty) {
+    for (NodeId n : ccc_.members(c)) {
+      for (const Transition dir : {Transition::kRise, Transition::kFall}) {
+        const std::size_t k = key(n, dir);
+        if (arrival_valid_[k] && arrival_via_[k] == SIZE_MAX) continue;
+        if (!damaged[k]) {
+          damaged[k] = 1;
+          bfs.push_back(static_cast<std::uint32_t>(k));
+        }
+      }
+    }
+  }
+  while (!bfs.empty()) {
+    const std::uint32_t k = bfs.front();
+    bfs.pop_front();
+    for (const std::uint32_t succ : successors[k]) {
+      if (!damaged[succ]) {
+        damaged[succ] = 1;
+        bfs.push_back(succ);
+      }
+    }
+  }
+
+  // Invalidate damaged arrivals; remap retained ones onto the new
+  // stage numbering (their stages survived the splice by construction).
+  std::size_t invalidated = 0;
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    if (!damaged[k]) {
+      if (arrival_valid_[k] && arrival_via_[k] != SIZE_MAX) {
+        SLDM_ASSERT(remap[arrival_via_[k]] != SIZE_MAX);
+        arrival_via_[k] = remap[arrival_via_[k]];
+      }
+      continue;
+    }
+    if (arrival_valid_[k]) ++invalidated;
+    arrival_valid_[k] = 0;
+    update_counts_[k] = 0;
+  }
+  stats_.frontier_keys = invalidated;
+
+  // --- Re-propagate from the frontier: every stage targeting a damaged
+  // key whose firing event is currently valid re-fires now; damaged
+  // keys revalidated during propagation enqueue themselves through the
+  // normal accept path.
+  std::deque<std::uint32_t> work;
+  std::vector<char> queued(nkeys, 0);
+  for (std::size_t k = 0; k < nkeys; ++k) {
+    if (!arrival_valid_[k] || queued[k]) continue;
+    for (const std::size_t s : stages_by_trigger_[k]) {
+      const TimingStage& ts = stages_[s];
+      if (damaged[key(ts.destination, ts.output_dir)]) {
+        queued[k] = 1;
+        work.push_back(static_cast<std::uint32_t>(k));
+        ++stats_.worklist_pushes;
+        break;
+      }
+    }
+  }
+  propagate(work, queued);
+  stats_.update_seconds = now_seconds() - t0;
 }
 
 void TimingAnalyzer::reset() {
@@ -167,7 +378,7 @@ std::optional<ArrivalInfo> TimingAnalyzer::arrival(NodeId node,
 std::optional<TimingAnalyzer::Worst> TimingAnalyzer::worst_arrival(
     bool outputs_only) const {
   std::optional<Worst> worst;
-  for (NodeId n : nl_.node_ids()) {
+  for (NodeId n : nl_.all_nodes()) {
     if (outputs_only && !nl_.node(n).is_output) continue;
     if (nl_.node(n).is_input) continue;  // input events are seeds
     for (Transition dir : {Transition::kRise, Transition::kFall}) {

@@ -14,9 +14,20 @@
 // runs an explicit FIFO worklist with in-queue deduplication over a
 // flat structure-of-arrays arrival store.  AnalyzerStats reports where
 // the time went.
+//
+// Incremental (ECO) analysis: after mutating the netlist through its
+// journaled API, update() absorbs the edits instead of rebuilding —
+// only dirty components are re-extracted (spliced into the globally
+// ordered stage vector), only arrivals reachable from the damage are
+// invalidated (frontier walk over the recorded predecessor keys), and
+// re-propagation starts from the frontier instead of from all seeds.
+// Invariant (enforced by tests/eco_timing_test.cpp): the analyzer state
+// after update() is bit-identical to a freshly constructed-and-run
+// analyzer over the mutated netlist.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,6 +64,15 @@ struct AnalyzerStats {
   Seconds extract_seconds = 0.0;    ///< stage-extraction wall clock
   Seconds propagate_seconds = 0.0;  ///< run() wall clock
   int threads = 1;                  ///< extraction worker count used
+
+  // Incremental (ECO) counters.  `incremental_updates` accumulates;
+  // the rest describe the most recent update() call.
+  std::size_t incremental_updates = 0;  ///< update() calls absorbed
+  std::size_t dirty_cccs = 0;           ///< components re-extracted
+  std::size_t reextracted_stages = 0;   ///< stages rebuilt by update()
+  std::size_t reused_stages = 0;        ///< stages carried over untouched
+  std::size_t frontier_keys = 0;        ///< (node, dir) arrivals invalidated
+  Seconds update_seconds = 0.0;         ///< update() wall clock
 };
 
 /// Final arrival data at one (node, transition).
@@ -96,8 +116,23 @@ class TimingAnalyzer {
   void add_all_input_events(Seconds slope);
 
   /// Propagates to fixpoint.  Throws Error if a structural loop exceeds
-  /// the update bound, or if run() already completed (reset() first).
+  /// the update bound, or if run() already completed (reset() first),
+  /// or if the netlist was mutated since the analyzer synchronized
+  /// (update() first).
   void run();
+
+  /// Absorbs all netlist mutations since the analyzer last
+  /// synchronized (construction or previous update()): synchronizes the
+  /// component partition, re-extracts stages for dirty components only,
+  /// invalidates the arrivals transitively reachable from the damage,
+  /// and re-propagates from that frontier.  Postcondition: stages,
+  /// arrivals, and critical paths are bit-identical to a freshly
+  /// constructed analyzer over the mutated netlist with the same input
+  /// events (and run(), if this analyzer had run).  No-op when already
+  /// in sync.  Throws Error for edits the incremental pipeline cannot
+  /// absorb (power/ground/input/precharge role changes) and for timing
+  /// loops, exactly like construction + run() would.
+  void update();
 
   /// Discards arrivals and seeds so a new set of input events can be
   /// analyzed without re-extracting stages.  Wall-clock stats of the
@@ -164,6 +199,17 @@ class TimingAnalyzer {
   /// Requires that run() has not completed yet (Error otherwise).
   void require_not_ran(const char* what) const;
 
+  /// Requires that the netlist is at the revision the analyzer last
+  /// synchronized to (Error pointing at update() otherwise).
+  void require_synced(const char* what) const;
+
+  /// Rebuilds the trigger index over the current stages_.
+  void index_stages_by_trigger();
+
+  /// Drains the worklist to fixpoint.  `queued` is the in-queue
+  /// deduplication mark, sized like the arrival arrays.
+  void propagate(std::deque<std::uint32_t>& work, std::vector<char>& queued);
+
   const Netlist& nl_;
   const Tech& tech_;
   const DelayModel& model_;
@@ -186,6 +232,8 @@ class TimingAnalyzer {
   std::vector<int> update_counts_;
   std::vector<std::uint32_t> seeds_;  ///< packed keys, insertion order
   bool ran_ = false;
+  /// Netlist revision the stages/partition reflect.
+  std::uint64_t synced_revision_ = 0;
   AnalyzerStats stats_;
 };
 

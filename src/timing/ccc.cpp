@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "util/contracts.h"
+#include "util/error.h"
 
 namespace sldm {
 namespace {
@@ -19,34 +20,39 @@ std::size_t find_root(std::vector<std::size_t>& parent, std::size_t x) {
   return x;
 }
 
+/// Merges the channel terminals of one device (rails never bridge).
+void union_device(const Netlist& nl, std::vector<std::size_t>& parent,
+                  const Transistor& t) {
+  if (nl.is_rail(t.source) || nl.is_rail(t.drain)) return;
+  std::size_t a = find_root(parent, t.source.index());
+  std::size_t b = find_root(parent, t.drain.index());
+  if (a == b) return;
+  if (b < a) std::swap(a, b);
+  parent[b] = a;  // smaller index wins: deterministic roots
+}
+
 }  // namespace
 
-CccPartition::CccPartition(const Netlist& nl)
-    : component_of_(nl.node_count(), kNone) {
-  const std::size_t n = nl.node_count();
-  std::vector<std::size_t> parent(n);
-  std::iota(parent.begin(), parent.end(), std::size_t{0});
-
-  auto is_bridge = [&](NodeId id) { return !nl.is_rail(id); };
-
-  for (DeviceId d : nl.device_ids()) {
-    const Transistor& t = nl.device(d);
-    if (is_bridge(t.source) && is_bridge(t.drain)) {
-      std::size_t a = find_root(parent, t.source.index());
-      std::size_t b = find_root(parent, t.drain.index());
-      if (a == b) continue;
-      if (b < a) std::swap(a, b);
-      parent[b] = a;  // smaller index wins: deterministic roots
-    }
+CccPartition::CccPartition(const Netlist& nl) : parent_(nl.node_count()) {
+  std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  for (DeviceId d : nl.all_devices()) {
+    union_device(nl, parent_, nl.device(d));
   }
+  renumber(nl);
+}
+
+void CccPartition::renumber(const Netlist& nl) {
+  const std::size_t n = nl.node_count();
+  component_of_.assign(n, kNone);
+  members_.clear();
 
   // Number components in order of smallest member id and collect
-  // members (node_ids() is ascending, so members come out sorted).
+  // members (ids are iterated ascending, so members come out sorted).
   std::vector<std::size_t> component_of_root(n, kNone);
-  for (NodeId id : nl.node_ids()) {
+  for (NodeId id : nl.all_nodes()) {
     if (nl.is_rail(id)) continue;
     if (nl.channels_at(id).empty()) continue;  // gate-only node
-    const std::size_t root = find_root(parent, id.index());
+    const std::size_t root = find_root(parent_, id.index());
     std::size_t& c = component_of_root[root];
     if (c == kNone) {
       c = members_.size();
@@ -60,12 +66,104 @@ CccPartition::CccPartition(const Netlist& nl)
   // channel terminals is in (at most one, since rails are not bridges
   // and non-rail terminals of one device share a component).
   device_counts_.assign(members_.size(), 0);
-  for (DeviceId d : nl.device_ids()) {
+  for (DeviceId d : nl.all_devices()) {
     const Transistor& t = nl.device(d);
     std::size_t c = component_of_[t.source.index()];
     if (c == kNone) c = component_of_[t.drain.index()];
     if (c != kNone) ++device_counts_[c];
   }
+}
+
+std::vector<std::size_t> CccPartition::update(const Netlist& nl,
+                                              const ChangeLog& log,
+                                              std::uint64_t since) {
+  SLDM_EXPECTS(since <= log.revision());
+  SLDM_EXPECTS(parent_.size() <= nl.node_count());
+
+  // First pass: classify the batch and collect the touched nodes (the
+  // nodes whose owning components' stage sets may change).  Device
+  // terminals are immutable, so resolving them after the whole batch
+  // was applied to the netlist is equivalent to replaying in order.
+  bool topological = false;
+  std::vector<NodeId> touched;
+  for (std::uint64_t i = since; i < log.revision(); ++i) {
+    const Change& c = log.entry(i);
+    switch (c.kind) {
+      case ChangeKind::kNodeAdded:
+        topological = true;  // membership handled by renumber()
+        break;
+      case ChangeKind::kDeviceAdded: {
+        topological = true;
+        const Transistor& t = nl.device(c.device());
+        touched.push_back(t.gate);  // new gate load changes gate-node cap
+        touched.push_back(t.source);
+        touched.push_back(t.drain);
+        break;
+      }
+      case ChangeKind::kDeviceSized: {
+        // Resistance affects the channel's component; gate/diffusion
+        // capacitance contributions affect every terminal's component.
+        const Transistor& t = nl.device(c.device());
+        touched.push_back(t.gate);
+        touched.push_back(t.source);
+        touched.push_back(t.drain);
+        break;
+      }
+      case ChangeKind::kDeviceFlow: {
+        const Transistor& t = nl.device(c.device());
+        touched.push_back(t.source);
+        touched.push_back(t.drain);
+        break;
+      }
+      case ChangeKind::kNodeCap:
+        touched.push_back(c.node());
+        break;
+      case ChangeKind::kNodeFixed:
+        // The node stops/starts acting as a value source (its own
+        // component), and every device it gates flips between
+        // switching and constant-on/off (the gated channels'
+        // components).
+        touched.push_back(c.node());
+        for (DeviceId d : nl.gated_by(c.node())) {
+          touched.push_back(nl.device(d).source);
+          touched.push_back(nl.device(d).drain);
+        }
+        break;
+      case ChangeKind::kNodeRoleOutput:
+        break;  // reporting only
+      case ChangeKind::kNodeRole:
+        throw Error(
+            "incremental update cannot absorb a power/ground/input/"
+            "precharge role change on node '" + nl.node(c.node()).name +
+            "'; rebuild the analyzer");
+    }
+  }
+
+  if (topological) {
+    const std::size_t old_size = parent_.size();
+    parent_.resize(nl.node_count());
+    std::iota(parent_.begin() + static_cast<std::ptrdiff_t>(old_size),
+              parent_.end(), old_size);
+    // Only the added devices introduce new unions; existing roots are
+    // already correct and components can only merge.
+    for (std::uint64_t i = since; i < log.revision(); ++i) {
+      const Change& c = log.entry(i);
+      if (c.kind != ChangeKind::kDeviceAdded) continue;
+      union_device(nl, parent_, nl.device(c.device()));
+    }
+    renumber(nl);
+  }
+
+  // Map touched nodes to components under the (possibly new) numbering.
+  std::vector<std::size_t> dirty;
+  dirty.reserve(touched.size());
+  for (NodeId n : touched) {
+    const std::size_t c = component_of(n);
+    if (c != kNone) dirty.push_back(c);
+  }
+  std::sort(dirty.begin(), dirty.end());
+  dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  return dirty;
 }
 
 const std::vector<NodeId>& CccPartition::members(std::size_t c) const {

@@ -10,10 +10,21 @@
 //
 // The partition is purely structural: it depends only on the Netlist,
 // not on ExtractOptions, so it is computed once and reused across
-// analyses of the same circuit.
+// analyses of the same circuit.  It is also the incrementality boundary
+// for ECO edits: update() absorbs a batch of change-log entries by
+// re-running union-find only over newly added devices (components only
+// ever merge — there is no removal API) and reports which components'
+// stage sets may have changed.
+//
+// Pinned node values (Node::fixed) deliberately do NOT affect the
+// partition even though extraction treats pinned nodes like rails: the
+// partition is an upper bound on channel connectivity, so keeping
+// pinned nodes as bridges means pinning/unpinning never has to split a
+// component — it only dirties one.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "netlist/netlist.h"
@@ -29,6 +40,19 @@ class CccPartition {
   /// Computes the partition.  Components are numbered deterministically
   /// in order of their smallest member node id.
   explicit CccPartition(const Netlist& nl);
+
+  /// Applies the change-log entries [since, log.revision()) to the
+  /// partition and returns the ids of the components whose stage sets
+  /// may have changed (new numbering, ascending, deduplicated).
+  /// Topological entries (added devices) extend the union-find
+  /// incrementally and renumber; parameter-only batches keep the
+  /// numbering untouched.  The result is identical to rebuilding from
+  /// scratch.  Throws Error for edits the incremental path cannot
+  /// absorb (power/ground/input/precharge role changes, which would
+  /// split components or change value sources).
+  /// Precondition: `log` is nl.changes() and since <= log.revision().
+  std::vector<std::size_t> update(const Netlist& nl, const ChangeLog& log,
+                                  std::uint64_t since);
 
   /// Number of components.
   std::size_t count() const { return members_.size(); }
@@ -51,6 +75,11 @@ class CccPartition {
   std::size_t widest() const;
 
  private:
+  /// Recomputes component numbering, members, and device counts from
+  /// the current union-find roots (the constructor's second half).
+  void renumber(const Netlist& nl);
+
+  std::vector<std::size_t> parent_;        ///< persistent union-find
   std::vector<std::size_t> component_of_;  ///< per node, kNone for rails
   std::vector<std::vector<NodeId>> members_;
   std::vector<std::size_t> device_counts_;

@@ -59,7 +59,7 @@ std::vector<ChargeSharingResult> analyze_all_charge_sharing(
     const Netlist& nl, const Tech& tech,
     const ChargeSharingOptions& options) {
   std::vector<ChargeSharingResult> out;
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     if (nl.node(n).is_precharged) {
       out.push_back(analyze_charge_sharing(nl, tech, n, options));
     }

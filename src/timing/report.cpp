@@ -23,7 +23,7 @@ std::string format_path(const Netlist& nl, const std::vector<PathStep>& path) {
 std::string format_output_arrivals(const Netlist& nl,
                                    const TimingAnalyzer& analyzer) {
   TextTable table({"output", "rise (ns)", "fall (ns)"});
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     if (!nl.node(n).is_output) continue;
     const auto rise = analyzer.arrival(n, Transition::kRise);
     const auto fall = analyzer.arrival(n, Transition::kFall);
@@ -38,7 +38,7 @@ std::string format_all_arrivals(const Netlist& nl,
                                 const TimingAnalyzer& analyzer) {
   TextTable table({"node", "rise (ns)", "rise slope", "fall (ns)",
                    "fall slope"});
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     if (nl.node(n).is_input || nl.is_rail(n)) continue;
     const auto rise = analyzer.arrival(n, Transition::kRise);
     const auto fall = analyzer.arrival(n, Transition::kFall);
@@ -66,6 +66,14 @@ std::string format_analyzer_stats(const Netlist& nl,
                "%zu worklist pushes, %zu arrival updates)\n",
                st.propagate_seconds * 1e3, st.stage_evaluations,
                st.worklist_pushes, st.arrival_updates);
+  if (st.incremental_updates > 0) {
+    os << format("  eco update : %9.3f ms  (%zu absorbed; last: %zu dirty "
+                 "CCC%s, %zu reused / %zu re-extracted stages, "
+                 "%zu invalidated arrivals)\n",
+                 st.update_seconds * 1e3, st.incremental_updates,
+                 st.dirty_cccs, st.dirty_cccs == 1 ? "" : "s",
+                 st.reused_stages, st.reextracted_stages, st.frontier_keys);
+  }
 
   // Per-CCC census, largest stage contribution first.
   std::vector<std::size_t> order(st.stages_per_ccc.size());
@@ -85,6 +93,26 @@ std::string format_analyzer_stats(const Netlist& nl,
                    nl.node(ccc.members(c).front()).name});
   }
   os << table.to_string();
+  return os.str();
+}
+
+std::string analyzer_stats_json(const AnalyzerStats& st) {
+  std::ostringstream os;
+  os << '{' << format("\"ccc_count\":%zu", st.ccc_count)
+     << format(",\"widest_ccc\":%zu", st.widest_ccc)
+     << format(",\"stage_count\":%zu", st.stage_count)
+     << format(",\"stage_evaluations\":%zu", st.stage_evaluations)
+     << format(",\"worklist_pushes\":%zu", st.worklist_pushes)
+     << format(",\"arrival_updates\":%zu", st.arrival_updates)
+     << format(",\"extract_seconds\":%.9g", st.extract_seconds)
+     << format(",\"propagate_seconds\":%.9g", st.propagate_seconds)
+     << format(",\"threads\":%d", st.threads)
+     << format(",\"incremental_updates\":%zu", st.incremental_updates)
+     << format(",\"dirty_cccs\":%zu", st.dirty_cccs)
+     << format(",\"reextracted_stages\":%zu", st.reextracted_stages)
+     << format(",\"reused_stages\":%zu", st.reused_stages)
+     << format(",\"frontier_keys\":%zu", st.frontier_keys)
+     << format(",\"update_seconds\":%.9g", st.update_seconds) << '}';
   return os.str();
 }
 

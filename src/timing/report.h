@@ -20,10 +20,17 @@ std::string format_all_arrivals(const Netlist& nl,
                                 const TimingAnalyzer& analyzer);
 
 /// The analyzer's instrumentation report: per-phase wall clock
-/// (extraction vs propagation), work counters, and a per-CCC stage
-/// census (largest components first, up to `max_cccs` rows).
+/// (extraction vs propagation), work counters, incremental-update
+/// counters when update() has run, and a per-CCC stage census (largest
+/// components first, up to `max_cccs` rows).
 std::string format_analyzer_stats(const Netlist& nl,
                                   const TimingAnalyzer& analyzer,
                                   std::size_t max_cccs = 10);
+
+/// One-line JSON object of the stats counters (machine-readable
+/// counterpart of format_analyzer_stats, minus the per-CCC census) for
+/// scripted perf tracking: `sldm time --stats --json`, `sldm eco
+/// --json`, and the compare harness all emit this.
+std::string analyzer_stats_json(const AnalyzerStats& stats);
 
 }  // namespace sldm

@@ -27,7 +27,7 @@ SlackReport compute_slack(const Netlist& nl, const TimingAnalyzer& analyzer,
   SLDM_EXPECTS(required > 0.0);
   SlackReport report;
   report.required = required;
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     if (!nl.node(n).is_output) continue;
     for (Transition dir : {Transition::kRise, Transition::kFall}) {
       const auto info = analyzer.arrival(n, dir);

@@ -1,6 +1,7 @@
 #include "timing/stage_extract.h"
 
 #include <algorithm>
+#include <numeric>
 #include <sstream>
 
 #include "util/contracts.h"
@@ -111,7 +112,7 @@ std::optional<bool> known_value(const Netlist& nl,
       it != options.fixed_values.end()) {
     return it->second;
   }
-  return std::nullopt;
+  return info.fixed_value();
 }
 
 bool can_conduct(const Netlist& nl, const ExtractOptions& options,
@@ -241,13 +242,59 @@ std::vector<TimingStage> extract_all_stages(const Netlist& nl,
                                             const ExtractOptions& options) {
   std::vector<TimingStage> all;
   ExtractScratch scratch;
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     if (nl.channels_at(n).empty()) continue;
     for (Transition dir : {Transition::kRise, Transition::kFall}) {
       stages_to(nl, n, dir, options, scratch, all);
     }
   }
   return all;
+}
+
+std::vector<std::vector<TimingStage>> extract_components(
+    const Netlist& nl, const ExtractOptions& options, const CccPartition& ccc,
+    const std::vector<std::size_t>& components, int threads) {
+  SLDM_EXPECTS(threads >= 1);
+  // Per-component buckets; each job writes only its own slots, so no
+  // synchronization is needed beyond the pool's wait() barrier.
+  std::vector<std::vector<TimingStage>> buckets(components.size());
+
+  // Group components into contiguous chunks of roughly equal device
+  // weight so a few big CCCs don't serialize the tail and thousands of
+  // tiny ones don't drown the queue in task overhead.
+  std::size_t total_weight = 0;
+  for (const std::size_t c : components) {
+    total_weight += ccc.device_count(c) + 1;
+  }
+  const std::size_t target_chunks =
+      std::max<std::size_t>(1, static_cast<std::size_t>(threads) * 8);
+  const std::size_t chunk_weight =
+      std::max<std::size_t>(1, total_weight / target_chunks);
+
+  ThreadPool pool(threads);
+  std::size_t begin = 0;
+  while (begin < components.size()) {
+    std::size_t end = begin;
+    std::size_t weight = 0;
+    while (end < components.size() && weight < chunk_weight) {
+      weight += ccc.device_count(components[end]) + 1;
+      ++end;
+    }
+    pool.submit([&nl, &options, &ccc, &components, &buckets, begin, end] {
+      ExtractScratch scratch;
+      for (std::size_t i = begin; i < end; ++i) {
+        std::vector<TimingStage>& bucket = buckets[i];
+        for (NodeId n : ccc.members(components[i])) {
+          for (Transition dir : {Transition::kRise, Transition::kFall}) {
+            stages_to(nl, n, dir, options, scratch, bucket);
+          }
+        }
+      }
+    });
+    begin = end;
+  }
+  pool.wait();
+  return buckets;
 }
 
 PartitionedStages extract_stages_partitioned(const Netlist& nl,
@@ -258,46 +305,10 @@ PartitionedStages extract_stages_partitioned(const Netlist& nl,
   PartitionedStages out;
   out.per_ccc.assign(ccc.count(), 0);
 
-  // Per-component buckets; each job writes only its own component's
-  // slot, so the merge below needs no synchronization beyond the pool's
-  // wait() barrier.
-  std::vector<std::vector<TimingStage>> per_ccc(ccc.count());
-
-  // Group components into contiguous chunks of roughly equal device
-  // weight so a few big CCCs don't serialize the tail and thousands of
-  // tiny ones don't drown the queue in task overhead.
-  std::size_t total_weight = 0;
-  for (std::size_t c = 0; c < ccc.count(); ++c) {
-    total_weight += ccc.device_count(c) + 1;
-  }
-  const std::size_t target_chunks =
-      std::max<std::size_t>(1, static_cast<std::size_t>(threads) * 8);
-  const std::size_t chunk_weight =
-      std::max<std::size_t>(1, total_weight / target_chunks);
-
-  ThreadPool pool(threads);
-  std::size_t begin = 0;
-  while (begin < ccc.count()) {
-    std::size_t end = begin;
-    std::size_t weight = 0;
-    while (end < ccc.count() && weight < chunk_weight) {
-      weight += ccc.device_count(end) + 1;
-      ++end;
-    }
-    pool.submit([&nl, &options, &ccc, &per_ccc, begin, end] {
-      ExtractScratch scratch;
-      for (std::size_t c = begin; c < end; ++c) {
-        std::vector<TimingStage>& bucket = per_ccc[c];
-        for (NodeId n : ccc.members(c)) {
-          for (Transition dir : {Transition::kRise, Transition::kFall}) {
-            stages_to(nl, n, dir, options, scratch, bucket);
-          }
-        }
-      }
-    });
-    begin = end;
-  }
-  pool.wait();
+  std::vector<std::size_t> all(ccc.count());
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  std::vector<std::vector<TimingStage>> per_ccc =
+      extract_components(nl, options, ccc, all, threads);
 
   // Deterministic merge: global node-id order, exactly the order the
   // sequential extract_all_stages produces.  Component members are
@@ -308,7 +319,7 @@ PartitionedStages extract_stages_partitioned(const Netlist& nl,
   out.stages.reserve(total);
   // Position of the next unconsumed stage per component bucket.
   std::vector<std::size_t> cursor(ccc.count(), 0);
-  for (NodeId n : nl.node_ids()) {
+  for (NodeId n : nl.all_nodes()) {
     const std::size_t c = ccc.component_of(n);
     if (c == CccPartition::kNone) continue;
     std::vector<TimingStage>& bucket = per_ccc[c];

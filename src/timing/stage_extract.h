@@ -56,12 +56,15 @@ struct ExtractOptions {
   int max_depth = 16;
   /// Treat chip inputs as value sources (they can pass either value).
   bool inputs_as_sources = true;
-  /// Nodes pinned to constant logic values for this analysis.
+  /// Nodes pinned to constant logic values for this analysis.  Takes
+  /// precedence over the netlist's persistent Node::fixed attribute
+  /// (the `@set` .sim record), which is also honored.
   std::unordered_map<NodeId, bool> fixed_values;
 };
 
 /// The logic value of a node if it is constant under `options`
-/// (rails and fixed nodes), nullopt otherwise.
+/// (rails, per-analysis fixed_values, and persistently pinned nodes),
+/// nullopt otherwise.
 std::optional<bool> known_value(const Netlist& nl,
                                 const ExtractOptions& options, NodeId n);
 
@@ -141,6 +144,19 @@ PartitionedStages extract_stages_partitioned(const Netlist& nl,
                                              const ExtractOptions& options,
                                              const CccPartition& ccc,
                                              int threads);
+
+/// Extracts only the listed components, fanned out over `threads`
+/// workers exactly like extract_stages_partitioned.  Returns one stage
+/// bucket per entry of `components` (same order); each bucket holds the
+/// component's stages in ascending (node id, rise-then-fall) order —
+/// bit-identical to the corresponding slice of a whole-netlist
+/// extraction.  This is the re-extraction primitive of
+/// TimingAnalyzer::update(): dirty components pay, clean ones don't.
+/// Preconditions: threads >= 1; components are valid ids of `ccc`,
+/// ascending and unique.
+std::vector<std::vector<TimingStage>> extract_components(
+    const Netlist& nl, const ExtractOptions& options, const CccPartition& ccc,
+    const std::vector<std::size_t>& components, int threads);
 
 /// Converts a TimingStage into the electrical Stage the delay models
 /// consume: per-device effective resistances for the output direction

@@ -208,5 +208,57 @@ TEST(Cli, CalibrateUsage) {
   EXPECT_EQ(run({"calibrate", "nmos"}).code, 2);
 }
 
+TEST(Cli, TimeStatsJsonEmitsCounters) {
+  TempFile f("inv.sim", kInverterSim);
+  const CliRun r = run({"time", f.path(), "--model", "rc-tree", "--stats",
+                        "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("{\"ccc_count\":"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"stage_count\":"), std::string::npos);
+  EXPECT_NE(r.out.find("\"incremental_updates\":0"), std::string::npos);
+}
+
+TEST(Cli, EcoAppliesEditsAndVerifies) {
+  TempFile f("inv.sim", kInverterSim);
+  TempFile e("widen.eco",
+             "| widen the pull-down\n"
+             "width in gnd out 16\n"
+             "cap out 25\n");
+  const CliRun r = run({"eco", f.path(), e.path(), "--model", "rc-tree",
+                        "--verify", "--stats"});
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find("baseline:"), std::string::npos);
+  EXPECT_NE(r.out.find("applied 2 edit(s)"), std::string::npos);
+  EXPECT_NE(r.out.find("bit-identical"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("eco update"), std::string::npos) << r.out;
+}
+
+TEST(Cli, EcoWritesEditedNetlist) {
+  TempFile f("inv.sim", kInverterSim);
+  TempFile e("widen.eco", "width in gnd out 16\n");
+  const std::string out_path = "/tmp/sldm_cli_test_eco_out.sim";
+  const CliRun r = run({"eco", f.path(), e.path(), "--model", "rc-tree",
+                        "--write", out_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream in(out_path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("e in gnd out 4 16"), std::string::npos)
+      << ss.str();
+  std::remove(out_path.c_str());
+}
+
+TEST(Cli, EcoBadScriptIsAnalysisError) {
+  TempFile f("inv.sim", kInverterSim);
+  TempFile e("bad.eco", "width nosuch gnd out 16\n");
+  const CliRun r = run({"eco", f.path(), e.path(), "--model", "rc-tree"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error"), std::string::npos);
+}
+
+TEST(Cli, EcoUsageErrors) {
+  EXPECT_EQ(run({"eco", "only-one-arg.sim"}).code, 2);
+}
+
 }  // namespace
 }  // namespace sldm

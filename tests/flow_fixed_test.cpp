@@ -154,6 +154,29 @@ TEST(FixedValues, PinnedNodeIsNotADestination) {
   EXPECT_TRUE(stages_to(g.netlist, s2, Transition::kRise, opts).empty());
 }
 
+TEST(FixedValues, PersistentPinActsAsValueSource) {
+  // Netlist-resident pins (set_fixed / the `@set` .sim record) behave
+  // like ExtractOptions::fixed_values, without any per-run options.
+  CircuitBuilder b(Style::kNmos);
+  const NodeId sel = b.input("sel");
+  const NodeId a = b.node("a");
+  const NodeId out = b.node("out");
+  b.pass(a, out, sel);
+  b.inverter(out, "obs");
+  Netlist& nl = b.netlist();
+  nl.set_fixed(a, true);
+
+  const auto stages = stages_to(nl, out, Transition::kRise);
+  ASSERT_EQ(stages.size(), 1u);
+  EXPECT_EQ(stages[0].source, a);
+  EXPECT_EQ(nl.device(stages[0].trigger).gate, sel);
+
+  // Per-run options take precedence over the netlist attribute.
+  ExtractOptions opts;
+  opts.fixed_values[a] = false;
+  EXPECT_TRUE(stages_to(nl, out, Transition::kRise, opts).empty());
+}
+
 TEST(FixedValues, AnalyzerRespectsPins) {
   const Tech tech = nmos4();
   const RcTreeModel model;

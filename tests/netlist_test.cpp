@@ -124,6 +124,67 @@ TEST(Netlist, IdsAreDense) {
   EXPECT_EQ(ids[1].index(), 1u);
 }
 
+TEST(Netlist, MutatorsValidateAndApply) {
+  Netlist nl;
+  const NodeId g = nl.add_node("g");
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  const DeviceId d =
+      nl.add_transistor(TransistorType::kNEnhancement, g, a, b, 8 * um,
+                        4 * um);
+  nl.set_width(d, 12 * um);
+  nl.set_length(d, 6 * um);
+  EXPECT_DOUBLE_EQ(nl.device(d).width, 12 * um);
+  EXPECT_DOUBLE_EQ(nl.device(d).length, 6 * um);
+  EXPECT_THROW(nl.set_width(d, 0.0), ContractViolation);
+  EXPECT_THROW(nl.set_length(d, -1 * um), ContractViolation);
+  nl.set_capacitance(a, 7 * fF);
+  EXPECT_DOUBLE_EQ(nl.node(a).cap, 7 * fF);
+  nl.set_capacitance(a, 2 * fF);  // replaces, does not accumulate
+  EXPECT_DOUBLE_EQ(nl.node(a).cap, 2 * fF);
+  EXPECT_THROW(nl.set_capacitance(a, -1 * fF), ContractViolation);
+  nl.set_fixed(a, true);
+  EXPECT_EQ(nl.node(a).fixed_value(), std::optional<bool>(true));
+  nl.set_fixed(a, std::nullopt);
+  EXPECT_EQ(nl.node(a).fixed_value(), std::nullopt);
+}
+
+TEST(Netlist, ChangeLogJournalsEveryMutation) {
+  Netlist nl;
+  EXPECT_EQ(nl.revision(), 0u);
+  const NodeId g = nl.add_node("g");
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  EXPECT_EQ(nl.revision(), 3u);
+  nl.add_node("a");  // existing name: no new node, no log entry
+  EXPECT_EQ(nl.revision(), 3u);
+
+  const DeviceId d =
+      nl.add_transistor(TransistorType::kNEnhancement, g, a, b, 8 * um,
+                        4 * um);
+  nl.set_width(d, 12 * um);
+  nl.set_flow(d, Flow::kSourceToDrain);
+  nl.set_capacitance(a, 5 * fF);
+  nl.add_cap(a, 1 * fF);
+  nl.set_fixed(b, false);
+  nl.mark_output("a");
+  nl.mark_input("g");
+  const ChangeLog& log = nl.changes();
+  ASSERT_EQ(log.revision(), 11u);
+  EXPECT_EQ(log.entry(0).kind, ChangeKind::kNodeAdded);
+  EXPECT_EQ(log.entry(0).node(), g);
+  EXPECT_EQ(log.entry(3).kind, ChangeKind::kDeviceAdded);
+  EXPECT_EQ(log.entry(3).device(), d);
+  EXPECT_EQ(log.entry(4).kind, ChangeKind::kDeviceSized);
+  EXPECT_EQ(log.entry(5).kind, ChangeKind::kDeviceFlow);
+  EXPECT_EQ(log.entry(6).kind, ChangeKind::kNodeCap);
+  EXPECT_EQ(log.entry(7).kind, ChangeKind::kNodeCap);
+  EXPECT_EQ(log.entry(8).kind, ChangeKind::kNodeFixed);
+  EXPECT_EQ(log.entry(8).node(), b);
+  EXPECT_EQ(log.entry(9).kind, ChangeKind::kNodeRoleOutput);
+  EXPECT_EQ(log.entry(10).kind, ChangeKind::kNodeRole);
+}
+
 TEST(TypeNames, LettersAndStrings) {
   EXPECT_EQ(to_letter(TransistorType::kNEnhancement), "e");
   EXPECT_EQ(to_letter(TransistorType::kNDepletion), "d");

@@ -112,6 +112,65 @@ TEST(SimIo, MissingFileThrows) {
   EXPECT_THROW(read_sim_file("/nonexistent/file.sim"), Error);
 }
 
+TEST(SimIo, SetRecordParsesFixedValues) {
+  const Netlist nl = parse(
+      "e sel a b 4 8\n"
+      "@set sel=1 a=0\n");
+  EXPECT_EQ(nl.node(*nl.find_node("sel")).fixed_value(),
+            std::optional<bool>(true));
+  EXPECT_EQ(nl.node(*nl.find_node("a")).fixed_value(),
+            std::optional<bool>(false));
+  EXPECT_EQ(nl.node(*nl.find_node("b")).fixed_value(), std::nullopt);
+}
+
+TEST(SimIo, SetRecordRejectsMalformed) {
+  EXPECT_THROW(parse("@set\n"), ParseError);            // no entries
+  EXPECT_THROW(parse("@set a\n"), ParseError);          // missing value
+  EXPECT_THROW(parse("@set a=2\n"), ParseError);        // not 0/1
+  EXPECT_THROW(parse("@set a=\n"), ParseError);         // empty value
+}
+
+TEST(SimIo, FixedValuesSurviveRoundTrip) {
+  Netlist nl;
+  nl.mark_power("vdd");
+  nl.mark_ground("gnd");
+  const NodeId sel = nl.mark_input("sel");
+  const NodeId a = nl.add_node("a");
+  const NodeId b = nl.add_node("b");
+  nl.add_transistor(TransistorType::kNEnhancement, sel, a, b, 8e-6, 4e-6,
+                    Flow::kSourceToDrain);
+  nl.set_fixed(sel, true);
+  nl.set_fixed(a, false);
+  const Netlist rt = reparse(nl);
+  EXPECT_EQ(rt.node(*rt.find_node("sel")).fixed_value(),
+            std::optional<bool>(true));
+  EXPECT_EQ(rt.node(*rt.find_node("a")).fixed_value(),
+            std::optional<bool>(false));
+  EXPECT_EQ(rt.node(*rt.find_node("b")).fixed_value(), std::nullopt);
+  EXPECT_EQ(rt.device(DeviceId(0)).flow, Flow::kSourceToDrain);
+  // Unpinning drops the node from the @set record entirely.
+  Netlist freed = reparse(nl);
+  freed.set_fixed(*freed.find_node("a"), std::nullopt);
+  const Netlist rt2 = reparse(freed);
+  EXPECT_EQ(rt2.node(*rt2.find_node("a")).fixed_value(), std::nullopt);
+  EXPECT_EQ(rt2.node(*rt2.find_node("sel")).fixed_value(),
+            std::optional<bool>(true));
+}
+
+TEST(SimIo, MutatedNetlistSurvivesRoundTrip) {
+  const GeneratedCircuit g = inverter_chain(Style::kNmos, 3, 1);
+  Netlist nl = g.netlist;
+  nl.set_width(DeviceId(0), 16e-6);
+  nl.set_length(DeviceId(1), 6e-6);
+  nl.set_capacitance(*nl.find_node("s1"), 55e-15);
+  nl.set_flow(DeviceId(2), Flow::kDrainToSource);
+  const Netlist rt = reparse(nl);
+  EXPECT_NEAR(rt.device(DeviceId(0)).width, 16e-6, 1e-12);
+  EXPECT_NEAR(rt.device(DeviceId(1)).length, 6e-6, 1e-12);
+  EXPECT_NEAR(rt.node(*rt.find_node("s1")).cap, 55e-15, 1e-21);
+  EXPECT_EQ(rt.device(DeviceId(2)).flow, Flow::kDrainToSource);
+}
+
 // Round-trip property: write + reparse preserves the circuit.
 class SimIoRoundTrip : public ::testing::TestWithParam<int> {};
 
