@@ -8,6 +8,7 @@
 #include <chrono>
 #include <iostream>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "delay/rctree.h"
 #include "timing/analyzer.h"
@@ -58,7 +59,8 @@ Row analyze(const GeneratedCircuit& g, const Tech& tech) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sldm::benchio::BenchMain bench("bench_ablation_flow", argc, argv);
   std::cout << "Ablation C: flow attributes on barrel shifters (nMOS, "
                "rc-tree model)\n\n";
   const Tech tech = nmos4();
@@ -69,6 +71,8 @@ int main() {
     GeneratedCircuit plain = barrel_shifter(Style::kNmos, bits);
     GeneratedCircuit flow = barrel_shifter(Style::kNmos, bits);
     annotate(flow);
+    sldm::benchio::note_circuit(plain.name,
+                                plain.netlist.device_count());
     const Row a = analyze(plain, tech);
     const Row b = analyze(flow, tech);
     table.add_row({std::to_string(bits), std::to_string(a.stages),

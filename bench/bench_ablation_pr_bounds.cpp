@@ -6,14 +6,16 @@
 // point estimate, and where the simulator actually lands.
 #include <iostream>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "rc/rc_tree.h"
 #include "timing/stage_extract.h"
 #include "util/strings.h"
 #include "util/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sldm;
+  benchio::BenchMain bench("bench_ablation_pr_bounds", argc, argv);
   std::cout << "Ablation B: RPH bounds tightness on pass chains (nMOS)\n\n";
   const CompareContext& ctx = CompareContext::get(Style::kNmos);
 
@@ -44,6 +46,8 @@ int main() {
     probe.output = dest;
     const SimulateOnlyResult sim =
         run_simulation(probe, ctx.tech(), 0.2e-9);
+    benchio::note_circuit(g.name, g.netlist.device_count());
+    benchio::note_error_pct(100.0 * (elmore50 - sim.delay) / sim.delay);
 
     table.add_row({std::to_string(n), format("%.3f", to_ns(bounds.lower)),
                    format("%.3f", to_ns(elmore50)),

@@ -6,6 +6,7 @@
 // end-to-end accuracy on an inverter chain with a slow input.
 #include <iostream>
 
+#include "bench_io.h"
 #include "calib/calibrate.h"
 #include "compare/harness.h"
 #include "delay/slope.h"
@@ -14,8 +15,9 @@
 #include "util/strings.h"
 #include "util/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sldm;
+  benchio::BenchMain bench("bench_ablation_table_size", argc, argv);
   std::cout << "Ablation A: slope-table granularity (nMOS)\n\n";
 
   const Tech base = nmos4();
@@ -48,6 +50,8 @@ int main() {
     an.run();
     const auto worst_arrival = an.worst_arrival(true);
     const Seconds delay = worst_arrival ? worst_arrival->time : 0.0;
+    benchio::note_circuit(g.name, g.netlist.device_count());
+    benchio::note_error_pct(100.0 * (delay - sim.delay) / sim.delay);
     table.add_row({std::to_string(n), format("%.4f", worst),
                    format("%.3f", to_ns(delay)),
                    format("%+.1f", 100.0 * (delay - sim.delay) / sim.delay)});

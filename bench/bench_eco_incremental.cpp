@@ -10,6 +10,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_io.h"
 #include "delay/rctree.h"
 #include "gen/generators.h"
 #include "tech/tech.h"
@@ -27,8 +28,9 @@ double now_seconds() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sldm;
+  benchio::BenchMain bench("bench_eco_incremental", argc, argv);
   std::cout << "Extension: incremental ECO update vs full rebuild "
                "(single-device width edits, rc-tree model, 1 ns edge)\n\n";
   const Tech tech = cmos3();
@@ -48,6 +50,7 @@ int main() {
     const GeneratedCircuit g =
         random_logic(Style::kCmos, c.layers, c.width, 0xEC0);
     Netlist nl = g.netlist;
+    benchio::note_circuit(g.name, nl.device_count());
 
     TimingAnalyzer inc(nl, tech, model);
     inc.add_input_event(g.input, Transition::kRise, 0.0, 1e-9);

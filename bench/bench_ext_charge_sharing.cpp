@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "analog/elaborate.h"
+#include "bench_io.h"
 #include "analog/transient.h"
 #include "gen/generators.h"
 #include "tech/tech.h"
@@ -39,7 +40,8 @@ Volts settled_bus_level(const GeneratedCircuit& g, const Tech& tech) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sldm::benchio::BenchMain bench("bench_ext_charge_sharing", argc, argv);
   std::cout << "Extension: charge sharing on precharged buses, static "
                "analysis vs simulator\n\n";
   const Tech tech = nmos4();
@@ -52,6 +54,8 @@ int main() {
     const ChargeSharingResult pred =
         analyze_charge_sharing(g.netlist, tech, bus);
     const Volts sim = settled_bus_level(g, tech);
+    sldm::benchio::note_circuit(g.name, g.netlist.device_count());
+    sldm::benchio::note_error_pct(100.0 * (pred.v_after - sim) / sim);
     table.add_row({std::to_string(drivers), format("%.1f", to_fF(pred.node_cap)),
                    format("%.1f", to_fF(pred.shared_cap)),
                    format("%.2f", pred.v_after), format("%.2f", sim),

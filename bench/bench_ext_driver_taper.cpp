@@ -16,13 +16,15 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "timing/analyzer.h"
 #include "util/strings.h"
 #include "util/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sldm;
+  benchio::BenchMain bench("bench_ext_driver_taper", argc, argv);
   std::cout << "Extension: driver-chain taper sweep (CMOS, 4 stages, 500 fF "
                "load, 1 ns edge), incremental re-timing per point\n\n";
   const CompareContext& ctx = CompareContext::get(Style::kCmos);
@@ -80,6 +82,9 @@ int main() {
       all_identical = false;
     }
     const double slope_ns = d_slope ? to_ns(d_slope->time) : 0.0;
+    benchio::note_circuit(work.name, nl.device_count());
+    benchio::note_error_pct(100.0 * (slope_ns * 1e-9 - sim.delay) /
+                            sim.delay);
     const double upd_us = (an_rc.stats().update_seconds +
                            an_slope.stats().update_seconds) /
                           2.0 * 1e6;

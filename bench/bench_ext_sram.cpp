@@ -6,12 +6,14 @@
 // transistors long.  Models vs simulator across column heights.
 #include <iostream>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "util/strings.h"
 #include "util/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sldm;
+  benchio::BenchMain bench("bench_ext_sram", argc, argv);
   std::cout << "Extension: SRAM read column, bit-line discharge vs rows "
                "(nMOS, 1 ns wordline edge)\n\n";
   const CompareContext& ctx = CompareContext::get(Style::kNmos);
@@ -24,6 +26,8 @@ int main() {
     const ModelResult& lumped = r.model("lumped-rc");
     const ModelResult& rctree = r.model("rc-tree");
     const ModelResult& slope = r.model("slope");
+    benchio::note_circuit(r.circuit, r.devices);
+    benchio::note_error_pct(slope.error_pct);
     table.add_row({std::to_string(rows), std::to_string(r.devices),
                    format("%.2f", to_ns(r.reference_delay)),
                    format("%.2f", to_ns(lumped.delay)),

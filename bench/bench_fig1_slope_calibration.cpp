@@ -7,6 +7,7 @@
 // ASCII series suitable for replotting.
 #include <iostream>
 
+#include "bench_io.h"
 #include "calib/calibrate.h"
 #include "tech/tech.h"
 #include "util/interp.h"
@@ -40,7 +41,8 @@ void run_style(sldm::Style style) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sldm::benchio::BenchMain bench("bench_fig1_slope_calibration", argc, argv);
   std::cout << "Fig. 1 (reconstructed): slope-model calibration curves, "
                "multiplier vs slope ratio\n\n";
   run_style(sldm::Style::kNmos);

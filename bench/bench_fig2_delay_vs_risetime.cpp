@@ -7,6 +7,7 @@
 // slope model follows.
 #include <iostream>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "util/interp.h"
 #include "util/strings.h"
@@ -24,6 +25,8 @@ void run_style(sldm::Style style) {
   for (double edge_ns : log_spaced(0.2, 20.0, 9)) {
     const ComparisonResult r = run_comparison(
         inverter_chain(style, 1, 1), ctx, edge_ns * 1e-9);
+    benchio::note_circuit(r.circuit, r.devices);
+    benchio::note_error_pct(r.model("slope").error_pct);
     table.add_row({format("%.2f", edge_ns),
                    format("%.3f", to_ns(r.reference_delay)),
                    format("%.3f", to_ns(r.model("lumped-rc").delay)),
@@ -36,7 +39,8 @@ void run_style(sldm::Style style) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sldm::benchio::BenchMain bench("bench_fig2_delay_vs_risetime", argc, argv);
   std::cout << "Fig. 2 (reconstructed): delay vs input transition time\n\n";
   run_style(sldm::Style::kNmos);
   run_style(sldm::Style::kCmos);

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <map>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "util/stats.h"
 #include "util/strings.h"
@@ -24,6 +25,8 @@ void run_style(sldm::Style style) {
                   "slope err%"});
   for (const GeneratedCircuit& g : accuracy_suite(style)) {
     const ComparisonResult r = run_comparison(g, ctx, 2e-9);
+    benchio::note_circuit(r.circuit, r.devices);
+    benchio::note_error_pct(r.model("slope").error_pct);
     rows.add_row({g.name, format("%.2f", to_ns(r.reference_delay)),
                   format("%+.0f", r.model("lumped-rc").error_pct),
                   format("%+.0f", r.model("rc-tree").error_pct),
@@ -57,7 +60,8 @@ void run_style(sldm::Style style) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sldm::benchio::BenchMain bench("bench_fig3_error_histogram", argc, argv);
   std::cout << "Fig. 3 (reconstructed): model error distribution across the "
                "benchmark suite (2 ns edges)\n\n";
   run_style(sldm::Style::kNmos);

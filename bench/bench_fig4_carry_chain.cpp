@@ -5,12 +5,14 @@
 // near-quadratic growth; the lumped model should diverge upward.
 #include <iostream>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "util/strings.h"
 #include "util/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sldm;
+  benchio::BenchMain bench("bench_fig4_carry_chain", argc, argv);
   std::cout << "Fig. 4 (reconstructed): Manchester carry chain critical "
                "path vs width (nMOS, 1 ns edge)\n\n";
   const CompareContext& ctx = CompareContext::get(Style::kNmos);
@@ -23,6 +25,8 @@ int main() {
     const ModelResult& lumped = r.model("lumped-rc");
     const ModelResult& rctree = r.model("rc-tree");
     const ModelResult& slope = r.model("slope");
+    benchio::note_circuit(r.circuit, r.devices);
+    benchio::note_error_pct(slope.error_pct);
     table.add_row({std::to_string(bits), std::to_string(r.devices),
                    format("%.2f", to_ns(r.reference_delay)),
                    format("%.2f", to_ns(lumped.delay)),

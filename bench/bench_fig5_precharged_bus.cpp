@@ -5,12 +5,14 @@
 // discharge.  Models vs simulator across the sweep.
 #include <iostream>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "util/strings.h"
 #include "util/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sldm;
+  benchio::BenchMain bench("bench_fig5_precharged_bus", argc, argv);
   std::cout << "Fig. 5 (reconstructed): precharged bus discharge vs number "
                "of drivers (nMOS, 1 ns edge)\n\n";
   const CompareContext& ctx = CompareContext::get(Style::kNmos);
@@ -23,6 +25,8 @@ int main() {
     const ModelResult& lumped = r.model("lumped-rc");
     const ModelResult& rctree = r.model("rc-tree");
     const ModelResult& slope = r.model("slope");
+    benchio::note_circuit(r.circuit, r.devices);
+    benchio::note_error_pct(slope.error_pct);
     table.add_row({std::to_string(drivers), std::to_string(r.devices),
                    format("%.2f", to_ns(r.reference_delay)),
                    format("%.2f", to_ns(lumped.delay)),

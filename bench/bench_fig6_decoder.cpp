@@ -6,6 +6,7 @@
 // across 2-5 address bits (4-32 rows).
 #include <iostream>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "util/strings.h"
 #include "util/text_table.h"
@@ -25,6 +26,8 @@ void run_style(sldm::Style style) {
     const ModelResult& lumped = r.model("lumped-rc");
     const ModelResult& rctree = r.model("rc-tree");
     const ModelResult& slope = r.model("slope");
+    benchio::note_circuit(r.circuit, r.devices);
+    benchio::note_error_pct(slope.error_pct);
     table.add_row({std::to_string(bits), std::to_string(1 << bits),
                    std::to_string(r.devices),
                    format("%.2f", to_ns(r.reference_delay)),
@@ -40,7 +43,8 @@ void run_style(sldm::Style style) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sldm::benchio::BenchMain bench("bench_fig6_decoder", argc, argv);
   std::cout << "Fig. 6 (extension): NOR address decoder, delay vs width "
                "(1 ns edge)\n\n";
   run_style(sldm::Style::kNmos);

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "analog/elaborate.h"
+#include "bench_io.h"
 #include "analog/export.h"
 #include "analog/transient.h"
 #include "compare/harness.h"
@@ -17,8 +18,9 @@
 #include "util/strings.h"
 #include "util/text_table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sldm;
+  benchio::BenchMain bench("bench_fig7_waveforms", argc, argv);
   std::cout << "Fig. 7 (reconstructed): chain waveforms, simulator "
                "crossings vs slope-model arrivals\n\n";
   const CompareContext& ctx = CompareContext::get(Style::kNmos);
@@ -68,6 +70,8 @@ int main() {
     if (!cross || !arrival) continue;
     // The analyzer's t=0 is the input's 50% point: t0 + edge/2.
     const Seconds sim_rel = *cross - (t0 + edge / 2.0);
+    benchio::note_circuit(g.name, g.netlist.device_count());
+    benchio::note_error_pct(100.0 * (arrival->time - sim_rel) / sim_rel);
     table.add_row({g.netlist.node(chain[i]).name, to_string(dir),
                    format("%.3f", to_ns(sim_rel)),
                    format("%.3f", to_ns(arrival->time)),

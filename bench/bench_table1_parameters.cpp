@@ -6,6 +6,7 @@
 // built-in processes -- the reproduction of the paper's parameter table.
 #include <iostream>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "util/strings.h"
 #include "util/text_table.h"
@@ -47,7 +48,8 @@ void print_style(sldm::Style style) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sldm::benchio::BenchMain bench("bench_table1_parameters", argc, argv);
   std::cout << "Table 1 (reconstructed): technology parameters for the "
                "switch-level delay models\n\n";
   print_style(sldm::Style::kNmos);

@@ -6,6 +6,7 @@
 // paper's evaluation section.
 #include <iostream>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "util/strings.h"
 #include "util/text_table.h"
@@ -27,6 +28,8 @@ void run_style(sldm::Style style) {
       const ModelResult& lumped = r.model("lumped-rc");
       const ModelResult& rctree = r.model("rc-tree");
       const ModelResult& slope = r.model("slope");
+      benchio::note_circuit(r.circuit, r.devices);
+      benchio::note_error_pct(slope.error_pct);
       table.add_row({std::to_string(stages), std::to_string(fanout),
                      format("%.2f", to_ns(r.reference_delay)),
                      format("%.2f", to_ns(lumped.delay)),
@@ -42,7 +45,8 @@ void run_style(sldm::Style style) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sldm::benchio::BenchMain bench("bench_table2_inverter_chains", argc, argv);
   std::cout << "Table 2 (reconstructed): inverter-chain delays, models vs "
                "analog simulation (2 ns input edge)\n\n";
   run_style(sldm::Style::kNmos);

@@ -6,6 +6,7 @@
 // lumped/rc-tree divergence and both models' accuracy vs the simulator.
 #include <iostream>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "util/strings.h"
 #include "util/text_table.h"
@@ -27,6 +28,8 @@ void run_style(sldm::Style style) {
     const ModelResult& lumped = r.model("lumped-rc");
     const ModelResult& rctree = r.model("rc-tree");
     const ModelResult& slope = r.model("slope");
+    benchio::note_circuit(r.circuit, r.devices);
+    benchio::note_error_pct(slope.error_pct);
     table.add_row({std::to_string(n),
                    format("%.2f", to_ns(r.reference_delay)),
                    format("%.2f", to_ns(lumped.delay)),
@@ -42,7 +45,8 @@ void run_style(sldm::Style style) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sldm::benchio::BenchMain bench("bench_table3_pass_chains", argc, argv);
   std::cout << "Table 3 (reconstructed): pass-transistor chains, models vs "
                "analog simulation (1 ns input edge)\n\n";
   run_style(sldm::Style::kNmos);

@@ -5,6 +5,7 @@
 // gate edge and a restoring edge are exercised.
 #include <iostream>
 
+#include "bench_io.h"
 #include "compare/harness.h"
 #include "util/strings.h"
 #include "util/text_table.h"
@@ -24,6 +25,8 @@ void run_style(sldm::Style style) {
     const ModelResult& lumped = r.model("lumped-rc");
     const ModelResult& rctree = r.model("rc-tree");
     const ModelResult& slope = r.model("slope");
+    benchio::note_circuit(r.circuit, r.devices);
+    benchio::note_error_pct(slope.error_pct);
     table.add_row({g.name, std::to_string(r.devices),
                    format("%.2f", to_ns(r.reference_delay)),
                    format("%.2f", to_ns(lumped.delay)),
@@ -40,7 +43,8 @@ void run_style(sldm::Style style) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sldm::benchio::BenchMain bench("bench_table4_gates", argc, argv);
   std::cout << "Table 4 (reconstructed): logic gates, models vs analog "
                "simulation (2 ns input edge)\n\n";
   run_style(sldm::Style::kNmos);

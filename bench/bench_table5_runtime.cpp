@@ -10,6 +10,8 @@
 // propagation using AnalyzerStats.
 #include <benchmark/benchmark.h>
 
+#include "bench_io.h"
+
 #include <algorithm>
 #include <chrono>
 #include <iostream>
@@ -88,6 +90,7 @@ void print_speedup_table() {
   circuits.push_back(barrel_shifter(Style::kCmos, 6));
   circuits.push_back(inverter_chain(Style::kCmos, 24, 4));
   for (const GeneratedCircuit& g : circuits) {
+    benchio::note_circuit(g.name, g.netlist.device_count());
     const SimulateOnlyResult sim = run_simulation(g, ctx.tech(), 1e-9);
     const AnalyzeOnlyResult ar =
         best_analyzer_run(g, ctx, AnalyzerOptions{}, 3);
@@ -107,6 +110,7 @@ void print_thread_scaling_table() {
                "hardware_concurrency = "
             << hw << "\n\n";
   std::vector<int> thread_counts = {1, 2, 4, hw};
+  benchio::note_threads(hw);
   std::sort(thread_counts.begin(), thread_counts.end());
   thread_counts.erase(
       std::unique(thread_counts.begin(), thread_counts.end()),
@@ -154,6 +158,7 @@ void print_thread_scaling_table() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  benchio::BenchMain bench("bench_table5_runtime", argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -1,9 +1,14 @@
 #!/usr/bin/env bash
-# Sanitizer gate, run before merging:
+# Sanitizer + observability gate, run before merging:
 #   1. asan preset: the full test suite under AddressSanitizer/UBSan;
 #   2. tsan preset: the concurrency-sensitive suites (parallel stage
 #      extraction and the incremental-update pipeline built on it)
-#      under ThreadSanitizer.
+#      under ThreadSanitizer;
+#   3. ubsan preset: the timing suites under standalone UBSan with
+#      -fno-sanitize-recover (any report traps);
+#   4. smoke checks of the machine-readable artifacts: a `sldm time
+#      --trace` capture must parse as JSON, and a bench run with
+#      `--json` must append a parseable record.
 # Any test failure (or sanitizer report, which fails the test) aborts
 # with a nonzero exit.  Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -28,3 +33,41 @@ cmake --build --preset tsan -j "$jobs" \
   --target parallel_timing_test eco_timing_test
 ctest --preset tsan -j "$jobs" -R 'parallel_timing_test|eco_timing_test'
 echo "check.sh: threaded suites passed under tsan"
+
+cmake --preset ubsan
+cmake --build --preset ubsan -j "$jobs" \
+  --target analyzer_test parallel_timing_test eco_timing_test \
+           observability_test sldm_tool
+ctest --preset ubsan -j "$jobs" \
+  -R 'analyzer_test|parallel_timing_test|eco_timing_test|observability_test'
+echo "check.sh: timing suites passed under ubsan"
+
+# Observability smoke: the trace file must be valid JSON with spans,
+# and a bench --json record must parse.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+printf 'e in gnd s1 4 8\nd s1 s1 vdd 8 4\ne s1 gnd out 4 8\nd out out vdd 8 4\n@in in\n@out out\n' \
+  > "$smoke_dir/chain.sim"
+out/ubsan/examples/sldm time "$smoke_dir/chain.sim" --model rc-tree \
+  --threads 2 --trace "$smoke_dir/trace.json" > /dev/null
+python3 - "$smoke_dir/trace.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+names = {e["name"] for e in doc["traceEvents"] if e.get("ph") == "X"}
+missing = {"extract", "propagate"} - names
+if missing:
+    sys.exit(f"trace smoke: missing spans {missing}")
+EOF
+echo "check.sh: trace smoke file parsed"
+
+cmake --build --preset ubsan -j "$jobs" --target bench_ablation_flow
+out/ubsan/bench/bench_ablation_flow --json "$smoke_dir/bench.json" \
+  > /dev/null
+python3 - "$smoke_dir/bench.json" <<'EOF'
+import json, sys
+records = [json.loads(line) for line in open(sys.argv[1])]
+if not records or "bench" not in records[0] or \
+   "wall_seconds" not in records[0]:
+    sys.exit("bench smoke: malformed record")
+EOF
+echo "check.sh: bench --json record parsed"

@@ -2,6 +2,7 @@
 
 #include "util/contracts.h"
 #include "util/error.h"
+#include "util/trace.h"
 
 namespace sldm {
 
@@ -21,6 +22,9 @@ void Elaboration::apply_precharge(const Netlist& nl, Volts v,
 
 Elaboration elaborate(const Netlist& nl, const Tech& tech,
                       const std::vector<Stimulus>& stimuli) {
+  TraceSpan span("elaborate", "analog");
+  span.arg("nodes", static_cast<double>(nl.node_count()));
+  span.arg("devices", static_cast<double>(nl.device_count()));
   Circuit circuit;
   std::vector<AnalogNode> node_map(nl.node_count(), kGround);
 

@@ -23,11 +23,13 @@
 #include "tech/tech_io.h"
 #include "timing/charge_sharing.h"
 #include "timing/constraints.h"
+#include "timing/explain.h"
 #include "timing/report.h"
 #include "timing/slack.h"
 #include "util/contracts.h"
 #include "util/error.h"
 #include "util/strings.h"
+#include "util/trace.h"
 
 namespace sldm {
 namespace {
@@ -139,6 +141,37 @@ AnalyzerOptions analyzer_options(const Options& opts) {
   return aopts;
 }
 
+/// Scoped span capture for --trace <out.json>: enables the process
+/// tracer for the command's lifetime and writes the Chrome trace-event
+/// file on write() (the destructor only disables, so a command that
+/// throws leaves no half-written file behind).
+class TraceCapture {
+ public:
+  explicit TraceCapture(std::optional<std::string> path)
+      : path_(std::move(path)) {
+    if (path_) {
+      Tracer::instance().clear();
+      Tracer::instance().enable();
+    }
+  }
+  ~TraceCapture() {
+    if (path_) Tracer::instance().disable();
+  }
+
+  /// Stops collecting, writes the file, and reports it.
+  void write(std::ostream& out) {
+    if (!path_) return;
+    Tracer::instance().disable();
+    Tracer::instance().write_file(*path_);
+    out << "wrote trace " << *path_ << " ("
+        << Tracer::instance().event_count() << " spans)\n";
+    path_.reset();
+  }
+
+ private:
+  std::optional<std::string> path_;
+};
+
 /// Seeds input events from --constraints or --slope-ns (both commands
 /// share the convention).  Returns the constraints for slack reporting.
 Constraints seed_events(const Options& opts, const Netlist& nl,
@@ -164,7 +197,7 @@ void emit_stats(const Options& opts, const Netlist& nl,
                 const TimingAnalyzer& analyzer, std::ostream& out) {
   if (!opts.flag("stats") && !opts.flag("json")) return;
   if (opts.flag("json")) {
-    out << analyzer_stats_json(analyzer.stats()) << '\n';
+    out << analyzer_stats_json(analyzer) << '\n';
   } else {
     out << format_analyzer_stats(nl, analyzer) << '\n';
   }
@@ -174,6 +207,7 @@ int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
   if (opts.positional.size() != 1) {
     throw UsageError("usage: time <file.sim> [options]");
   }
+  TraceCapture trace(opts.get("trace"));
   const Netlist nl = read_sim_file(opts.positional[0]);
   Tech tech = load_tech(opts);
   const std::unique_ptr<DelayModel> model = make_model(opts, tech, err);
@@ -181,6 +215,7 @@ int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
   TimingAnalyzer analyzer(nl, tech, *model, analyzer_options(opts));
   const Constraints constraints = seed_events(opts, nl, analyzer);
   analyzer.run();
+  trace.write(out);
 
   out << "model: " << model->name() << "\n\n"
       << format_output_arrivals(nl, analyzer) << '\n';
@@ -207,10 +242,56 @@ int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmd_explain(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (opts.positional.size() != 2) {
+    throw UsageError(
+        "usage: explain <file.sim> <node> [--dir rise|fall] [--json]");
+  }
+  const Netlist nl = read_sim_file(opts.positional[0]);
+  Tech tech = load_tech(opts);
+  const std::unique_ptr<DelayModel> model = make_model(opts, tech, err);
+
+  TimingAnalyzer analyzer(nl, tech, *model, analyzer_options(opts));
+  seed_events(opts, nl, analyzer);
+  analyzer.run();
+
+  const auto node = nl.find_node(opts.positional[1]);
+  if (!node) throw Error("unknown node '" + opts.positional[1] + "'");
+  std::optional<Transition> dir;
+  if (const auto d = opts.get("dir")) {
+    if (*d == "rise") {
+      dir = Transition::kRise;
+    } else if (*d == "fall") {
+      dir = Transition::kFall;
+    } else {
+      throw UsageError("bad --dir value '" + *d + "' (want rise|fall)");
+    }
+  } else {
+    // Default to the later (worst) of the node's two arrivals.
+    const auto rise = analyzer.arrival(*node, Transition::kRise);
+    const auto fall = analyzer.arrival(*node, Transition::kFall);
+    if (!rise && !fall) {
+      throw Error("no arrival at node '" + opts.positional[1] +
+                  "'; it never switches under the declared events");
+    }
+    dir = (!fall || (rise && rise->time >= fall->time)) ? Transition::kRise
+                                                        : Transition::kFall;
+  }
+
+  const ExplainReport report = explain_arrival(analyzer, *node, *dir);
+  if (opts.flag("json")) {
+    out << explain_json(nl, report) << '\n';
+  } else {
+    out << format_explain(nl, report);
+  }
+  return 0;
+}
+
 int cmd_eco(const Options& opts, std::ostream& out, std::ostream& err) {
   if (opts.positional.size() != 2) {
     throw UsageError("usage: eco <file.sim> <file.eco> [options]");
   }
+  TraceCapture trace(opts.get("trace"));
   Netlist nl = read_sim_file(opts.positional[0]);
   Tech tech = load_tech(opts);
   const std::unique_ptr<DelayModel> model = make_model(opts, tech, err);
@@ -223,6 +304,7 @@ int cmd_eco(const Options& opts, std::ostream& out, std::ostream& err) {
 
   const std::size_t applied = apply_eco_file(opts.positional[1], nl);
   analyzer.update();
+  trace.write(out);
   out << "applied " << applied << " edit(s); incremental re-timing:\n"
       << format_output_arrivals(nl, analyzer) << '\n';
   emit_stats(opts, nl, analyzer, out);
@@ -373,7 +455,8 @@ int cmd_calibrate(const Options& opts, std::ostream& out) {
 }
 
 void usage(std::ostream& err) {
-  err << "usage: sldm <check|stats|time|eco|chargeshare|sim|calibrate> ...\n"
+  err << "usage: sldm "
+         "<check|stats|time|explain|eco|chargeshare|sim|calibrate> ...\n"
          "see src/cli/cli.h for per-command options\n";
 }
 
@@ -391,6 +474,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "check") return cmd_check(opts, out);
     if (cmd == "stats") return cmd_stats(opts, out);
     if (cmd == "time") return cmd_time(opts, out, err);
+    if (cmd == "explain") return cmd_explain(opts, out, err);
     if (cmd == "eco") return cmd_eco(opts, out, err);
     if (cmd == "chargeshare") return cmd_chargeshare(opts, out);
     if (cmd == "sim") return cmd_sim(opts, out);

@@ -16,12 +16,25 @@
 //        --stats                             per-phase timing + per-CCC
 //                                            stage census
 //        --json                              with --stats: emit the
-//                                            counters as one JSON object
+//                                            counters + metrics registry
+//                                            as one JSON object
+//        --trace <out.json>                  capture engine spans as
+//                                            Chrome trace-event JSON
+//                                            (load in chrome://tracing
+//                                            or Perfetto; see FORMATS.md)
+//   sldm explain <file.sim> <node> [options] critical-path explain trace
+//        (tech/model/event options above,    re-evaluates each stage of
+//        plus:)                              the critical path into the
+//        --dir rise|fall                     node through the delay
+//        --json                              model's audit hook; default
+//                                            direction is the later
+//                                            arrival; --json emits the
+//                                            breakdown as one JSON object
 //   sldm eco <file.sim> <file.eco> [options] incremental what-if timing
-//        (time options above, plus:)         analyzes the circuit, applies
-//        --verify                            the edit script (FORMATS.md),
-//        --write <out.sim>                   and re-times via the
-//                                            incremental update() path;
+//        (time options above incl. --trace,  analyzes the circuit, applies
+//        plus:)                              the edit script (FORMATS.md),
+//        --verify                            and re-times via the
+//        --write <out.sim>                   incremental update() path;
 //                                            --verify cross-checks against
 //                                            a full rebuild (exit 1 on
 //                                            mismatch), --write saves the

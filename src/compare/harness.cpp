@@ -168,6 +168,7 @@ ComparisonResult run_comparison(const GeneratedCircuit& g,
     mr.error_pct =
         100.0 * (arrival->time - sim.delay) / sim.delay;
     mr.analyze_time = now_seconds() - t0;
+    mr.metrics = analyzer.metrics();
     out.models.push_back(std::move(mr));
   }
   return out;

@@ -19,6 +19,7 @@
 #include "gen/generators.h"
 #include "tech/tech.h"
 #include "timing/analyzer.h"
+#include "util/metrics.h"
 
 namespace sldm {
 
@@ -54,6 +55,7 @@ struct ModelResult {
   Seconds delay = 0.0;      ///< predicted input-to-output delay
   double error_pct = 0.0;   ///< signed % error vs the analog reference
   Seconds analyze_time = 0.0;  ///< analyzer wall time
+  MetricsRegistry metrics;  ///< snapshot of this run's analyzer registry
 };
 
 /// Reference + predictions for one circuit.
@@ -77,7 +79,10 @@ ComparisonResult run_comparison(const GeneratedCircuit& g,
                                 Seconds input_slope);
 
 /// Analyzer-only run (used by the runtime scaling bench where the
-/// analog reference is measured separately or skipped).
+/// analog reference is measured separately or skipped).  Deliberately
+/// carries no MetricsRegistry snapshot: this call sits inside timed
+/// benchmark loops, so it must not pay for the registry's name table
+/// (run_comparison captures per-model registries instead).
 struct AnalyzeOnlyResult {
   Seconds delay = 0.0;
   Seconds analyze_time = 0.0;     ///< total wall time (extract + run)

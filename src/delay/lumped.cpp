@@ -10,4 +10,14 @@ DelayEstimate LumpedRcModel::estimate(const Stage& stage) const {
   return {.delay = kLn2 * tau, .output_slope = kSlopeFactor * tau};
 }
 
+DelayEstimate LumpedRcModel::estimate_audited(const Stage& stage,
+                                              DelayAudit& audit) const {
+  fill_stage_audit(stage, audit);
+  const Seconds tau = stage.total_resistance() * stage.total_cap();
+  audit.terms.push_back({"tau_lumped", tau, "s"});
+  audit.terms.push_back({"ln2", kLn2, ""});
+  audit.estimate = estimate(stage);
+  return audit.estimate;
+}
+
 }  // namespace sldm

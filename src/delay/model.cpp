@@ -1,0 +1,24 @@
+#include "delay/model.h"
+
+namespace sldm {
+
+void DelayModel::fill_stage_audit(const Stage& stage,
+                                  DelayAudit& audit) const {
+  audit.model = name();
+  audit.total_resistance = stage.total_resistance();
+  audit.total_cap = stage.total_cap();
+  audit.destination_cap = stage.destination_cap();
+  audit.elmore = stage_elmore(stage);
+  audit.input_slope = stage.input_slope;
+  audit.path_devices = stage.elements.size();
+  audit.terms.clear();
+}
+
+DelayEstimate DelayModel::estimate_audited(const Stage& stage,
+                                           DelayAudit& audit) const {
+  fill_stage_audit(stage, audit);
+  audit.estimate = estimate(stage);
+  return audit.estimate;
+}
+
+}  // namespace sldm

@@ -2,9 +2,19 @@
 // distributed RC tree, slope) are interchangeable behind it, and the
 // timing analyzer, the experiment harness, and the examples all take a
 // `const DelayModel&`.
+//
+// Besides the hot-path estimate(), every model supports an *audited*
+// evaluation that additionally reports the electrical terms the verdict
+// was built from (path resistance, capacitances, Elmore constant, and
+// model-specific factors such as the slope model's rho and table
+// multipliers).  The explain pipeline (timing/explain.h) re-evaluates
+// each critical-path stage through this hook to produce the paper's
+// Section-6-style per-stage breakdown.
 #pragma once
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "delay/stage.h"
 #include "util/units.h"
@@ -21,6 +31,31 @@ struct DelayEstimate {
   Seconds output_slope = 0.0;
 };
 
+/// One named quantity contributing to an audited estimate.  `name` and
+/// `unit` are string literals owned by the model.
+struct AuditTerm {
+  const char* name = "";
+  double value = 0.0;
+  const char* unit = "";  ///< "s", "ohm", "F", or "" for dimensionless
+};
+
+/// The full accounting of one audited evaluation: the generic stage
+/// electricals (filled for every model) plus the model's own terms, and
+/// the resulting estimate.
+struct DelayAudit {
+  std::string model;              ///< DelayModel::name()
+  Ohms total_resistance = 0.0;    ///< sum of path resistances
+  Farads total_cap = 0.0;         ///< sum of path node capacitances
+  Farads destination_cap = 0.0;   ///< capacitance at the switched node
+  Seconds elmore = 0.0;           ///< Elmore constant at the destination
+  Seconds input_slope = 0.0;      ///< trigger transition time seen
+  std::size_t path_devices = 0;   ///< channel devices on the stage path
+  /// Model-specific contributions in evaluation order (e.g. the slope
+  /// model's rho and table multipliers).
+  std::vector<AuditTerm> terms;
+  DelayEstimate estimate;         ///< identical to estimate(stage)
+};
+
 /// Interface of all switch-level delay models.
 class DelayModel {
  public:
@@ -32,10 +67,22 @@ class DelayModel {
   /// Estimates delay and output slope for a validated stage.
   virtual DelayEstimate estimate(const Stage& stage) const = 0;
 
+  /// Audited evaluation: fills `audit` with the generic stage terms and
+  /// any model-specific contributions, and returns exactly what
+  /// estimate(stage) returns (bit-identical: implementations compute
+  /// the estimate the same way).  The base implementation fills the
+  /// generic terms and delegates to estimate(); models with internal
+  /// factors override it to expose them.
+  virtual DelayEstimate estimate_audited(const Stage& stage,
+                                         DelayAudit& audit) const;
+
  protected:
   DelayModel() = default;
   DelayModel(const DelayModel&) = default;
   DelayModel& operator=(const DelayModel&) = default;
+
+  /// Fills the generic (model-independent) audit fields from `stage`.
+  void fill_stage_audit(const Stage& stage, DelayAudit& audit) const;
 };
 
 }  // namespace sldm

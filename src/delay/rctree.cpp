@@ -9,4 +9,13 @@ DelayEstimate RcTreeModel::estimate(const Stage& stage) const {
   return {.delay = kLn2 * td, .output_slope = kSlopeFactor * td};
 }
 
+DelayEstimate RcTreeModel::estimate_audited(const Stage& stage,
+                                            DelayAudit& audit) const {
+  fill_stage_audit(stage, audit);
+  audit.terms.push_back({"t_elmore", audit.elmore, "s"});
+  audit.terms.push_back({"ln2", kLn2, ""});
+  audit.estimate = estimate(stage);
+  return audit.estimate;
+}
+
 }  // namespace sldm

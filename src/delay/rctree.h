@@ -14,6 +14,8 @@ class RcTreeModel final : public DelayModel {
  public:
   std::string name() const override { return "rc-tree"; }
   DelayEstimate estimate(const Stage& stage) const override;
+  DelayEstimate estimate_audited(const Stage& stage,
+                                 DelayAudit& audit) const override;
 };
 
 }  // namespace sldm

@@ -25,4 +25,20 @@ DelayEstimate SlopeModel::estimate(const Stage& stage) const {
   return {.delay = kLn2 * dm * td, .output_slope = kSlopeFactor * sm * td};
 }
 
+DelayEstimate SlopeModel::estimate_audited(const Stage& stage,
+                                           DelayAudit& audit) const {
+  fill_stage_audit(stage, audit);
+  const TransistorType trigger_type =
+      stage.elements[stage.trigger_index].type;
+  SLDM_EXPECTS(tables_.has(trigger_type, stage.output_dir));
+  const SlopeEntry& e = tables_.entry(trigger_type, stage.output_dir);
+  const double rho = slope_ratio(stage, audit.elmore);
+  audit.terms.push_back({"t_elmore", audit.elmore, "s"});
+  audit.terms.push_back({"rho", rho, ""});
+  audit.terms.push_back({"delay_mult", e.delay_mult(rho), ""});
+  audit.terms.push_back({"slope_mult", e.slope_mult(rho), ""});
+  audit.estimate = estimate(stage);
+  return audit.estimate;
+}
+
 }  // namespace sldm

@@ -22,6 +22,9 @@ class SlopeModel final : public DelayModel {
 
   std::string name() const override { return "slope"; }
   DelayEstimate estimate(const Stage& stage) const override;
+  /// Additionally exposes rho and the table multipliers as audit terms.
+  DelayEstimate estimate_audited(const Stage& stage,
+                                 DelayAudit& audit) const override;
 
   /// The slope ratio estimate() uses for a stage.
   static double slope_ratio(const Stage& stage, Seconds elmore);

@@ -5,6 +5,7 @@
 
 #include "util/contracts.h"
 #include "util/error.h"
+#include "util/trace.h"
 
 namespace sldm {
 namespace {
@@ -14,6 +15,12 @@ Seconds now_seconds() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// Propagation samples the worklist depth (and closes a trace batch)
+/// every this many processed events, and times every this-many-th
+/// delay-model evaluation.  Both powers of two.
+constexpr std::size_t kQueueSampleEvery = 256;
+constexpr std::uint64_t kEvalTimeSampleEvery = 64;
 
 }  // namespace
 
@@ -33,17 +40,65 @@ TimingAnalyzer::TimingAnalyzer(const Netlist& nl, const Tech& tech,
       update_counts_(static_cast<std::size_t>(nl.node_count()) * 2, 0),
       synced_revision_(nl.revision()) {
   SLDM_EXPECTS(options.threads >= 1);
+  TraceSpan span("extract", "timing");
   const Seconds t0 = now_seconds();
   PartitionedStages extracted =
       extract_stages_partitioned(nl, options.extract, ccc_, options.threads);
   stages_ = std::move(extracted.stages);
-  stats_.extract_seconds = now_seconds() - t0;
+  g_extract_seconds_.set(now_seconds() - t0);
   stats_.ccc_count = ccc_.count();
   stats_.widest_ccc = ccc_.widest();
   stats_.stages_per_ccc = std::move(extracted.per_ccc);
   stats_.stage_count = stages_.size();
   stats_.threads = options.threads;
+  span.arg("cccs", static_cast<double>(ccc_.count()));
+  span.arg("stages", static_cast<double>(stages_.size()));
+  span.arg("threads", static_cast<double>(options.threads));
   index_stages_by_trigger();
+}
+
+const MetricsRegistry& TimingAnalyzer::metrics() const {
+  metrics_.counter("propagate.stage_evaluations")
+      .set(ctr_stage_evaluations_.value());
+  metrics_.counter("propagate.worklist_pushes")
+      .set(ctr_worklist_pushes_.value());
+  metrics_.counter("propagate.arrival_updates")
+      .set(ctr_arrival_updates_.value());
+  metrics_.counter("eco.updates").set(ctr_incremental_updates_.value());
+  metrics_.gauge("extract.seconds").set(g_extract_seconds_.value());
+  metrics_.gauge("propagate.seconds").set(g_propagate_seconds_.value());
+  metrics_.gauge("eco.update_seconds").set(g_update_seconds_.value());
+  metrics_.gauge("eco.dirty_cccs").set(g_dirty_cccs_.value());
+  metrics_.gauge("eco.reextracted_stages").set(g_reextracted_stages_.value());
+  metrics_.gauge("eco.reused_stages").set(g_reused_stages_.value());
+  metrics_.gauge("eco.frontier_keys").set(g_frontier_keys_.value());
+  metrics_.histogram("extract.stage_fan_in", 0.0, 64.0, 16) = h_fan_in_;
+  metrics_.histogram("propagate.rc_path_depth", 0.0, 16.0, 16) = h_rc_depth_;
+  metrics_.histogram("propagate.eval_us", 0.0, 50.0, 20) = h_eval_us_;
+  metrics_.histogram("propagate.queue_depth", 0.0, 4096.0, 16) =
+      h_queue_depth_;
+  metrics_.histogram("eco.frontier_size", 0.0, 2048.0, 16) = h_frontier_;
+  return metrics_;
+}
+
+const AnalyzerStats& TimingAnalyzer::stats() const {
+  stats_.stage_evaluations =
+      static_cast<std::size_t>(ctr_stage_evaluations_.value());
+  stats_.worklist_pushes =
+      static_cast<std::size_t>(ctr_worklist_pushes_.value());
+  stats_.arrival_updates =
+      static_cast<std::size_t>(ctr_arrival_updates_.value());
+  stats_.incremental_updates =
+      static_cast<std::size_t>(ctr_incremental_updates_.value());
+  stats_.extract_seconds = g_extract_seconds_.value();
+  stats_.propagate_seconds = g_propagate_seconds_.value();
+  stats_.update_seconds = g_update_seconds_.value();
+  stats_.dirty_cccs = static_cast<std::size_t>(g_dirty_cccs_.value());
+  stats_.reextracted_stages =
+      static_cast<std::size_t>(g_reextracted_stages_.value());
+  stats_.reused_stages = static_cast<std::size_t>(g_reused_stages_.value());
+  stats_.frontier_keys = static_cast<std::size_t>(g_frontier_keys_.value());
+  return stats_;
 }
 
 void TimingAnalyzer::index_stages_by_trigger() {
@@ -54,6 +109,13 @@ void TimingAnalyzer::index_stages_by_trigger() {
     const NodeId fire_node =
         ts.source_triggered ? ts.source : nl_.device(ts.trigger).gate;
     stages_by_trigger_[key(fire_node, ts.trigger_gate_dir)].push_back(s);
+  }
+  // Fan-in census of the *current* structure: one sample per trigger
+  // key that fires at least one stage (rebuilt, not accumulated, so
+  // the distribution tracks the latest stage set after update()).
+  h_fan_in_.reset();
+  for (const std::vector<std::size_t>& list : stages_by_trigger_) {
+    if (!list.empty()) h_fan_in_.add(static_cast<double>(list.size()));
   }
 }
 
@@ -106,7 +168,9 @@ void TimingAnalyzer::run() {
   require_not_ran("run");
   require_synced("run");
   ran_ = true;
+  TraceSpan span("propagate", "timing");
   const Seconds t0 = now_seconds();
+  const std::uint64_t evals_before = ctr_stage_evaluations_.value();
 
   // Explicit FIFO worklist of packed (node, dir) keys with in-queue
   // deduplication: an event already awaiting processing is not enqueued
@@ -114,14 +178,23 @@ void TimingAnalyzer::run() {
   std::deque<std::uint32_t> work(seeds_.begin(), seeds_.end());
   std::vector<char> queued(arrival_valid_.size(), 0);
   for (const std::uint32_t k : seeds_) queued[k] = 1;
-  stats_.worklist_pushes += seeds_.size();
+  ctr_worklist_pushes_.add(seeds_.size());
   propagate(work, queued);
-  stats_.propagate_seconds = now_seconds() - t0;
+  g_propagate_seconds_.set(now_seconds() - t0);
+  span.arg("seeds", static_cast<double>(seeds_.size()));
+  span.arg("stage_evaluations",
+           static_cast<double>(ctr_stage_evaluations_.value() -
+                               evals_before));
 }
 
 void TimingAnalyzer::propagate(std::deque<std::uint32_t>& work,
                                std::vector<char>& queued) {
   Stage stage;  // element storage reused across evaluations
+  Tracer& tracer = Tracer::instance();
+  const bool tracing = tracer.enabled();
+  double batch_t0_us = tracing ? tracer.now_us() : 0.0;
+  std::size_t batch_evaluations = 0;
+  std::size_t processed = 0;
 
   while (!work.empty()) {
     const std::uint32_t fire_key = work.front();
@@ -134,8 +207,16 @@ void TimingAnalyzer::propagate(std::deque<std::uint32_t>& work,
     for (std::size_t s : stages_by_trigger_[fire_key]) {
       const TimingStage& ts = stages_[s];
       make_stage(nl_, tech_, ts, slope_fire, stage);
+      // Every 64th evaluation is wall-clocked into the eval-time
+      // histogram; the other 63 pay nothing for it.
+      const bool timed =
+          ctr_stage_evaluations_.value() % kEvalTimeSampleEvery == 0;
+      const double eval_t0_us = timed ? tracer.now_us() : 0.0;
       const DelayEstimate est = model_.estimate(stage);
-      ++stats_.stage_evaluations;
+      if (timed) h_eval_us_.add(tracer.now_us() - eval_t0_us);
+      ctr_stage_evaluations_.add();
+      h_rc_depth_.add(static_cast<double>(stage.elements.size()));
+      ++batch_evaluations;
       const std::size_t dest_key = key(ts.destination, ts.output_dir);
       const Seconds t_new = t_fire + est.delay;
       bool tie = false;
@@ -169,12 +250,26 @@ void TimingAnalyzer::propagate(std::deque<std::uint32_t>& work,
       arrival_from_[dest_key] = static_cast<std::uint32_t>(fire_key);
       arrival_via_[dest_key] = s;
       arrival_valid_[dest_key] = 1;
-      ++stats_.arrival_updates;
+      ctr_arrival_updates_.add();
       if (!queued[dest_key]) {
         queued[dest_key] = 1;
         work.push_back(static_cast<std::uint32_t>(dest_key));
-        ++stats_.worklist_pushes;
+        ctr_worklist_pushes_.add();
       }
+    }
+
+    if (++processed % kQueueSampleEvery == 0) {
+      h_queue_depth_.add(static_cast<double>(work.size()));
+      if (tracing) {
+        const double now = tracer.now_us();
+        tracer.record(
+            "propagate-batch", "timing", batch_t0_us, now - batch_t0_us,
+            {{"events", static_cast<double>(kQueueSampleEvery)},
+             {"evaluations", static_cast<double>(batch_evaluations)},
+             {"queue_depth", static_cast<double>(work.size())}});
+        batch_t0_us = now;
+      }
+      batch_evaluations = 0;
     }
   }
 }
@@ -182,14 +277,21 @@ void TimingAnalyzer::propagate(std::deque<std::uint32_t>& work,
 void TimingAnalyzer::update() {
   const ChangeLog& log = nl_.changes();
   if (log.revision() == synced_revision_) return;  // already in sync
+  TraceSpan span("update", "timing");
   const Seconds t0 = now_seconds();
   const std::uint64_t since = synced_revision_;
 
   // --- Partition sync: which components' stage sets may have changed.
-  const std::vector<std::size_t> dirty = ccc_.update(nl_, log, since);
+  std::vector<std::size_t> dirty;
   bool grew = false;
-  for (std::uint64_t i = since; i < log.revision(); ++i) {
-    if (log.entry(i).kind == ChangeKind::kNodeAdded) grew = true;
+  {
+    TraceSpan sync_span("update-partition", "timing");
+    dirty = ccc_.update(nl_, log, since);
+    for (std::uint64_t i = since; i < log.revision(); ++i) {
+      if (log.entry(i).kind == ChangeKind::kNodeAdded) grew = true;
+    }
+    sync_span.arg("edits", static_cast<double>(log.revision() - since));
+    sync_span.arg("dirty_cccs", static_cast<double>(dirty.size()));
   }
   synced_revision_ = log.revision();
 
@@ -211,69 +313,80 @@ void TimingAnalyzer::update() {
 
   // --- Re-extract the dirty components only (same fan-out and per-
   // component stage order as a full extraction).
-  const std::vector<std::vector<TimingStage>> fresh = extract_components(
-      nl_, options_.extract, ccc_, dirty, options_.threads);
+  std::vector<std::vector<TimingStage>> fresh;
   std::size_t fresh_total = 0;
-  for (const auto& bucket : fresh) fresh_total += bucket.size();
+  {
+    TraceSpan extract_span("update-extract", "timing");
+    fresh = extract_components(nl_, options_.extract, ccc_, dirty,
+                               options_.threads);
+    for (const auto& bucket : fresh) fresh_total += bucket.size();
+    extract_span.arg("cccs", static_cast<double>(dirty.size()));
+    extract_span.arg("stages", static_cast<double>(fresh_total));
+  }
 
   // --- Splice: walk nodes in ascending id order (the global stage
   // order), dropping the old stages of dirty nodes and pulling in the
   // freshly extracted ones; clean nodes keep theirs.  remap[] carries
   // surviving old stage indices to their new positions so retained
   // arrivals' via_stage links stay valid.
-  std::vector<TimingStage> merged;
-  merged.reserve(stages_.size() + fresh_total);
   std::vector<std::size_t> remap(stages_.size(), SIZE_MAX);
-  std::vector<std::size_t> cursor(fresh.size(), 0);
-  std::vector<TimingStage> old = std::move(stages_);
-  std::size_t old_i = 0;
   std::size_t reused = 0;
-  for (NodeId n : nl_.all_nodes()) {
-    if (node_dirty[n.index()]) {
-      while (old_i < old.size() && old[old_i].destination == n) ++old_i;
-      const std::size_t c = ccc_.component_of(n);
-      const auto it = std::lower_bound(dirty.begin(), dirty.end(), c);
-      SLDM_ASSERT(it != dirty.end() && *it == c);
-      const std::size_t b = static_cast<std::size_t>(it - dirty.begin());
-      std::size_t& cur = cursor[b];
-      while (cur < fresh[b].size() && fresh[b][cur].destination == n) {
-        // fresh is const for the workers' benefit; moving out of the
-        // bucket here would be safe but reads better as an explicit
-        // copy of the small TimingStage records.
-        merged.push_back(fresh[b][cur]);
-        ++cur;
-      }
-    } else {
-      while (old_i < old.size() && old[old_i].destination == n) {
-        remap[old_i] = merged.size();
-        merged.push_back(std::move(old[old_i]));
-        ++old_i;
-        ++reused;
+  {
+    TraceSpan splice_span("update-splice", "timing");
+    std::vector<TimingStage> merged;
+    merged.reserve(stages_.size() + fresh_total);
+    std::vector<std::size_t> cursor(fresh.size(), 0);
+    std::vector<TimingStage> old = std::move(stages_);
+    std::size_t old_i = 0;
+    for (NodeId n : nl_.all_nodes()) {
+      if (node_dirty[n.index()]) {
+        while (old_i < old.size() && old[old_i].destination == n) ++old_i;
+        const std::size_t c = ccc_.component_of(n);
+        const auto it = std::lower_bound(dirty.begin(), dirty.end(), c);
+        SLDM_ASSERT(it != dirty.end() && *it == c);
+        const std::size_t b = static_cast<std::size_t>(it - dirty.begin());
+        std::size_t& cur = cursor[b];
+        while (cur < fresh[b].size() && fresh[b][cur].destination == n) {
+          // fresh is const for the workers' benefit; moving out of the
+          // bucket here would be safe but reads better as an explicit
+          // copy of the small TimingStage records.
+          merged.push_back(fresh[b][cur]);
+          ++cur;
+        }
+      } else {
+        while (old_i < old.size() && old[old_i].destination == n) {
+          remap[old_i] = merged.size();
+          merged.push_back(std::move(old[old_i]));
+          ++old_i;
+          ++reused;
+        }
       }
     }
-  }
-  SLDM_ASSERT(old_i == old.size());
-  stages_ = std::move(merged);
+    SLDM_ASSERT(old_i == old.size());
+    stages_ = std::move(merged);
 
-  // --- Refresh structure-dependent stats and the trigger index.
-  stats_.stages_per_ccc.assign(ccc_.count(), 0);
-  for (const TimingStage& ts : stages_) {
-    ++stats_.stages_per_ccc[ccc_.component_of(ts.destination)];
+    // --- Refresh structure-dependent stats and the trigger index.
+    stats_.stages_per_ccc.assign(ccc_.count(), 0);
+    for (const TimingStage& ts : stages_) {
+      ++stats_.stages_per_ccc[ccc_.component_of(ts.destination)];
+    }
+    stats_.ccc_count = ccc_.count();
+    stats_.widest_ccc = ccc_.widest();
+    stats_.stage_count = stages_.size();
+    g_dirty_cccs_.set(static_cast<double>(dirty.size()));
+    g_reused_stages_.set(static_cast<double>(reused));
+    g_reextracted_stages_.set(static_cast<double>(fresh_total));
+    ctr_incremental_updates_.add();
+    index_stages_by_trigger();
+    splice_span.arg("reused", static_cast<double>(reused));
+    splice_span.arg("reextracted", static_cast<double>(fresh_total));
   }
-  stats_.ccc_count = ccc_.count();
-  stats_.widest_ccc = ccc_.widest();
-  stats_.stage_count = stages_.size();
-  stats_.dirty_cccs = dirty.size();
-  stats_.reused_stages = reused;
-  stats_.reextracted_stages = fresh_total;
-  ++stats_.incremental_updates;
-  index_stages_by_trigger();
 
   if (!ran_) {
     // Structure-only sync: no arrivals to repair yet (declared seeds,
     // if any, are untouched and stages carry no arrival state).
-    stats_.frontier_keys = 0;
-    stats_.update_seconds = now_seconds() - t0;
+    g_frontier_keys_.set(0.0);
+    g_update_seconds_.set(now_seconds() - t0);
     return;
   }
 
@@ -282,58 +395,67 @@ void TimingAnalyzer::update() {
   // closure: everything downstream through the recorded predecessor
   // links.  Primary-input seeds are never stage destinations, so they
   // keep their declared arrivals.
-  std::vector<std::vector<std::uint32_t>> successors(nkeys);
-  for (std::size_t k = 0; k < nkeys; ++k) {
-    if (arrival_valid_[k] && arrival_from_[k] != UINT32_MAX) {
-      successors[arrival_from_[k]].push_back(static_cast<std::uint32_t>(k));
-    }
-  }
   std::vector<char> damaged(nkeys, 0);
-  std::deque<std::uint32_t> bfs;
-  for (const std::size_t c : dirty) {
-    for (NodeId n : ccc_.members(c)) {
-      for (const Transition dir : {Transition::kRise, Transition::kFall}) {
-        const std::size_t k = key(n, dir);
-        if (arrival_valid_[k] && arrival_via_[k] == SIZE_MAX) continue;
-        if (!damaged[k]) {
-          damaged[k] = 1;
-          bfs.push_back(static_cast<std::uint32_t>(k));
+  {
+    TraceSpan invalidate_span("update-invalidate", "timing");
+    std::vector<std::vector<std::uint32_t>> successors(nkeys);
+    for (std::size_t k = 0; k < nkeys; ++k) {
+      if (arrival_valid_[k] && arrival_from_[k] != UINT32_MAX) {
+        successors[arrival_from_[k]].push_back(
+            static_cast<std::uint32_t>(k));
+      }
+    }
+    std::deque<std::uint32_t> bfs;
+    for (const std::size_t c : dirty) {
+      for (NodeId n : ccc_.members(c)) {
+        for (const Transition dir :
+             {Transition::kRise, Transition::kFall}) {
+          const std::size_t k = key(n, dir);
+          if (arrival_valid_[k] && arrival_via_[k] == SIZE_MAX) continue;
+          if (!damaged[k]) {
+            damaged[k] = 1;
+            bfs.push_back(static_cast<std::uint32_t>(k));
+          }
         }
       }
     }
-  }
-  while (!bfs.empty()) {
-    const std::uint32_t k = bfs.front();
-    bfs.pop_front();
-    for (const std::uint32_t succ : successors[k]) {
-      if (!damaged[succ]) {
-        damaged[succ] = 1;
-        bfs.push_back(succ);
+    while (!bfs.empty()) {
+      const std::uint32_t k = bfs.front();
+      bfs.pop_front();
+      for (const std::uint32_t succ : successors[k]) {
+        if (!damaged[succ]) {
+          damaged[succ] = 1;
+          bfs.push_back(succ);
+        }
       }
     }
-  }
 
-  // Invalidate damaged arrivals; remap retained ones onto the new
-  // stage numbering (their stages survived the splice by construction).
-  std::size_t invalidated = 0;
-  for (std::size_t k = 0; k < nkeys; ++k) {
-    if (!damaged[k]) {
-      if (arrival_valid_[k] && arrival_via_[k] != SIZE_MAX) {
-        SLDM_ASSERT(remap[arrival_via_[k]] != SIZE_MAX);
-        arrival_via_[k] = remap[arrival_via_[k]];
+    // Invalidate damaged arrivals; remap retained ones onto the new
+    // stage numbering (their stages survived the splice by
+    // construction).
+    std::size_t invalidated = 0;
+    for (std::size_t k = 0; k < nkeys; ++k) {
+      if (!damaged[k]) {
+        if (arrival_valid_[k] && arrival_via_[k] != SIZE_MAX) {
+          SLDM_ASSERT(remap[arrival_via_[k]] != SIZE_MAX);
+          arrival_via_[k] = remap[arrival_via_[k]];
+        }
+        continue;
       }
-      continue;
+      if (arrival_valid_[k]) ++invalidated;
+      arrival_valid_[k] = 0;
+      update_counts_[k] = 0;
     }
-    if (arrival_valid_[k]) ++invalidated;
-    arrival_valid_[k] = 0;
-    update_counts_[k] = 0;
+    g_frontier_keys_.set(static_cast<double>(invalidated));
+    h_frontier_.add(static_cast<double>(invalidated));
+    invalidate_span.arg("frontier_keys", static_cast<double>(invalidated));
   }
-  stats_.frontier_keys = invalidated;
 
   // --- Re-propagate from the frontier: every stage targeting a damaged
   // key whose firing event is currently valid re-fires now; damaged
   // keys revalidated during propagation enqueue themselves through the
   // normal accept path.
+  TraceSpan repropagate_span("update-propagate", "timing");
   std::deque<std::uint32_t> work;
   std::vector<char> queued(nkeys, 0);
   for (std::size_t k = 0; k < nkeys; ++k) {
@@ -343,13 +465,14 @@ void TimingAnalyzer::update() {
       if (damaged[key(ts.destination, ts.output_dir)]) {
         queued[k] = 1;
         work.push_back(static_cast<std::uint32_t>(k));
-        ++stats_.worklist_pushes;
+        ctr_worklist_pushes_.add();
         break;
       }
     }
   }
+  repropagate_span.arg("seeds", static_cast<double>(work.size()));
   propagate(work, queued);
-  stats_.update_seconds = now_seconds() - t0;
+  g_update_seconds_.set(now_seconds() - t0);
 }
 
 void TimingAnalyzer::reset() {

@@ -35,6 +35,7 @@
 #include "delay/model.h"
 #include "timing/ccc.h"
 #include "timing/stage_extract.h"
+#include "util/metrics.h"
 
 namespace sldm {
 
@@ -53,6 +54,12 @@ struct AnalyzerOptions {
 /// go (extraction vs propagation), and how much work did each phase do.
 /// Counter fields accumulate across run()/reset() cycles; wall-clock
 /// fields hold the most recent phase execution.
+///
+/// This struct is a *view*: the analyzer stores its work counters and
+/// phase timings in plain Counter/Gauge/Histogram members (also
+/// exported by name through TimingAnalyzer::metrics(), which
+/// additionally carries distribution histograms), and stats() refreshes
+/// these fields from those members on each call.
 struct AnalyzerStats {
   std::size_t ccc_count = 0;        ///< channel-connected components
   std::size_t widest_ccc = 0;       ///< member nodes in the largest CCC
@@ -186,11 +193,29 @@ class TimingAnalyzer {
   /// The channel-connected component partition extraction ran over.
   const CccPartition& components() const { return ccc_; }
 
-  /// Phase timings and work counters (see AnalyzerStats).
-  const AnalyzerStats& stats() const { return stats_; }
+  /// The analyzed netlist / technology / delay model (explain traces
+  /// re-evaluate stages through these).
+  const Netlist& netlist() const { return nl_; }
+  const Tech& tech() const { return tech_; }
+  const DelayModel& delay_model() const { return model_; }
+
+  /// Phase timings and work counters (see AnalyzerStats); refreshed
+  /// from the metrics registry on each call.
+  const AnalyzerStats& stats() const;
+
+  /// The named metric registry: counters, phase-timing gauges, and
+  /// distribution histograms (stage fan-in, RC path depth, sampled
+  /// delay-model evaluation time, worklist queue depth, ECO frontier
+  /// size).  Names are listed in FORMATS.md.  Materialized from the
+  /// plain metric members on each call, so observers pay for the name
+  /// table and the hot paths do not; the reference stays valid (and is
+  /// re-refreshed by later calls) for the analyzer's lifetime.
+  const MetricsRegistry& metrics() const;
 
   /// Work counter for the Table 5 runtime comparison.
-  std::size_t stage_evaluations() const { return stats_.stage_evaluations; }
+  std::size_t stage_evaluations() const {
+    return static_cast<std::size_t>(ctr_stage_evaluations_.value());
+  }
 
  private:
   /// Flat arrival key: (node, dir) -> node * 2 + dir.
@@ -234,7 +259,34 @@ class TimingAnalyzer {
   bool ran_ = false;
   /// Netlist revision the stages/partition reflect.
   std::uint64_t synced_revision_ = 0;
-  AnalyzerStats stats_;
+
+  // Metric storage: plain members, so constructing an analyzer and the
+  // hot loops pay a field update and never a map lookup or a string
+  // allocation.  metrics() materializes these into the named registry
+  // below on demand.
+  Counter ctr_stage_evaluations_;
+  Counter ctr_worklist_pushes_;
+  Counter ctr_arrival_updates_;
+  Counter ctr_incremental_updates_;
+  Gauge g_extract_seconds_;
+  Gauge g_propagate_seconds_;
+  Gauge g_update_seconds_;
+  Gauge g_dirty_cccs_;
+  Gauge g_reextracted_stages_;
+  Gauge g_reused_stages_;
+  Gauge g_frontier_keys_;
+  Histogram h_fan_in_{0.0, 64.0, 16};
+  Histogram h_rc_depth_{0.0, 16.0, 16};
+  Histogram h_eval_us_{0.0, 50.0, 20};
+  Histogram h_queue_depth_{0.0, 4096.0, 16};
+  Histogram h_frontier_{0.0, 2048.0, 16};
+
+  /// Named export refreshed from the members above by metrics().
+  mutable MetricsRegistry metrics_;
+
+  /// View refreshed from the metric members by stats(); structural
+  /// fields (ccc_count, stage counts, threads) are maintained directly.
+  mutable AnalyzerStats stats_;
 };
 
 }  // namespace sldm

@@ -5,6 +5,7 @@
 
 #include "util/contracts.h"
 #include "util/error.h"
+#include "util/trace.h"
 
 namespace sldm {
 namespace {
@@ -34,11 +35,14 @@ void union_device(const Netlist& nl, std::vector<std::size_t>& parent,
 }  // namespace
 
 CccPartition::CccPartition(const Netlist& nl) : parent_(nl.node_count()) {
+  TraceSpan span("ccc-partition", "timing");
   std::iota(parent_.begin(), parent_.end(), std::size_t{0});
   for (DeviceId d : nl.all_devices()) {
     union_device(nl, parent_, nl.device(d));
   }
   renumber(nl);
+  span.arg("nodes", static_cast<double>(nl.node_count()));
+  span.arg("components", static_cast<double>(count()));
 }
 
 void CccPartition::renumber(const Netlist& nl) {

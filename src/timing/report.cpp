@@ -116,4 +116,13 @@ std::string analyzer_stats_json(const AnalyzerStats& st) {
   return os.str();
 }
 
+std::string analyzer_stats_json(const TimingAnalyzer& analyzer) {
+  std::string json = analyzer_stats_json(analyzer.stats());
+  json.pop_back();  // drop the closing brace
+  json += ",\"metrics\":";
+  json += analyzer.metrics().to_json();
+  json += '}';
+  return json;
+}
+
 }  // namespace sldm

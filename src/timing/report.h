@@ -33,4 +33,10 @@ std::string format_analyzer_stats(const Netlist& nl,
 /// --json`, and the compare harness all emit this.
 std::string analyzer_stats_json(const AnalyzerStats& stats);
 
+/// Same object with a trailing "metrics" member holding the analyzer's
+/// full metrics registry (counters / gauges / histograms; see
+/// FORMATS.md).  The legacy fields stay first, so consumers keyed on
+/// them are unaffected.
+std::string analyzer_stats_json(const TimingAnalyzer& analyzer);
+
 }  // namespace sldm

@@ -6,6 +6,7 @@
 
 #include "util/contracts.h"
 #include "util/thread_pool.h"
+#include "util/trace.h"
 
 namespace sldm {
 namespace {
@@ -280,7 +281,12 @@ std::vector<std::vector<TimingStage>> extract_components(
       weight += ccc.device_count(components[end]) + 1;
       ++end;
     }
-    pool.submit([&nl, &options, &ccc, &components, &buckets, begin, end] {
+    pool.submit([&nl, &options, &ccc, &components, &buckets, begin, end,
+                 weight] {
+      // The span runs on the worker thread, so the chunk is attributed
+      // to the worker that actually extracted it.
+      TraceSpan span("extract-chunk", "timing");
+      std::size_t stages = 0;
       ExtractScratch scratch;
       for (std::size_t i = begin; i < end; ++i) {
         std::vector<TimingStage>& bucket = buckets[i];
@@ -289,7 +295,11 @@ std::vector<std::vector<TimingStage>> extract_components(
             stages_to(nl, n, dir, options, scratch, bucket);
           }
         }
+        stages += bucket.size();
       }
+      span.arg("components", static_cast<double>(end - begin));
+      span.arg("devices", static_cast<double>(weight));
+      span.arg("stages", static_cast<double>(stages));
     });
     begin = end;
   }

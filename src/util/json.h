@@ -1,0 +1,62 @@
+// A minimal JSON reader.
+//
+// Exists so the tests can *round-trip* every JSON artifact the engine
+// emits (trace files, metrics dumps, explain reports, bench records)
+// instead of grepping for substrings, without an external dependency.
+// It is a strict parser for the JSON the project writes: objects,
+// arrays, strings (with standard escapes), finite numbers, booleans,
+// null.  Not a streaming parser; inputs are whole documents of the
+// sizes our reports produce.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sldm {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  /// Precondition: matching kind.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue* find(const std::string& key) const;
+  /// Object member lookup; throws Error when absent.
+  const JsonValue& at(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed, nothing
+/// else).  Throws Error with an offset-annotated message on malformed
+/// input.
+JsonValue parse_json(std::string_view text);
+
+/// Parses the JSON document in the file at `path` (whole contents must
+/// be one document).  Throws Error on I/O failure or malformed input.
+JsonValue parse_json_file(const std::string& path);
+
+}  // namespace sldm

@@ -1,0 +1,93 @@
+#include "util/metrics.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace sldm {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                      double hi, std::size_t bins) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(lo, hi, bins)).first->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ',';
+    first = false;
+    os << format("\"%s\":%llu", name.c_str(),
+                 static_cast<unsigned long long>(c.value()));
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ',';
+    first = false;
+    os << format("\"%s\":%.9g", name.c_str(), g.value());
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    if (!first) os << ',';
+    first = false;
+    os << format("\"%s\":{\"lo\":%.9g,\"hi\":%.9g,\"total\":%zu,"
+                 "\"mean\":%.9g,\"counts\":[",
+                 name.c_str(), h.bin_lo(0), h.bin_hi(h.bins() - 1),
+                 h.total(), h.mean());
+    for (std::size_t b = 0; b < h.bins(); ++b) {
+      if (b > 0) os << ',';
+      os << h.count(b);
+    }
+    os << "]}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    os << format("  %-32s %llu\n", name.c_str(),
+                 static_cast<unsigned long long>(c.value()));
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << format("  %-32s %.6g\n", name.c_str(), g.value());
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << format("  %-32s total %zu, mean %.4g\n", name.c_str(), h.total(),
+                 h.mean());
+    if (h.total() > 0) os << h.to_ascii(40);
+  }
+  return os.str();
+}
+
+}  // namespace sldm

@@ -52,6 +52,17 @@ void Histogram::add(double x) {
   bin = std::clamp<long>(bin, 0, static_cast<long>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(bin)];
   ++total_;
+  sum_ += x;
+}
+
+double Histogram::mean() const {
+  return total_ == 0 ? 0.0 : sum_ / static_cast<double>(total_);
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), std::size_t{0});
+  total_ = 0;
+  sum_ = 0.0;
 }
 
 std::size_t Histogram::count(std::size_t bin) const {

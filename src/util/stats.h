@@ -35,9 +35,16 @@ class Histogram {
 
   void add(double x);
 
+  /// Zeroes all counts and the sum; the bucket layout is kept.
+  void reset();
+
   std::size_t bins() const { return counts_.size(); }
   std::size_t count(std::size_t bin) const;
   std::size_t total() const { return total_; }
+  /// Sum of all added values (unclamped), for mean reporting.
+  double sum() const { return sum_; }
+  /// sum() / total(); 0 when empty.
+  double mean() const;
   /// Inclusive lower edge of `bin`.
   double bin_lo(std::size_t bin) const;
   /// Exclusive upper edge of `bin`.
@@ -51,6 +58,7 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  double sum_ = 0.0;
 };
 
 }  // namespace sldm

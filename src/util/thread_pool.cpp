@@ -3,14 +3,34 @@
 #include <utility>
 
 #include "util/contracts.h"
+#include "util/trace.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#elif defined(__APPLE__)
+#include <pthread.h>
+#endif
 
 namespace sldm {
+
+void set_current_thread_name(const std::string& name) {
+#if defined(__linux__)
+  // The kernel limit is 16 bytes including the terminator.
+  pthread_setname_np(pthread_self(), name.substr(0, 15).c_str());
+#elif defined(__APPLE__)
+  pthread_setname_np(name.substr(0, 15).c_str());
+#endif
+  Tracer::instance().set_thread_name(name);
+}
 
 ThreadPool::ThreadPool(int threads) : threads_(threads) {
   SLDM_EXPECTS(threads >= 1);
   workers_.reserve(static_cast<std::size_t>(threads - 1));
   for (int i = 1; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] {
+      set_current_thread_name("sldm-w" + std::to_string(i));
+      worker_loop();
+    });
   }
 }
 

@@ -24,10 +24,18 @@
 
 namespace sldm {
 
+/// Names the calling thread for debuggers, sanitizer reports, and trace
+/// output (pthread_setname_np where available, silently a no-op
+/// elsewhere; also registers the name with the span tracer).  Kernel
+/// thread names are truncated to 15 characters.
+void set_current_thread_name(const std::string& name);
+
 class ThreadPool {
  public:
   /// Spawns `threads - 1` workers (the calling thread participates via
-  /// inline execution when threads == 1).  Precondition: threads >= 1.
+  /// inline execution when threads == 1).  Workers are named
+  /// "sldm-w<i>" (see set_current_thread_name) so profiler and tsan
+  /// output is attributable.  Precondition: threads >= 1.
   explicit ThreadPool(int threads);
 
   /// Joins all workers.  Pending tasks are finished first.

@@ -1,0 +1,158 @@
+#include "util/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace sldm {
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// JSON string escaping for thread names (span names are literals under
+/// our control, but thread names may come from callers).
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(steady_seconds()) {}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+double Tracer::now_us() const { return (steady_seconds() - epoch_) * 1e6; }
+
+int Tracer::thread_id() {
+  thread_local int tid = -1;
+  if (tid < 0) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tid = next_tid_++;
+    thread_names_.resize(static_cast<std::size_t>(next_tid_));
+  }
+  return tid;
+}
+
+void Tracer::set_thread_name(const std::string& name) {
+  const int tid = thread_id();
+  std::lock_guard<std::mutex> lock(mutex_);
+  thread_names_[static_cast<std::size_t>(tid)] = name;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+void Tracer::record(const char* name, const char* category, double ts_us,
+                    double dur_us,
+                    std::vector<std::pair<const char*, double>> args) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.category = category;
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = thread_id();
+  ev.args = std::move(args);
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return events_.size();
+}
+
+std::string Tracer::to_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",\n";
+    first = false;
+  };
+  // Thread-name metadata records ("M" phase) come first so viewers can
+  // label the lanes before any span references them.
+  for (std::size_t t = 0; t < thread_names_.size(); ++t) {
+    sep();
+    const std::string& name =
+        thread_names_[t].empty()
+            ? (t == 0 ? std::string("main") : format("thread-%zu", t))
+            : thread_names_[t];
+    os << format(
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
+        "\"args\":{\"name\":\"%s\"}}",
+        t, escape(name).c_str());
+  }
+  for (const TraceEvent& ev : events_) {
+    sep();
+    os << format(
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":1,"
+        "\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
+        ev.name, ev.category, ev.tid, ev.ts_us, ev.dur_us);
+    if (!ev.args.empty()) {
+      os << ",\"args\":{";
+      for (std::size_t i = 0; i < ev.args.size(); ++i) {
+        if (i > 0) os << ',';
+        os << format("\"%s\":%.9g", ev.args[i].first, ev.args[i].second);
+      }
+      os << '}';
+    }
+    os << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void Tracer::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open trace output file '" + path + "'");
+  out << to_json() << '\n';
+  if (!out) throw Error("failed writing trace output file '" + path + "'");
+}
+
+TraceSpan::TraceSpan(const char* name, const char* category)
+    : armed_(Tracer::instance().enabled()), name_(name), category_(category) {
+  if (armed_) t0_us_ = Tracer::instance().now_us();
+}
+
+void TraceSpan::arg(const char* key, double value) {
+  if (armed_) args_.emplace_back(key, value);
+}
+
+TraceSpan::~TraceSpan() {
+  if (!armed_) return;
+  Tracer& tracer = Tracer::instance();
+  tracer.record(name_, category_, t0_us_, tracer.now_us() - t0_us_,
+                std::move(args_));
+}
+
+}  // namespace sldm

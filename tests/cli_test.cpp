@@ -260,5 +260,47 @@ TEST(Cli, EcoUsageErrors) {
   EXPECT_EQ(run({"eco", "only-one-arg.sim"}).code, 2);
 }
 
+TEST(Cli, TimeTraceWritesFile) {
+  TempFile f("inv.sim", kInverterSim);
+  const std::string trace_path = "/tmp/sldm_cli_test_trace.json";
+  const CliRun r = run({"time", f.path(), "--model", "rc-tree", "--trace",
+                        trace_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("wrote trace"), std::string::npos) << r.out;
+  std::ifstream in(trace_path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(ss.str().find("\"propagate\""), std::string::npos);
+  std::remove(trace_path.c_str());
+}
+
+TEST(Cli, ExplainPrintsBreakdown) {
+  TempFile f("inv.sim", kInverterSim);
+  const CliRun r = run({"explain", f.path(), "out", "--model", "rc-tree"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("explain: out"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("<- input"), std::string::npos);
+  EXPECT_NE(r.out.find("sum of stage delays"), std::string::npos);
+}
+
+TEST(Cli, ExplainHonorsDirectionFlag) {
+  TempFile f("inv.sim", kInverterSim);
+  const CliRun r = run({"explain", f.path(), "out", "--model", "rc-tree",
+                        "--dir", "rise"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("explain: out rise"), std::string::npos) << r.out;
+  EXPECT_EQ(run({"explain", f.path(), "out", "--dir", "sideways"}).code, 2);
+}
+
+TEST(Cli, ExplainUsageAndErrors) {
+  TempFile f("inv.sim", kInverterSim);
+  EXPECT_EQ(run({"explain", f.path()}).code, 2);  // missing node
+  const CliRun r = run({"explain", f.path(), "nosuch", "--model",
+                        "rc-tree"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sldm

@@ -361,6 +361,65 @@ TEST(EcoTiming, RoleChangeRequiresRebuild) {
   EXPECT_THROW(an.update(), Error);
 }
 
+TEST(EcoTiming, StatsAccumulateAcrossRunResetAndTrackSplicedStages) {
+  const RcTreeModel model;
+  const GeneratedCircuit g = inverter_chain(Style::kCmos, 8, 3);
+  Netlist nl = g.netlist;
+  TimingAnalyzer an(nl, tech_for(g), model);
+  an.add_input_event(g.input, Transition::kRise, 0.0, 1e-9);
+  an.run();
+
+  const AnalyzerStats first = an.stats();  // snapshot, not the view
+  EXPECT_GT(first.stage_evaluations, 0u);
+  EXPECT_GT(first.worklist_pushes, 0u);
+  EXPECT_GT(first.arrival_updates, 0u);
+  EXPECT_GT(first.propagate_seconds, 0.0);
+
+  // reset() discards arrivals but keeps the extraction; the propagation
+  // counters keep accumulating over the second run.
+  an.reset();
+  an.add_input_event(g.input, Transition::kRise, 0.0, 1e-9);
+  an.run();
+  const AnalyzerStats second = an.stats();
+  EXPECT_GT(second.stage_evaluations, first.stage_evaluations);
+  EXPECT_GT(second.worklist_pushes, first.worklist_pushes);
+  EXPECT_GT(second.arrival_updates, first.arrival_updates);
+  EXPECT_EQ(second.stage_count, first.stage_count);
+  EXPECT_EQ(second.extract_seconds, first.extract_seconds);
+
+  // An edit batch that both resizes devices and grows the netlist; the
+  // per-CCC census must describe the spliced stage list exactly.
+  nl.set_width(DeviceId(0), nl.device(DeviceId(0)).width * 2.0);
+  const NodeId s4 = *nl.find_node("s4");
+  const NodeId tap = nl.add_node("stats_tap");
+  nl.add_transistor(TransistorType::kNEnhancement, g.input, s4, tap, 4e-6,
+                    2e-6);
+  an.update();
+
+  const AnalyzerStats& st = an.stats();
+  EXPECT_GT(st.stage_evaluations, second.stage_evaluations);
+  EXPECT_EQ(st.incremental_updates, 1u);
+  EXPECT_EQ(st.stage_count, an.stages().size());
+  EXPECT_EQ(st.ccc_count, an.components().count());
+  ASSERT_EQ(st.stages_per_ccc.size(), st.ccc_count);
+  std::vector<std::size_t> census(st.ccc_count, 0);
+  for (const TimingStage& ts : an.stages()) {
+    ++census[an.components().component_of(ts.destination)];
+  }
+  EXPECT_EQ(census, st.stages_per_ccc);
+  std::size_t sum = 0;
+  for (const std::size_t n : st.stages_per_ccc) sum += n;
+  EXPECT_EQ(sum, st.stage_count);
+
+  // The registry and the view agree (the struct is a projection of it).
+  const MetricsRegistry& m = an.metrics();
+  EXPECT_EQ(m.find_counter("propagate.stage_evaluations")->value(),
+            st.stage_evaluations);
+  EXPECT_EQ(m.find_counter("propagate.worklist_pushes")->value(),
+            st.worklist_pushes);
+  EXPECT_EQ(m.find_counter("eco.updates")->value(), st.incremental_updates);
+}
+
 TEST(EcoTiming, OutputMarkIsAbsorbedSilently) {
   const RcTreeModel model;
   const GeneratedCircuit g = inverter_chain(Style::kCmos, 3, 1);
