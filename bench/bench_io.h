@@ -24,6 +24,8 @@
 #include <iostream>
 #include <string>
 
+#include "util/json.h"
+
 namespace sldm {
 namespace benchio {
 
@@ -74,30 +76,22 @@ class Reporter {
       path_.clear();
       return;
     }
-    out << "{\"bench\":\"" << escape(bench_) << '"';
-    out << ",\"wall_seconds\":" << wall;
+    out << "{\"bench\":\"" << json_escape(bench_) << '"';
+    out << ",\"wall_seconds\":" << json_number(wall);
     out << ",\"threads\":" << threads_;
     if (!circuit_.empty()) {
-      out << ",\"circuit\":\"" << escape(circuit_) << '"'
+      out << ",\"circuit\":\"" << json_escape(circuit_) << '"'
           << ",\"devices\":" << devices_;
     }
-    if (has_error_) out << ",\"model_error_pct\":" << error_pct_;
+    if (has_error_) {
+      out << ",\"model_error_pct\":" << json_number(error_pct_);
+    }
     out << "}\n";
     std::cout << "appended bench record to " << path_ << '\n';
     path_.clear();
   }
 
  private:
-  static std::string escape(const std::string& s) {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out += '\\';
-      if (static_cast<unsigned char>(c) >= 0x20) out += c;
-    }
-    return out;
-  }
-
   std::string bench_;
   std::string path_;
   std::string circuit_;

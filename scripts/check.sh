@@ -8,7 +8,10 @@
 #      -fno-sanitize-recover (any report traps);
 #   4. smoke checks of the machine-readable artifacts: a `sldm time
 #      --trace` capture must parse as JSON, and a bench run with
-#      `--json` must append a parseable record.
+#      `--json` must append a parseable record;
+#   5. a fixed-seed differential fuzzing smoke under asan (`sldm fuzz`,
+#      200 iterations: must be clean and deterministic), plus a replay
+#      pass over the checked-in repro corpus in testdata/fuzz/.
 # Any test failure (or sanitizer report, which fails the test) aborts
 # with a nonzero exit.  Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -71,3 +74,17 @@ if not records or "bench" not in records[0] or \
     sys.exit("bench smoke: malformed record")
 EOF
 echo "check.sh: bench --json record parsed"
+
+# Differential fuzzing smoke under asan: a fixed-seed campaign must run
+# clean twice with byte-identical reports (determinism contract), and
+# every checked-in repro case must replay green.
+out/asan/examples/sldm fuzz --seed 2026 --iterations 200 --threads 4 \
+  > "$smoke_dir/fuzz1.txt"
+out/asan/examples/sldm fuzz --seed 2026 --iterations 200 --threads 4 \
+  > "$smoke_dir/fuzz2.txt"
+cmp "$smoke_dir/fuzz1.txt" "$smoke_dir/fuzz2.txt" \
+  || { echo "check.sh: fuzz report not deterministic" >&2; exit 1; }
+grep -q '^verdict: clean$' "$smoke_dir/fuzz1.txt" \
+  || { echo "check.sh: seeded fuzz run found failures" >&2; exit 1; }
+out/asan/examples/sldm fuzz --replay testdata/fuzz
+echo "check.sh: fuzz smoke clean, repro corpus replays"

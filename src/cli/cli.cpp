@@ -16,6 +16,7 @@
 #include "delay/rctree.h"
 #include "delay/slope.h"
 #include "delay/unit.h"
+#include "fuzz/fuzz.h"
 #include "netlist/checks.h"
 #include "netlist/eco_io.h"
 #include "netlist/sim_io.h"
@@ -454,9 +455,53 @@ int cmd_calibrate(const Options& opts, std::ostream& out) {
   return 0;
 }
 
+int cmd_fuzz(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (!opts.positional.empty()) {
+    throw UsageError(
+        "usage: fuzz [--seed N] [--iterations N] [--threads N] "
+        "[--out DIR] [--analog-every K] [--slope-ns X] | fuzz --replay "
+        "<case.repro|dir>");
+  }
+  if (const auto path = opts.get("replay")) {
+    return replay_path(*path, out) == 0 ? 0 : 1;
+  }
+  FuzzOptions fopts;
+  if (const auto seed = opts.get("seed")) {
+    const auto v = parse_long(*seed);
+    if (!v || *v < 0) throw Error("bad --seed value");
+    fopts.seed = static_cast<std::uint64_t>(*v);
+  }
+  if (const auto iters = opts.get("iterations")) {
+    const auto v = parse_long(*iters);
+    if (!v || *v < 1) throw Error("bad --iterations value");
+    fopts.iterations = static_cast<int>(*v);
+  }
+  if (const auto threads = opts.get("threads")) {
+    const auto v = parse_long(*threads);
+    if (!v || *v < 1) throw Error("bad --threads value");
+    fopts.threads = static_cast<int>(*v);
+  }
+  if (const auto every = opts.get("analog-every")) {
+    const auto v = parse_long(*every);
+    if (!v || *v < 0) throw Error("bad --analog-every value");
+    fopts.analog_every = static_cast<int>(*v);
+  }
+  if (const auto slope = opts.get("slope-ns")) {
+    const auto v = parse_double(*slope);
+    if (!v || *v < 0.0) throw Error("bad --slope-ns value");
+    fopts.input_slope = *v * 1e-9;
+  }
+  if (const auto dir = opts.get("out")) fopts.out_dir = *dir;
+
+  const FuzzReport report = run_fuzz(fopts, err);
+  out << report.to_string();
+  return report.clean() ? 0 : 1;
+}
+
 void usage(std::ostream& err) {
   err << "usage: sldm "
-         "<check|stats|time|explain|eco|chargeshare|sim|calibrate> ...\n"
+         "<check|stats|time|explain|eco|chargeshare|sim|calibrate|fuzz> "
+         "...\n"
          "see src/cli/cli.h for per-command options\n";
 }
 
@@ -479,6 +524,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "chargeshare") return cmd_chargeshare(opts, out);
     if (cmd == "sim") return cmd_sim(opts, out);
     if (cmd == "calibrate") return cmd_calibrate(opts, out);
+    if (cmd == "fuzz") return cmd_fuzz(opts, out, err);
     usage(err);
     return 2;
   } catch (const UsageError& e) {

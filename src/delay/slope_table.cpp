@@ -1,5 +1,6 @@
 #include "delay/slope_table.h"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <ostream>
@@ -47,6 +48,18 @@ PiecewiseLinear read_pwl(const std::vector<std::string>& tokens,
     const auto x = parse_double(parts[0]);
     const auto y = parse_double(parts[1]);
     if (!x || !y) throw ParseError(origin, lineno, "bad pair " + tokens[i]);
+    // Lookups clamp to the boundary cells (slope_table.h), so every
+    // cell -- especially the first and last -- must be a usable
+    // multiplier: finite positive y, finite x.
+    if (!std::isfinite(*x)) {
+      throw ParseError(origin, lineno,
+                       "non-finite abscissa in pair " + tokens[i]);
+    }
+    if (!std::isfinite(*y) || *y <= 0.0) {
+      throw ParseError(origin, lineno,
+                       "multiplier must be a finite positive number, got " +
+                           tokens[i]);
+    }
     xs.push_back(*x);
     ys.push_back(*y);
   }
@@ -79,6 +92,11 @@ std::size_t SlopeTables::slot(TransistorType type, Transition dir) {
 }
 
 void SlopeTables::set(TransistorType type, Transition dir, SlopeEntry entry) {
+  for (const PiecewiseLinear* f : {&entry.delay_mult, &entry.slope_mult}) {
+    for (double y : f->ys()) {
+      SLDM_EXPECTS(std::isfinite(y) && y > 0.0);
+    }
+  }
   entries_[slot(type, dir)] = std::move(entry);
 }
 

@@ -8,6 +8,16 @@
 // Tables are produced by src/calib against the analog simulator, exactly
 // as Crystal's tables were fit from SPICE runs, and can be persisted as
 // text.
+//
+// Out-of-range policy: a lookup with rho below the first abscissa or
+// above the last returns the boundary cell's multiplier unchanged
+// (PiecewiseLinear clamps; no extrapolation).  Extrapolating the end
+// segments would let a steep fitted edge drive a multiplier through
+// zero for extreme ratios, so the boundary cell is the answer by
+// design -- calibrate over a wider rho range if the clamp region
+// matters.  To keep the clamp safe, every multiplier value must be a
+// finite positive number: set() enforces this as a precondition and
+// read() rejects offending tables with a line-numbered ParseError.
 #pragma once
 
 #include <iosfwd>
@@ -35,6 +45,9 @@ class SlopeTables {
   /// RC-tree model.
   static SlopeTables unit();
 
+  /// Precondition: every multiplier value in both tables is finite and
+  /// > 0 (a zero or negative boundary cell would make the clamped
+  /// out-of-range lookup produce non-positive delays).
   void set(TransistorType type, Transition dir, SlopeEntry entry);
   bool has(TransistorType type, Transition dir) const;
   /// Precondition: has(type, dir).

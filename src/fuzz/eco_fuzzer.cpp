@@ -1,0 +1,104 @@
+#include "fuzz/eco_fuzzer.h"
+
+#include <string>
+
+#include "util/strings.h"
+#include "util/units.h"
+
+namespace sldm {
+namespace {
+
+/// "<gate> <src> <drn>" for a device, the eco dialect's device address.
+std::string device_address(const Netlist& nl, DeviceId d) {
+  const Transistor& t = nl.device(d);
+  return nl.node(t.gate).name + " " + nl.node(t.source).name + " " +
+         nl.node(t.drain).name;
+}
+
+NodeId random_node(const Netlist& nl, FuzzRng& rng) {
+  return NodeId(static_cast<std::uint32_t>(rng.below(nl.node_count())));
+}
+
+}  // namespace
+
+std::vector<std::string> random_eco_script(const Netlist& nl, FuzzRng& rng,
+                                           int edits, NodeId protect,
+                                           int* new_nodes) {
+  std::vector<std::string> lines;
+  while (static_cast<int>(lines.size()) < edits) {
+    if (nl.device_count() == 0) break;
+    const DeviceId d(
+        static_cast<std::uint32_t>(rng.below(nl.device_count())));
+    switch (rng.below(7)) {
+      case 0: {  // resize width: 1..16 um
+        const double um = 1.0 + static_cast<double>(rng.below(16));
+        lines.push_back(format("width %s %g", device_address(nl, d).c_str(),
+                               um));
+        break;
+      }
+      case 1: {  // resize length: 1..6 um
+        const double um = 1.0 + static_cast<double>(rng.below(6));
+        lines.push_back(format("length %s %g", device_address(nl, d).c_str(),
+                               um));
+        break;
+      }
+      case 2: {  // replace a node's explicit cap
+        const NodeId n = random_node(nl, rng);
+        lines.push_back(format("cap %s %zu", nl.node(n).name.c_str(),
+                               rng.below(200)));
+        break;
+      }
+      case 3: {  // add load
+        const NodeId n = random_node(nl, rng);
+        lines.push_back(format("addcap %s %zu", nl.node(n).name.c_str(),
+                               rng.below(50)));
+        break;
+      }
+      case 4: {  // flow annotation on a device
+        static const char* kFlows[] = {"both", "s>d", "d>s"};
+        lines.push_back(format("flow %s %s", device_address(nl, d).c_str(),
+                               kFlows[rng.below(3)]));
+        break;
+      }
+      case 5: {  // pin / free a node (never the stimulated input)
+        const NodeId n = random_node(nl, rng);
+        if (n == protect || nl.is_rail(n)) break;
+        static const char* kValues[] = {"0", "1", "free"};
+        lines.push_back(format("set %s %s", nl.node(n).name.c_str(),
+                               kValues[rng.below(3)]));
+        break;
+      }
+      default: {  // grow: a pass device, sometimes onto a fresh node
+        const Transistor& t = nl.device(d);
+        const NodeId gate = random_node(nl, rng);
+        const NodeId source = t.source;
+        std::string drain_name;
+        if (rng.below(3) == 0) {
+          drain_name = "fz_n" + std::to_string((*new_nodes)++);
+        } else {
+          const NodeId drain = random_node(nl, rng);
+          if (drain == source) break;
+          if (nl.is_rail(drain) && nl.is_rail(source)) break;
+          drain_name = nl.node(drain).name;
+        }
+        lines.push_back(format("transistor e %s %s %s 2 %zu",
+                               nl.node(gate).name.c_str(),
+                               nl.node(source).name.c_str(),
+                               drain_name.c_str(), 2 + rng.below(8)));
+        break;
+      }
+    }
+  }
+  return lines;
+}
+
+std::string join_script(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace sldm

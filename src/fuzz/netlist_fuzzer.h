@@ -1,0 +1,34 @@
+// Random-but-valid circuit generation for differential fuzzing.
+//
+// Circuits are composed from the same builder vocabulary the benchmark
+// generators use (inverter/pass/precharge primitives over
+// CircuitBuilder), so every fuzz circuit is a structurally valid
+// netlist with harness metadata (stimulated input, observed output,
+// held secondary inputs) -- the oracles in fuzz/oracles.h need that
+// metadata to drive the switch-level and analog references.
+//
+// Families: randomized parameterizations of all thirteen src/gen
+// benchmark generators, plus a hand-rolled "CCC soup" that the
+// generators never produce -- a random gate DAG with pass-transistor
+// bridges between gate outputs, random fanout loads, and random
+// explicit node capacitances (including zero-cap internal nodes).
+#pragma once
+
+#include "fuzz/rng.h"
+#include "gen/generators.h"
+
+namespace sldm {
+
+/// One random circuit.  Consumes a deterministic amount of `rng`
+/// entropy per family, so the stream stays aligned across runs.
+/// Postcondition: check(result.netlist) has no errors.
+GeneratedCircuit random_circuit(FuzzRng& rng);
+
+/// The "CCC soup" family on its own (exported for targeted tests):
+/// `gates` random inverter/NAND/NOR gates wired into a DAG, up to
+/// `bridges` pass transistors shorting gate outputs together under a
+/// held-high select, random fanout loads and node caps.
+GeneratedCircuit random_soup(Style style, int gates, int bridges,
+                             FuzzRng& rng);
+
+}  // namespace sldm

@@ -1,0 +1,41 @@
+// Deterministic random stream for the fuzzing subsystem.
+//
+// splitmix64, the same generator the randomized tests use: no <random>,
+// so the stream is bit-identical across standard libraries and
+// platforms -- a fuzz seed names one exact sequence of circuits and
+// edits everywhere.  Determinism is the whole point: `sldm fuzz --seed
+// S` must reproduce the same verdicts on every machine.
+#pragma once
+
+#include <cstdint>
+
+namespace sldm {
+
+class FuzzRng {
+ public:
+  explicit FuzzRng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform-ish draw in [0, n).  Precondition-free: n == 0 returns 0.
+  std::size_t below(std::size_t n) {
+    if (n == 0) return 0;
+    return static_cast<std::size_t>(next() % n);
+  }
+
+  /// Coin flip with probability num/den.
+  bool chance(std::size_t num, std::size_t den) { return below(den) < num; }
+
+  /// A derived, independent stream (for per-iteration sub-seeds).
+  std::uint64_t fork() { return next() ^ 0xD1B54A32D192ED03ull; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sldm

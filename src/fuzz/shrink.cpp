@@ -1,0 +1,144 @@
+#include "fuzz/shrink.h"
+
+#include "util/contracts.h"
+
+namespace sldm {
+namespace {
+
+/// Remaps a node id from the original netlist into the rebuilt one by
+/// name; invalid if the node was dropped.
+NodeId remap(const Netlist& from, const Netlist& to, NodeId n) {
+  const auto found = to.find_node(from.node(n).name);
+  return found ? *found : NodeId::invalid();
+}
+
+/// ddmin-style sweep at one granularity: tries dropping each
+/// `chunk`-sized run of still-kept devices.  Returns true if anything
+/// was removed.
+bool sweep(const GeneratedCircuit& g, std::vector<bool>& keep,
+           std::size_t chunk,
+           const std::function<bool(const GeneratedCircuit&)>& fails) {
+  bool removed = false;
+  const std::size_t n = keep.size();
+  std::size_t start = 0;
+  while (start < n) {
+    // Collect the next `chunk` kept indices from `start`.
+    std::vector<std::size_t> victims;
+    std::size_t i = start;
+    for (; i < n && victims.size() < chunk; ++i) {
+      if (keep[i]) victims.push_back(i);
+    }
+    if (victims.empty()) break;
+    std::vector<bool> candidate = keep;
+    for (const std::size_t v : victims) candidate[v] = false;
+    if (fails(subset_circuit(g, candidate))) {
+      keep = std::move(candidate);
+      removed = true;
+    }
+    start = i;
+  }
+  return removed;
+}
+
+}  // namespace
+
+GeneratedCircuit subset_circuit(const GeneratedCircuit& g,
+                                const std::vector<bool>& keep) {
+  const Netlist& src = g.netlist;
+  SLDM_EXPECTS(keep.size() == src.device_count());
+
+  std::vector<bool> node_kept(src.node_count(), false);
+  for (DeviceId d : src.all_devices()) {
+    if (!keep[d.value()]) continue;
+    const Transistor& t = src.device(d);
+    node_kept[t.gate.value()] = true;
+    node_kept[t.source.value()] = true;
+    node_kept[t.drain.value()] = true;
+  }
+  for (NodeId n : src.all_nodes()) {
+    const Node& info = src.node(n);
+    if (info.is_power || info.is_ground || info.is_input ||
+        info.is_output || info.is_precharged || info.fixed >= 0) {
+      node_kept[n.value()] = true;
+    }
+  }
+
+  GeneratedCircuit out;
+  out.name = g.name + "_shrunk";
+  out.style = g.style;
+  Netlist& nl = out.netlist;
+  for (NodeId n : src.all_nodes()) {
+    if (!node_kept[n.value()]) continue;
+    const Node& info = src.node(n);
+    const NodeId id = nl.add_node(info.name);
+    if (info.is_power) nl.mark_power(info.name);
+    if (info.is_ground) nl.mark_ground(info.name);
+    if (info.is_input) nl.mark_input(info.name);
+    if (info.is_output) nl.mark_output(info.name);
+    if (info.is_precharged) nl.mark_precharged(info.name);
+    if (info.cap > 0.0) nl.set_capacitance(id, info.cap);
+    if (info.fixed >= 0) nl.set_fixed(id, info.fixed != 0);
+  }
+  for (DeviceId d : src.all_devices()) {
+    if (!keep[d.value()]) continue;
+    const Transistor& t = src.device(d);
+    nl.add_transistor(t.type, remap(src, nl, t.gate),
+                      remap(src, nl, t.source), remap(src, nl, t.drain),
+                      t.width, t.length, t.flow);
+  }
+
+  out.input = remap(src, nl, g.input);
+  out.output = remap(src, nl, g.output);
+  for (NodeId n : g.high_inputs) {
+    const NodeId m = remap(src, nl, n);
+    if (m != NodeId::invalid()) out.high_inputs.push_back(m);
+  }
+  for (NodeId n : g.low_inputs) {
+    const NodeId m = remap(src, nl, n);
+    if (m != NodeId::invalid()) out.low_inputs.push_back(m);
+  }
+  return out;
+}
+
+GeneratedCircuit shrink_circuit(
+    const GeneratedCircuit& g,
+    const std::function<bool(const GeneratedCircuit&)>& fails) {
+  std::vector<bool> keep(g.netlist.device_count(), true);
+  std::size_t live = keep.size();
+  std::size_t chunk = live > 1 ? live / 2 : 1;
+  while (true) {
+    const bool removed = sweep(g, keep, chunk, fails);
+    if (removed) {
+      live = 0;
+      for (const bool k : keep) live += k ? 1u : 0u;
+      // Stay at this granularity while it keeps paying off.
+      continue;
+    }
+    if (chunk == 1) break;
+    chunk = chunk / 2 > 0 ? chunk / 2 : 1;
+  }
+  return subset_circuit(g, keep);
+}
+
+std::vector<std::string> shrink_eco(
+    const std::vector<std::string>& lines,
+    const std::function<bool(const std::vector<std::string>&)>& fails) {
+  std::vector<std::string> kept = lines;
+  bool progress = true;
+  while (progress && kept.size() > 1) {
+    progress = false;
+    for (std::size_t i = 0; i < kept.size();) {
+      std::vector<std::string> candidate = kept;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (fails(candidate)) {
+        kept = std::move(candidate);
+        progress = true;
+      } else {
+        ++i;
+      }
+    }
+  }
+  return kept;
+}
+
+}  // namespace sldm

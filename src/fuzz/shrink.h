@@ -1,0 +1,45 @@
+// Greedy failure-case minimization.
+//
+// When an oracle fails, the raw random circuit (and eco script) is
+// rarely the smallest witness.  The shrinker repeatedly deletes
+// devices (ddmin-style: halves first, then single devices) and eco
+// lines while the caller's predicate still reports the failure, so the
+// checked-in repro case under testdata/fuzz/ is close to minimal.
+//
+// Netlist has no device-removal API by design (the ECO journal records
+// only growth and annotation), so device deletion is a *rebuild*: kept
+// devices and every role-carrying node are re-added in creation order,
+// names preserved, orphaned plain nodes dropped.  Harness metadata is
+// remapped by name.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gen/generators.h"
+
+namespace sldm {
+
+/// Rebuilds `g` keeping only the devices with keep[id] == true.
+/// Nodes survive if a kept device touches them or they carry a role
+/// (rail / input / output / precharged) or a pinned value; explicit
+/// caps and names are preserved.  Precondition: keep.size() ==
+/// g.netlist.device_count().
+GeneratedCircuit subset_circuit(const GeneratedCircuit& g,
+                                const std::vector<bool>& keep);
+
+/// Greedy device minimization: returns the smallest circuit found for
+/// which `fails` still returns true.  `fails` must treat candidates it
+/// cannot evaluate (broken paths, analysis errors) as not failing.
+/// Postcondition: fails(result) if fails(g) held on entry.
+GeneratedCircuit shrink_circuit(
+    const GeneratedCircuit& g,
+    const std::function<bool(const GeneratedCircuit&)>& fails);
+
+/// Greedy line minimization for eco scripts, same contract.
+std::vector<std::string> shrink_eco(
+    const std::vector<std::string>& lines,
+    const std::function<bool(const std::vector<std::string>&)>& fails);
+
+}  // namespace sldm

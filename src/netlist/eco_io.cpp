@@ -1,5 +1,6 @@
 #include "netlist/eco_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <istream>
 #include <vector>
@@ -52,9 +53,12 @@ std::vector<DeviceId> require_devices(const Netlist& nl,
 double require_positive(const std::string& token, const std::string& origin,
                         int lineno, const char* what) {
   const auto v = parse_double(token);
-  if (!v || *v <= 0.0) {
+  // NaN fails every ordered comparison, so test finiteness explicitly --
+  // otherwise "nan"/"inf" (which strtod accepts) would slip through the
+  // sign checks and poison downstream resistances.
+  if (!v || !std::isfinite(*v) || *v <= 0.0) {
     throw ParseError(origin, lineno, std::string("bad ") + what + " '" +
-                                         token + "' (positive number)");
+                                         token + "' (finite positive number)");
   }
   return *v;
 }
@@ -113,9 +117,9 @@ std::size_t apply_eco(std::istream& in, Netlist& nl,
                          kind + " record: " + kind + " <node> <fF>");
       }
       const auto v = parse_double(tokens[2]);
-      if (!v || *v < 0.0) {
+      if (!v || !std::isfinite(*v) || *v < 0.0) {
         throw ParseError(origin, lineno, "bad capacitance '" + tokens[2] +
-                                             "' (non-negative fF)");
+                                             "' (finite non-negative fF)");
       }
       const NodeId n = lookup(nl, tokens[1], origin, lineno);
       if (kind == "cap") {

@@ -4,49 +4,31 @@
 
 #include "util/contracts.h"
 #include "util/error.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace sldm {
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += format("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
 std::string audit_json(const DelayAudit& audit) {
   std::ostringstream os;
   os << '{' << format("\"model\":\"%s\"", json_escape(audit.model).c_str())
-     << format(",\"r_total_ohm\":%.17g", audit.total_resistance)
-     << format(",\"c_total_f\":%.17g", audit.total_cap)
-     << format(",\"c_dest_f\":%.17g", audit.destination_cap)
-     << format(",\"t_elmore_s\":%.17g", audit.elmore)
-     << format(",\"input_slope_s\":%.17g", audit.input_slope)
+     << ",\"r_total_ohm\":" << json_number(audit.total_resistance)
+     << ",\"c_total_f\":" << json_number(audit.total_cap)
+     << ",\"c_dest_f\":" << json_number(audit.destination_cap)
+     << ",\"t_elmore_s\":" << json_number(audit.elmore)
+     << ",\"input_slope_s\":" << json_number(audit.input_slope)
      << format(",\"path_devices\":%zu", audit.path_devices)
      << ",\"terms\":[";
   for (std::size_t i = 0; i < audit.terms.size(); ++i) {
     const AuditTerm& t = audit.terms[i];
     if (i > 0) os << ',';
-    os << format("{\"name\":\"%s\",\"value\":%.17g,\"unit\":\"%s\"}",
-                 t.name, t.value, t.unit);
+    os << format("{\"name\":\"%s\",\"value\":", json_escape(t.name).c_str())
+       << json_number(t.value)
+       << format(",\"unit\":\"%s\"}", json_escape(t.unit).c_str());
   }
-  os << format("],\"delay_s\":%.17g", audit.estimate.delay)
-     << format(",\"output_slope_s\":%.17g", audit.estimate.output_slope)
+  os << "],\"delay_s\":" << json_number(audit.estimate.delay)
+     << ",\"output_slope_s\":" << json_number(audit.estimate.output_slope)
      << '}';
   return os.str();
 }
@@ -159,7 +141,7 @@ std::string explain_json(const Netlist& nl, const ExplainReport& report) {
      << format("\"node\":\"%s\"",
                json_escape(nl.node(report.node).name).c_str())
      << format(",\"dir\":\"%s\"", to_string(report.dir).c_str())
-     << format(",\"arrival_s\":%.17g", report.arrival) << ",\"steps\":[";
+     << ",\"arrival_s\":" << json_number(report.arrival) << ",\"steps\":[";
   for (std::size_t i = 0; i < report.steps.size(); ++i) {
     const ExplainStep& s = report.steps[i];
     if (i > 0) os << ',';
@@ -167,11 +149,11 @@ std::string explain_json(const Netlist& nl, const ExplainReport& report) {
        << format("\"node\":\"%s\"",
                  json_escape(nl.node(s.node).name).c_str())
        << format(",\"dir\":\"%s\"", to_string(s.dir).c_str())
-       << format(",\"arrival_s\":%.17g", s.arrival)
-       << format(",\"slope_s\":%.17g", s.slope)
+       << ",\"arrival_s\":" << json_number(s.arrival)
+       << ",\"slope_s\":" << json_number(s.slope)
        << format(",\"seed\":%s", s.is_seed ? "true" : "false");
     if (!s.is_seed) {
-      os << format(",\"delay_s\":%.17g", s.delay)
+      os << ",\"delay_s\":" << json_number(s.delay)
          << format(",\"stage\":\"%s\"", json_escape(s.stage).c_str())
          << ",\"audit\":" << audit_json(s.audit);
     }

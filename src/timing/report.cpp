@@ -4,6 +4,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "util/json.h"
 #include "util/strings.h"
 #include "util/text_table.h"
 
@@ -104,15 +105,15 @@ std::string analyzer_stats_json(const AnalyzerStats& st) {
      << format(",\"stage_evaluations\":%zu", st.stage_evaluations)
      << format(",\"worklist_pushes\":%zu", st.worklist_pushes)
      << format(",\"arrival_updates\":%zu", st.arrival_updates)
-     << format(",\"extract_seconds\":%.9g", st.extract_seconds)
-     << format(",\"propagate_seconds\":%.9g", st.propagate_seconds)
+     << ",\"extract_seconds\":" << json_number(st.extract_seconds)
+     << ",\"propagate_seconds\":" << json_number(st.propagate_seconds)
      << format(",\"threads\":%d", st.threads)
      << format(",\"incremental_updates\":%zu", st.incremental_updates)
      << format(",\"dirty_cccs\":%zu", st.dirty_cccs)
      << format(",\"reextracted_stages\":%zu", st.reextracted_stages)
      << format(",\"reused_stages\":%zu", st.reused_stages)
      << format(",\"frontier_keys\":%zu", st.frontier_keys)
-     << format(",\"update_seconds\":%.9g", st.update_seconds) << '}';
+     << ",\"update_seconds\":" << json_number(st.update_seconds) << '}';
   return os.str();
 }
 

@@ -1,4 +1,5 @@
-// A minimal JSON reader.
+// A minimal JSON reader, plus the writer-side escaping helpers every
+// JSON emitter in the project shares (json_escape / json_number).
 //
 // Exists so the tests can *round-trip* every JSON artifact the engine
 // emits (trace files, metrics dumps, explain reports, bench records)
@@ -54,6 +55,24 @@ class JsonValue {
 /// else).  Throws Error with an offset-annotated message on malformed
 /// input.
 JsonValue parse_json(std::string_view text);
+
+// --- Writer helpers -------------------------------------------------------
+//
+// Every JSON writer in the project (stats dumps, traces, explain
+// reports, bench records) goes through these two functions so that the
+// emitted documents always reparse:
+//  * json_escape covers the full mandatory escape set -- quote,
+//    backslash, and every control character below 0x20 (named escapes
+//    for \b \f \n \r \t, \u00XX for the rest);
+//  * json_number emits `null` for NaN and +/-Inf (JSON has no
+//    representation for them) and shortest-round-trip decimal text for
+//    finite doubles.
+
+/// The body of a JSON string literal for `s` (no surrounding quotes).
+std::string json_escape(std::string_view s);
+
+/// A JSON number token for `v`, or `null` when `v` is NaN or infinite.
+std::string json_number(double v);
 
 /// Parses the JSON document in the file at `path` (whole contents must
 /// be one document).  Throws Error on I/O failure or malformed input.

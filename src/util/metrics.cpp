@@ -1,7 +1,9 @@
 #include "util/metrics.h"
 
+#include <mutex>
 #include <sstream>
 
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace sldm {
@@ -44,7 +46,7 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, c] : counters_) {
     if (!first) os << ',';
     first = false;
-    os << format("\"%s\":%llu", name.c_str(),
+    os << format("\"%s\":%llu", json_escape(name).c_str(),
                  static_cast<unsigned long long>(c.value()));
   }
   os << "},\"gauges\":{";
@@ -52,17 +54,19 @@ std::string MetricsRegistry::to_json() const {
   for (const auto& [name, g] : gauges_) {
     if (!first) os << ',';
     first = false;
-    os << format("\"%s\":%.9g", name.c_str(), g.value());
+    os << format("\"%s\":", json_escape(name).c_str())
+       << json_number(g.value());
   }
   os << "},\"histograms\":{";
   first = true;
   for (const auto& [name, h] : histograms_) {
     if (!first) os << ',';
     first = false;
-    os << format("\"%s\":{\"lo\":%.9g,\"hi\":%.9g,\"total\":%zu,"
-                 "\"mean\":%.9g,\"counts\":[",
-                 name.c_str(), h.bin_lo(0), h.bin_hi(h.bins() - 1),
-                 h.total(), h.mean());
+    os << format("\"%s\":{\"lo\":", json_escape(name).c_str())
+       << json_number(h.bin_lo(0)) << ",\"hi\":"
+       << json_number(h.bin_hi(h.bins() - 1))
+       << format(",\"total\":%zu,\"mean\":", h.total())
+       << json_number(h.mean()) << ",\"counts\":[";
     for (std::size_t b = 0; b < h.bins(); ++b) {
       if (b > 0) os << ',';
       os << h.count(b);
@@ -71,6 +75,23 @@ std::string MetricsRegistry::to_json() const {
   }
   os << "}}";
   return os.str();
+}
+
+namespace {
+std::mutex& process_metrics_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+}  // namespace
+
+MetricsRegistry& process_metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+void bump_process_counter(const std::string& name, std::uint64_t n) {
+  std::lock_guard<std::mutex> lock(process_metrics_mutex());
+  process_metrics().counter(name).add(n);
 }
 
 std::string MetricsRegistry::to_string() const {

@@ -97,4 +97,14 @@ class MetricsRegistry {
   std::map<std::string, Histogram> histograms_;
 };
 
+/// The process-wide registry for components that have no analyzer (or
+/// other owner) to hang their metrics on — e.g. the thread pool's
+/// suppressed-exception count.  Unlike MetricsRegistry itself, the two
+/// helpers below are thread-safe; read the registry only from a single
+/// thread (tests, report writers) while no bumps are in flight.
+MetricsRegistry& process_metrics();
+
+/// Thread-safe increment of `process_metrics().counter(name)`.
+void bump_process_counter(const std::string& name, std::uint64_t n = 1);
+
 }  // namespace sldm

@@ -3,6 +3,9 @@
 #include <utility>
 
 #include "util/contracts.h"
+#include "util/error.h"
+#include "util/metrics.h"
+#include "util/strings.h"
 #include "util/trace.h"
 
 #if defined(__linux__)
@@ -48,7 +51,11 @@ void ThreadPool::run_one(std::function<void()>& task) {
     task();
   } catch (...) {
     std::unique_lock<std::mutex> lock(mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
+    if (!first_error_) {
+      first_error_ = std::current_exception();
+    } else {
+      ++suppressed_errors_;
+    }
   }
 }
 
@@ -94,11 +101,30 @@ void ThreadPool::wait() {
     }
   }
   std::exception_ptr err;
+  std::size_t suppressed = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     err = std::exchange(first_error_, nullptr);
+    suppressed = std::exchange(suppressed_errors_, std::size_t{0});
   }
-  if (err) std::rethrow_exception(err);
+  if (!err) return;
+  if (suppressed > 0) {
+    bump_process_counter("thread_pool.suppressed_exceptions",
+                         static_cast<std::uint64_t>(suppressed));
+    // Only sldm::Error carries a mutable message; other exception types
+    // (contract aborts never reach here; std exceptions are rare) are
+    // rethrown unchanged -- the metric still records the loss.
+    try {
+      std::rethrow_exception(err);
+    } catch (const Error& e) {
+      throw Error(format("%s [and %zu more task failure%s suppressed]",
+                         e.what(), suppressed,
+                         suppressed == 1 ? "" : "s"));
+    } catch (...) {
+      throw;
+    }
+  }
+  std::rethrow_exception(err);
 }
 
 void ThreadPool::worker_loop() {

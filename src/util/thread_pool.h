@@ -5,9 +5,13 @@
 //  * determinism is the caller's problem -- the pool only promises that
 //    every submitted task runs exactly once and that wait() establishes a
 //    happens-before edge from all task bodies to the caller;
-//  * exceptions thrown by a task are captured and rethrown from wait()
-//    (first one wins, later ones are dropped), so contract violations and
-//    sldm::Error diagnostics surface on the coordinating thread;
+//  * exceptions thrown by a task are captured and rethrown from wait():
+//    the first one wins, and when later tasks also fail their count is
+//    recorded (process metric "thread_pool.suppressed_exceptions") and
+//    appended to the rethrown sldm::Error's message ("... [and N more
+//    task failure(s) suppressed]"), so contract violations and
+//    sldm::Error diagnostics surface on the coordinating thread without
+//    silently hiding a multi-task failure;
 //  * a pool of size 1 runs tasks inline on the calling thread at submit
 //    time: no worker is spawned, no synchronization happens, and the
 //    execution order is exactly the submission order.  Thread count 1 is
@@ -49,8 +53,12 @@ class ThreadPool {
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished, then rethrows the
-  /// first captured task exception, if any.  The pool is reusable after
-  /// wait() returns.
+  /// first captured task exception, if any.  When more than one task
+  /// failed in the batch, the extras are counted in the process metrics
+  /// registry ("thread_pool.suppressed_exceptions") and, if the first
+  /// exception is an sldm::Error, an "[and N more task failure(s)
+  /// suppressed]" note is appended to its message.  The pool is
+  /// reusable after wait() returns.
   void wait();
 
   int thread_count() const { return threads_; }
@@ -70,6 +78,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t in_flight_ = 0;  ///< queued + currently executing
   std::exception_ptr first_error_;
+  std::size_t suppressed_errors_ = 0;  ///< failures after the first
   bool shutting_down_ = false;
 };
 

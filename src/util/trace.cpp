@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/json.h"
 #include "util/strings.h"
 
 namespace sldm {
@@ -14,28 +15,6 @@ double steady_seconds() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
-}
-
-/// JSON string escaping for thread names (span names are literals under
-/// our control, but thread names may come from callers).
-std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          out += format("\\u%04x", c);
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
 }
 
 }  // namespace
@@ -110,7 +89,7 @@ std::string Tracer::to_json() const {
     os << format(
         "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%zu,"
         "\"args\":{\"name\":\"%s\"}}",
-        t, escape(name).c_str());
+        t, json_escape(name).c_str());
   }
   for (const TraceEvent& ev : events_) {
     sep();
@@ -122,7 +101,8 @@ std::string Tracer::to_json() const {
       os << ",\"args\":{";
       for (std::size_t i = 0; i < ev.args.size(); ++i) {
         if (i > 0) os << ',';
-        os << format("\"%s\":%.9g", ev.args[i].first, ev.args[i].second);
+        os << format("\"%s\":", json_escape(ev.args[i].first).c_str())
+           << json_number(ev.args[i].second);
       }
       os << '}';
     }

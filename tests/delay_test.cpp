@@ -187,6 +187,73 @@ TEST(SlopeTables, ReadRejectsMalformedInput) {
   EXPECT_THROW(parse("zzz\n"), ParseError);
 }
 
+TEST(SlopeTables, OutOfRangeClampsToBoundaryCellOnBothAxes) {
+  // Policy (slope_table.h): lookups outside the calibrated rho range
+  // clamp to the boundary cell -- no extrapolation.  Check both the
+  // under-range and over-range side, on both the delay and the slope
+  // table.
+  const SlopeTables t = ramp_tables();
+  const SlopeEntry& e =
+      t.entry(TransistorType::kNEnhancement, Transition::kRise);
+  // Calibrated domain is [0.01, 100]; values at the boundary cells:
+  const double d_lo = e.delay_mult(0.01);
+  const double d_hi = e.delay_mult(100.0);
+  const double s_lo = e.slope_mult(0.01);
+  const double s_hi = e.slope_mult(100.0);
+  EXPECT_DOUBLE_EQ(e.delay_mult(1e-6), d_lo);
+  EXPECT_DOUBLE_EQ(e.delay_mult(0.0), d_lo);
+  EXPECT_DOUBLE_EQ(e.delay_mult(1e6), d_hi);
+  EXPECT_DOUBLE_EQ(e.slope_mult(1e-9), s_lo);
+  EXPECT_DOUBLE_EQ(e.slope_mult(1e9), s_hi);
+  // The clamped values are the real boundary multipliers, not some
+  // sentinel: inside the domain the ramp is strictly increasing.
+  EXPECT_LT(d_lo, d_hi);
+  EXPECT_LT(s_lo, s_hi);
+}
+
+TEST(SlopeTables, ReadRejectsNonFiniteAndNonPositiveMultipliers) {
+  // Because out-of-range lookups clamp to boundary cells, one bad cell
+  // would silently poison every out-of-range query; the reader must
+  // reject such tables with a line-numbered ParseError.
+  auto parse = [](const std::string& text) {
+    std::istringstream in(text);
+    return SlopeTables::read(in, "<test>");
+  };
+  const std::string slope_ok = "slope 1:1 2:1\n";
+  for (const char* bad : {"nan", "inf", "-inf", "-1", "0"}) {
+    const std::string text =
+        std::string("entry e rise\ndelay 1:1 2:") + bad + "\n" + slope_ok;
+    EXPECT_THROW(parse(text), ParseError) << "delay cell " << bad;
+    const std::string text2 = std::string("entry e rise\ndelay 1:1 2:1\n") +
+                              "slope 1:" + bad + " 2:1\n";
+    EXPECT_THROW(parse(text2), ParseError) << "slope cell " << bad;
+  }
+  // Non-finite abscissae are equally poisonous.
+  EXPECT_THROW(parse("entry e rise\ndelay nan:1 2:1\nslope 1:1\n"),
+               ParseError);
+  // Line numbers point at the offending record.
+  try {
+    parse("entry e rise\ndelay 1:1 2:nan\nslope 1:1\n");
+    FAIL() << "should have thrown";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SlopeTables, SetRejectsNonPositiveMultiplier) {
+  SlopeTables t;
+  const std::vector<double> xs = {0.01, 100.0};
+  EXPECT_THROW(t.set(TransistorType::kNEnhancement, Transition::kRise,
+                     SlopeEntry{PiecewiseLinear(xs, {1.0, 0.0}),
+                                PiecewiseLinear(xs, {1.0, 1.0})}),
+               ContractViolation);
+  EXPECT_THROW(t.set(TransistorType::kNEnhancement, Transition::kRise,
+                     SlopeEntry{PiecewiseLinear(xs, {1.0, 1.0}),
+                                PiecewiseLinear(xs, {-2.0, 1.0})}),
+               ContractViolation);
+}
+
 // --- Slope model ------------------------------------------------------------
 
 TEST(SlopeModel, UnitTablesDegenerateToRcTree) {

@@ -1,14 +1,21 @@
 // Unit tests for src/util: contracts, interpolation, statistics,
-// strings, and table rendering.
+// strings, table rendering, JSON writer helpers, and the thread pool's
+// exception policy.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <string>
 
 #include "util/contracts.h"
+#include "util/error.h"
 #include "util/interp.h"
+#include "util/json.h"
+#include "util/metrics.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/text_table.h"
+#include "util/thread_pool.h"
 #include "util/units.h"
 
 namespace sldm {
@@ -227,6 +234,98 @@ TEST(Units, Conversions) {
   EXPECT_DOUBLE_EQ(to_fF(2e-15), 2.0);
   EXPECT_DOUBLE_EQ(to_kohm(5e3), 5.0);
   EXPECT_DOUBLE_EQ(4.0 * units::um, 4e-6);
+}
+
+// --- JSON writer helpers -------------------------------------------------
+
+TEST(Json, EscapeCoversControlCharactersAndRoundTrips) {
+  // Every byte below 0x20 plus quote and backslash must escape into a
+  // document the project's own parser accepts back verbatim.
+  std::string nasty = "plain \"quoted\" back\\slash";
+  for (int c = 1; c < 0x20; ++c) nasty.push_back(static_cast<char>(c));
+  const std::string doc = "\"" + json_escape(nasty) + "\"";
+  // Named escapes for the common control characters, \u00XX for the rest.
+  EXPECT_NE(doc.find("\\n"), std::string::npos);
+  EXPECT_NE(doc.find("\\t"), std::string::npos);
+  EXPECT_NE(doc.find("\\u0001"), std::string::npos);
+  const JsonValue v = parse_json(doc);
+  EXPECT_EQ(v.as_string(), nasty);
+}
+
+TEST(Json, NumberEmitsNullForNonFinite) {
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(INFINITY), "null");
+  EXPECT_EQ(json_number(-INFINITY), "null");
+  // Finite values round-trip through the parser at full precision.
+  for (double x : {0.0, -1.5, 3.0e-15, 1.2345678901234567e9}) {
+    const JsonValue v = parse_json(json_number(x));
+    EXPECT_DOUBLE_EQ(v.as_number(), x);
+  }
+}
+
+// --- ThreadPool exception policy -----------------------------------------
+
+TEST(ThreadPool, FirstErrorWinsAndExtrasAreCounted) {
+  const std::uint64_t before =
+      process_metrics().counter("thread_pool.suppressed_exceptions").value();
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 6; ++i) {
+    pool.submit([&ran] {
+      ++ran;
+      throw Error("task failed");
+    });
+  }
+  try {
+    pool.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("task failed"), std::string::npos) << what;
+    // 6 tasks failed: the first is rethrown, the other 5 are noted.
+    EXPECT_NE(what.find("and 5 more task failures suppressed"),
+              std::string::npos)
+        << what;
+  }
+  EXPECT_EQ(ran.load(), 6);
+  const std::uint64_t after =
+      process_metrics().counter("thread_pool.suppressed_exceptions").value();
+  EXPECT_EQ(after - before, 5u);
+}
+
+TEST(ThreadPool, SingleFailureHasNoSuppressionNote) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("only failure"); });
+  pool.submit([] {});
+  try {
+    pool.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("only failure"), std::string::npos);
+    EXPECT_EQ(what.find("suppressed"), std::string::npos) << what;
+  }
+}
+
+TEST(ThreadPool, ReusableAfterFailedBatch) {
+  ThreadPool pool(3);
+  pool.submit([] { throw Error("boom"); });
+  EXPECT_THROW(pool.wait(), Error);
+  // The error and suppression state reset: a clean batch passes.
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 4; ++i) pool.submit([&ran] { ++ran; });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, NonSldmErrorRethrownUnwrapped) {
+  // The "and N more" note only decorates sldm::Error; foreign exception
+  // types pass through untouched (their count still lands in metrics).
+  ThreadPool pool(4);
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([] { throw std::runtime_error("foreign"); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
 }
 
 }  // namespace
