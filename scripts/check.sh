@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Sanitizer + observability gate, run before merging:
-#   1. asan preset: the full test suite under AddressSanitizer/UBSan;
-#   2. tsan preset: the concurrency-sensitive suites (parallel stage
-#      extraction and the incremental-update pipeline built on it)
-#      under ThreadSanitizer;
-#   3. ubsan preset: the timing suites under standalone UBSan with
+#   1. strict preset: the whole tree (tests, benches, examples) under
+#      -Wall -Wextra -Wshadow -Wconversion -Wsign-conversion as errors
+#      (also exports compile_commands.json for tooling);
+#   2. asan preset: the full test suite under AddressSanitizer/UBSan;
+#   3. tsan preset: the concurrency-sensitive suites (parallel stage
+#      extraction, batched wavefront propagation, and the incremental-
+#      update pipeline built on them) under ThreadSanitizer;
+#   4. ubsan preset: the timing suites under standalone UBSan with
 #      -fno-sanitize-recover (any report traps);
-#   4. smoke checks of the machine-readable artifacts: a `sldm time
-#      --trace` capture must parse as JSON, and a bench run with
-#      `--json` must append a parseable record;
-#   5. a fixed-seed differential fuzzing smoke under asan (`sldm fuzz`,
+#   5. smoke checks of the machine-readable artifacts: a `sldm time
+#      --trace` capture must parse as JSON, a bench run with `--json`
+#      must append a parseable record, and `sldm time --stats --json`
+#      must report identical propagation work counters at --threads 1
+#      and --threads 4 (the wavefront determinism contract);
+#   6. a fixed-seed differential fuzzing smoke under asan (`sldm fuzz`,
 #      200 iterations: must be clean and deterministic), plus a replay
 #      pass over the checked-in repro corpus in testdata/fuzz/.
 # Any test failure (or sanitizer report, which fails the test) aborts
@@ -25,6 +30,10 @@ while getopts "j:" opt; do
     *) echo "usage: $0 [-j N]" >&2; exit 2 ;;
   esac
 done
+
+cmake --preset strict
+cmake --build --preset strict -j "$jobs"
+echo "check.sh: strict-warnings build clean"
 
 cmake --preset asan
 cmake --build --preset asan -j "$jobs"
@@ -62,6 +71,31 @@ if missing:
     sys.exit(f"trace smoke: missing spans {missing}")
 EOF
 echo "check.sh: trace smoke file parsed"
+
+# Propagation-metrics sanity: the wavefront engine must do identical
+# work (and reach identical arrivals) regardless of the thread count.
+for t in 1 4; do
+  out/ubsan/examples/sldm time "$smoke_dir/chain.sim" --model rc-tree \
+    --threads "$t" --stats --json > "$smoke_dir/stats$t.json"
+done
+python3 - "$smoke_dir/stats1.json" "$smoke_dir/stats4.json" <<'EOF'
+import json, sys
+def record(path):
+    with open(path) as f:
+        return next(json.loads(l) for l in f if l.lstrip().startswith("{"))
+a, b = record(sys.argv[1]), record(sys.argv[2])
+for key in ("stage_evaluations", "worklist_pushes", "arrival_updates",
+            "batches", "max_batch_size"):
+    if a[key] != b[key]:
+        sys.exit(f"stats smoke: {key} differs across thread counts: "
+                 f"{a[key]} vs {b[key]}")
+if a["metrics"]["counters"]["propagate.stage_evaluations"] != \
+   b["metrics"]["counters"]["propagate.stage_evaluations"]:
+    sys.exit("stats smoke: propagate.stage_evaluations differs")
+if a["batches"] < 1 or a["stage_evaluations"] < 1:
+    sys.exit("stats smoke: no propagation work recorded")
+EOF
+echo "check.sh: propagation metrics identical at 1 and 4 threads"
 
 cmake --build --preset ubsan -j "$jobs" --target bench_ablation_flow
 out/ubsan/bench/bench_ablation_flow --json "$smoke_dir/bench.json" \

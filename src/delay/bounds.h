@@ -26,6 +26,13 @@ class RphBoundsModel final : public DelayModel {
   /// bound-consistent transition estimate (bound at 90% minus bound at
   /// 10%, scaled to a full swing).
   DelayEstimate estimate(const Stage& stage) const override;
+  /// Batch kernel over the store's cached T_D / T_P (the RPH bound
+  /// formulas need nothing else; input slopes are ignored like in
+  /// estimate()).
+  void estimate_batch(const StageStore& store,
+                      std::span<const StageStore::StageId> ids,
+                      std::span<const Seconds> input_slopes,
+                      std::span<DelayEstimate> out) const override;
 
   Mode mode() const { return mode_; }
 

@@ -1,6 +1,7 @@
 #include "delay/lumped.h"
 
 #include "rc/rc_tree.h"
+#include "util/contracts.h"
 
 namespace sldm {
 
@@ -8,6 +9,22 @@ DelayEstimate LumpedRcModel::estimate(const Stage& stage) const {
   validate(stage);
   const Seconds tau = stage.total_resistance() * stage.total_cap();
   return {.delay = kLn2 * tau, .output_slope = kSlopeFactor * tau};
+}
+
+void LumpedRcModel::estimate_batch(const StageStore& store,
+                                   std::span<const StageStore::StageId> ids,
+                                   std::span<const Seconds> input_slopes,
+                                   std::span<DelayEstimate> out) const {
+  SLDM_EXPECTS(ids.size() == input_slopes.size());
+  SLDM_EXPECTS(ids.size() == out.size());
+  // Store totals carry the exact doubles Stage::total_resistance() /
+  // total_cap() return, so this reproduces estimate() bit for bit;
+  // validation already happened at store insertion.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const Seconds tau =
+        store.total_resistance(ids[i]) * store.total_cap(ids[i]);
+    out[i] = {.delay = kLn2 * tau, .output_slope = kSlopeFactor * tau};
+  }
 }
 
 DelayEstimate LumpedRcModel::estimate_audited(const Stage& stage,

@@ -16,6 +16,12 @@ class LumpedRcModel final : public DelayModel {
   DelayEstimate estimate(const Stage& stage) const override;
   DelayEstimate estimate_audited(const Stage& stage,
                                  DelayAudit& audit) const override;
+  /// Batch kernel over the store's cached R/C totals (no per-stage
+  /// materialization, no element walk).
+  void estimate_batch(const StageStore& store,
+                      std::span<const StageStore::StageId> ids,
+                      std::span<const Seconds> input_slopes,
+                      std::span<DelayEstimate> out) const override;
 };
 
 }  // namespace sldm

@@ -1,6 +1,24 @@
 #include "delay/model.h"
 
+#include "util/contracts.h"
+
 namespace sldm {
+
+void DelayModel::estimate_batch(const StageStore& store,
+                                std::span<const StageStore::StageId> ids,
+                                std::span<const Seconds> input_slopes,
+                                std::span<DelayEstimate> out) const {
+  SLDM_EXPECTS(ids.size() == input_slopes.size());
+  SLDM_EXPECTS(ids.size() == out.size());
+  // Scalar fallback: materialize through one reused scratch stage and
+  // delegate -- bit-identical to per-stage estimate() by construction,
+  // and correct for any derived model that does not override.
+  Stage scratch;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    store.materialize(ids[i], input_slopes[i], scratch);
+    out[i] = estimate(scratch);
+  }
+}
 
 void DelayModel::fill_stage_audit(const Stage& stage,
                                   DelayAudit& audit) const {

@@ -10,13 +10,27 @@
 // multipliers).  The explain pipeline (timing/explain.h) re-evaluates
 // each critical-path stage through this hook to produce the paper's
 // Section-6-style per-stage breakdown.
+//
+// For throughput, models also expose estimate_batch(): one call prices
+// a whole batch of stages resident in a StageStore (delay/stage_store.h)
+// against per-item input slopes.  The contract is strict bit-identity:
+// estimate_batch must produce, for every item, exactly the DelayEstimate
+// that estimate() returns for the materialized stage -- same doubles,
+// not merely close ones -- so the analyzer's batched wavefront
+// propagation, the explain re-evaluations, and the fuzz oracles all
+// agree regardless of which entry point priced a stage.  The base-class
+// default materializes and delegates to estimate() (correct for any
+// model); the five concrete models override it with branch-light
+// kernels over the store's cached totals.
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "delay/stage.h"
+#include "delay/stage_store.h"
 #include "util/units.h"
 
 namespace sldm {
@@ -66,6 +80,25 @@ class DelayModel {
 
   /// Estimates delay and output slope for a validated stage.
   virtual DelayEstimate estimate(const Stage& stage) const = 0;
+
+  /// Batched kernel: prices stage `ids[i]` of `store` with trigger
+  /// input slope `input_slopes[i]` into `out[i]`, for every i.
+  /// Preconditions: the three spans have equal length; every id is
+  /// < store.size(); slopes are >= 0.  Ids may repeat and appear in any
+  /// order, and the batch may be empty or larger than the store.
+  ///
+  /// Contract: out[i] is bit-identical to
+  /// estimate(store.materialize(ids[i], input_slopes[i])) -- the default
+  /// implementation computes exactly that through a reused scratch
+  /// stage; overrides must preserve the identity (they read the store's
+  /// caches, which are built with the scalar path's arithmetic).
+  /// Implementations are pure over (store, id, slope): concurrent calls
+  /// on disjoint output spans are safe, which is what the analyzer's
+  /// parallel wavefront relies on.
+  virtual void estimate_batch(const StageStore& store,
+                              std::span<const StageStore::StageId> ids,
+                              std::span<const Seconds> input_slopes,
+                              std::span<DelayEstimate> out) const;
 
   /// Audited evaluation: fills `audit` with the generic stage terms and
   /// any model-specific contributions, and returns exactly what

@@ -25,6 +25,31 @@ DelayEstimate SlopeModel::estimate(const Stage& stage) const {
   return {.delay = kLn2 * dm * td, .output_slope = kSlopeFactor * sm * td};
 }
 
+void SlopeModel::estimate_batch(const StageStore& store,
+                                std::span<const StageStore::StageId> ids,
+                                std::span<const Seconds> input_slopes,
+                                std::span<DelayEstimate> out) const {
+  SLDM_EXPECTS(ids.size() == input_slopes.size());
+  SLDM_EXPECTS(ids.size() == out.size());
+  // Same arithmetic as estimate() with the tree walk replaced by the
+  // cached Elmore constant: rho, the table lookups, and the output
+  // formulas see the exact same doubles.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const StageStore::StageId s = ids[i];
+    const Seconds td = store.elmore(s);
+    const TransistorType trigger_type = store.trigger_type(s);
+    SLDM_EXPECTS(tables_.has(trigger_type, store.output_dir(s)));
+    const SlopeEntry& e = tables_.entry(trigger_type, store.output_dir(s));
+    SLDM_EXPECTS(td > 0.0);
+    const double rho = input_slopes[i] / td;
+    const double dm = e.delay_mult(rho);
+    const double sm = e.slope_mult(rho);
+    SLDM_ENSURES(dm > 0.0 && sm > 0.0);
+    out[i] = {.delay = kLn2 * dm * td,
+              .output_slope = kSlopeFactor * sm * td};
+  }
+}
+
 DelayEstimate SlopeModel::estimate_audited(const Stage& stage,
                                            DelayAudit& audit) const {
   fill_stage_audit(stage, audit);

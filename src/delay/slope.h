@@ -25,6 +25,12 @@ class SlopeModel final : public DelayModel {
   /// Additionally exposes rho and the table multipliers as audit terms.
   DelayEstimate estimate_audited(const Stage& stage,
                                  DelayAudit& audit) const override;
+  /// Batch kernel: cached Elmore constant + per-item slope ratio and
+  /// table lookups (no RC tree rebuild per evaluation).
+  void estimate_batch(const StageStore& store,
+                      std::span<const StageStore::StageId> ids,
+                      std::span<const Seconds> input_slopes,
+                      std::span<DelayEstimate> out) const override;
 
   /// The slope ratio estimate() uses for a stage.
   static double slope_ratio(const Stage& stage, Seconds elmore);

@@ -6,6 +6,14 @@
 // delay models consume this electrical summary; the timing analyzer
 // (src/timing) produces it from a netlist, and tests/benches also build
 // stages directly.
+//
+// The analyzer's hot path does not evaluate standalone Stage objects:
+// extracted stages live in the flat StageStore (delay/stage_store.h),
+// which caches every derived electrical total at insertion time.  Stage
+// remains the materialized per-stage view for tests, explain traces,
+// the fuzz oracles, and direct model evaluation -- and it memoizes its
+// own path totals so repeated queries (audits, per-model sweeps) do not
+// re-walk the element vector.
 #pragma once
 
 #include <cstddef>
@@ -33,21 +41,42 @@ struct Stage {
   /// time); 0 means an ideal step.
   Seconds input_slope = 0.0;
   /// Path from the value source (front) to the destination (back).
+  /// Mutating this vector directly leaves any memoized totals stale
+  /// until the next validate() -- which every model evaluation performs
+  /// -- or an explicit refresh_totals().
   std::vector<StageElement> elements;
   /// Index into `elements` of the trigger transistor.
   std::size_t trigger_index = 0;
 
   /// Capacitance at the destination node.
   Farads destination_cap() const;
-  /// Sum of path resistances.
+  /// Sum of path resistances.  Memoized: validate() (and therefore
+  /// every model evaluation) refreshes the cache, so hot callers that
+  /// validate first pay the element walk once per evaluation instead
+  /// of once per query.
   Ohms total_resistance() const;
-  /// Sum of path node capacitances.
+  /// Sum of path node capacitances (memoized like total_resistance()).
   Farads total_cap() const;
+
+  /// Recomputes the memoized totals from `elements` (same front-to-back
+  /// summation order as the uncached getters, so cached and uncached
+  /// reads are bit-identical).  Called by validate(); call it manually
+  /// after mutating `elements` if totals are read without a
+  /// re-validation.
+  void refresh_totals() const;
+
+ private:
+  mutable Ohms cached_total_r_ = 0.0;
+  mutable Farads cached_total_c_ = 0.0;
+  mutable bool totals_cached_ = false;
 };
 
 /// Validates stage invariants: non-empty path, trigger in range,
 /// positive resistances, non-negative caps, positive total cap,
 /// non-negative input slope.  Throws ContractViolation otherwise.
+/// Also refreshes the stage's memoized totals (it walks the elements
+/// anyway), so evaluation paths that validate first get cached totals
+/// for free.
 void validate(const Stage& stage);
 
 /// Builds the (chain-shaped) RC tree of the stage: root at the value

@@ -1,0 +1,110 @@
+// Flat structure-of-arrays storage for extracted stages: the batched
+// delay-kernel core.
+//
+// The timing analyzer's propagation loop evaluates the same stage set
+// thousands of times; a per-stage `Stage` (vector of StageElement,
+// rebuilt per evaluation) pays an allocation, a pointer chase, and a
+// re-derivation of every electrical total on each visit.  The
+// StageStore amortizes all of that once, at extraction time:
+//
+//  * element data (type / resistance / capacitance) lives in three
+//    contiguous arrays, with a per-stage [offset, offset+length) window;
+//  * every slope-independent derived quantity is cached per stage:
+//    total path resistance, total path capacitance, destination
+//    capacitance, the Elmore constant at the destination, and the RPH
+//    total time constant.  Caches are computed through exactly the same
+//    arithmetic (same summation order, same RcTree walk) as the
+//    standalone Stage/RcTree path, so model results over the store are
+//    bit-identical to scalar evaluation of the materialized stage.
+//
+// Only the trigger's input slope varies between evaluations of one
+// stage, so DelayModel::estimate_batch (delay/model.h) takes the store
+// plus parallel (stage id, input slope) spans and never materializes a
+// Stage on the specialized kernels' hot path.  materialize() rebuilds
+// the thin Stage view for tests, explain traces, and the fuzz oracles.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "delay/stage.h"
+
+namespace sldm {
+
+class StageStore {
+ public:
+  /// Index of a stage within the store (assigned densely by add()).
+  using StageId = std::uint32_t;
+
+  /// Appends a validated stage and caches its derived totals.  Throws
+  /// ContractViolation exactly like validate(stage) would.  Returns the
+  /// new stage's id (== size() before the call).
+  StageId add(const Stage& stage);
+
+  /// Drops all stages (capacity is retained for rebuilds).
+  void clear();
+
+  /// Grows capacity ahead of a bulk build.
+  void reserve(std::size_t stages, std::size_t elements);
+
+  std::size_t size() const { return offset_.size() - 1; }
+  bool empty() const { return size() == 0; }
+  std::size_t element_count() const { return elem_r_.size(); }
+
+  // --- Per-stage cached quantities (hot accessors, no recomputation).
+  Transition output_dir(StageId s) const { return output_dir_[s]; }
+  std::uint32_t length(StageId s) const {
+    return offset_[s + 1] - offset_[s];
+  }
+  std::uint32_t trigger_index(StageId s) const { return trigger_index_[s]; }
+  TransistorType trigger_type(StageId s) const { return trigger_type_[s]; }
+  /// Sum of path resistances (identical to Stage::total_resistance()).
+  Ohms total_resistance(StageId s) const { return total_r_[s]; }
+  /// Sum of path node capacitances (identical to Stage::total_cap()).
+  Farads total_cap(StageId s) const { return total_c_[s]; }
+  /// Capacitance at the destination node.
+  Farads destination_cap(StageId s) const { return dest_c_[s]; }
+  /// Elmore time constant at the destination (identical to
+  /// stage_elmore() of the materialized stage).
+  Seconds elmore(StageId s) const { return elmore_[s]; }
+  /// RPH total time constant T_P of the stage tree (identical to
+  /// to_rc_tree(stage).total_time_constant()).
+  Seconds total_time_constant(StageId s) const { return tp_[s]; }
+
+  // --- Raw element window of stage `s` (length(s) entries each).
+  const TransistorType* elem_types(StageId s) const {
+    return elem_type_.data() + offset_[s];
+  }
+  const Ohms* elem_resistances(StageId s) const {
+    return elem_r_.data() + offset_[s];
+  }
+  const Farads* elem_caps(StageId s) const {
+    return elem_c_.data() + offset_[s];
+  }
+
+  /// Materializes stage `s` as a standalone Stage with the given input
+  /// slope -- element storage of `out` is reused, so a loop-local Stage
+  /// costs no allocation at steady state.  The result is bit-identical
+  /// to the Stage the store was built from (with input_slope replaced).
+  void materialize(StageId s, Seconds input_slope, Stage& out) const;
+  Stage materialize(StageId s, Seconds input_slope) const;
+
+ private:
+  // Concatenated element arrays; stage s owns [offset_[s], offset_[s+1]).
+  std::vector<TransistorType> elem_type_;
+  std::vector<Ohms> elem_r_;
+  std::vector<Farads> elem_c_;
+  std::vector<std::uint32_t> offset_{0};
+
+  // Per-stage records.
+  std::vector<Transition> output_dir_;
+  std::vector<std::uint32_t> trigger_index_;
+  std::vector<TransistorType> trigger_type_;
+  std::vector<Ohms> total_r_;
+  std::vector<Farads> total_c_;
+  std::vector<Farads> dest_c_;
+  std::vector<Seconds> elmore_;
+  std::vector<Seconds> tp_;
+};
+
+}  // namespace sldm

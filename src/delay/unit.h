@@ -16,6 +16,11 @@ class UnitDelayModel final : public DelayModel {
 
   std::string name() const override { return "unit-delay"; }
   DelayEstimate estimate(const Stage& stage) const override;
+  /// Batch kernel: a constant fill (store stages are pre-validated).
+  void estimate_batch(const StageStore& store,
+                      std::span<const StageStore::StageId> ids,
+                      std::span<const Seconds> input_slopes,
+                      std::span<DelayEstimate> out) const override;
 
   Seconds unit() const { return unit_; }
 

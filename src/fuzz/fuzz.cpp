@@ -201,6 +201,21 @@ FuzzReport run_fuzz(const FuzzOptions& options, std::ostream& log) {
     }
 
     {
+      const OracleResult r =
+          check_batch_parity(*analyzer, options.input_slope);
+      if (!count("batch-parity", r)) {
+        const GeneratedCircuit small =
+            shrink_circuit(g, [&](const GeneratedCircuit& c) {
+              const auto an = analyze(c, model, options.input_slope);
+              return an &&
+                     !check_batch_parity(*an, options.input_slope).ok;
+            });
+        sink.record(i, "batch-parity", small, r.detail, "", iter_seed);
+        continue;
+      }
+    }
+
+    {
       const OracleResult r = check_switchsim(g, *analyzer);
       if (!count("switchsim", r)) {
         const GeneratedCircuit small =

@@ -205,6 +205,8 @@ OracleResult replay_repro(const ReproCase& c) {
   if (!r.ok) return r;
   r = check_stage_bounds(g.netlist, tech, analyzer.stages(), slope);
   if (!r.ok) return r;
+  r = check_batch_parity(analyzer, slope);
+  if (!r.ok) return r;
 
   if (!c.eco_path.empty()) {
     if (!g.input.valid()) {

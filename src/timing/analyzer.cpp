@@ -16,11 +16,9 @@ Seconds now_seconds() {
       .count();
 }
 
-/// Propagation samples the worklist depth (and closes a trace batch)
-/// every this many processed events, and times every this-many-th
-/// delay-model evaluation.  Both powers of two.
-constexpr std::size_t kQueueSampleEvery = 256;
-constexpr std::uint64_t kEvalTimeSampleEvery = 64;
+/// Below this many candidates a wavefront batch is evaluated inline:
+/// the pool handoff costs more than the evaluations save.
+constexpr std::size_t kMinParallelChunk = 128;
 
 }  // namespace
 
@@ -45,7 +43,6 @@ TimingAnalyzer::TimingAnalyzer(const Netlist& nl, const Tech& tech,
   PartitionedStages extracted =
       extract_stages_partitioned(nl, options.extract, ccc_, options.threads);
   stages_ = std::move(extracted.stages);
-  g_extract_seconds_.set(now_seconds() - t0);
   stats_.ccc_count = ccc_.count();
   stats_.widest_ccc = ccc_.widest();
   stats_.stages_per_ccc = std::move(extracted.per_ccc);
@@ -55,6 +52,8 @@ TimingAnalyzer::TimingAnalyzer(const Netlist& nl, const Tech& tech,
   span.arg("stages", static_cast<double>(stages_.size()));
   span.arg("threads", static_cast<double>(options.threads));
   index_stages_by_trigger();
+  rebuild_store();
+  g_extract_seconds_.set(now_seconds() - t0);
 }
 
 const MetricsRegistry& TimingAnalyzer::metrics() const {
@@ -64,6 +63,7 @@ const MetricsRegistry& TimingAnalyzer::metrics() const {
       .set(ctr_worklist_pushes_.value());
   metrics_.counter("propagate.arrival_updates")
       .set(ctr_arrival_updates_.value());
+  metrics_.counter("propagate.batches").set(ctr_batches_.value());
   metrics_.counter("eco.updates").set(ctr_incremental_updates_.value());
   metrics_.gauge("extract.seconds").set(g_extract_seconds_.value());
   metrics_.gauge("propagate.seconds").set(g_propagate_seconds_.value());
@@ -72,6 +72,9 @@ const MetricsRegistry& TimingAnalyzer::metrics() const {
   metrics_.gauge("eco.reextracted_stages").set(g_reextracted_stages_.value());
   metrics_.gauge("eco.reused_stages").set(g_reused_stages_.value());
   metrics_.gauge("eco.frontier_keys").set(g_frontier_keys_.value());
+  metrics_.gauge("propagate.max_batch_size").set(g_max_batch_size_.value());
+  metrics_.histogram("propagate.batch_size", 0.0, 4096.0, 16) =
+      h_batch_size_;
   metrics_.histogram("extract.stage_fan_in", 0.0, 64.0, 16) = h_fan_in_;
   metrics_.histogram("propagate.rc_path_depth", 0.0, 16.0, 16) = h_rc_depth_;
   metrics_.histogram("propagate.eval_us", 0.0, 50.0, 20) = h_eval_us_;
@@ -88,6 +91,14 @@ const AnalyzerStats& TimingAnalyzer::stats() const {
       static_cast<std::size_t>(ctr_worklist_pushes_.value());
   stats_.arrival_updates =
       static_cast<std::size_t>(ctr_arrival_updates_.value());
+  stats_.batches = static_cast<std::size_t>(ctr_batches_.value());
+  stats_.mean_batch_size =
+      stats_.batches == 0
+          ? 0.0
+          : static_cast<double>(ctr_stage_evaluations_.value()) /
+                static_cast<double>(stats_.batches);
+  stats_.max_batch_size =
+      static_cast<std::size_t>(g_max_batch_size_.value());
   stats_.incremental_updates =
       static_cast<std::size_t>(ctr_incremental_updates_.value());
   stats_.extract_seconds = g_extract_seconds_.value();
@@ -187,38 +198,131 @@ void TimingAnalyzer::run() {
                                evals_before));
 }
 
+void TimingAnalyzer::rebuild_store() {
+  TraceSpan span("build-store", "timing");
+  store_.clear();
+  std::size_t elements = 0;
+  for (const TimingStage& ts : stages_) elements += ts.path.size();
+  store_.reserve(stages_.size(), elements);
+  Stage scratch;  // element storage reused across stages
+  for (const TimingStage& ts : stages_) {
+    // The slope argument is per-evaluation state, not store state: any
+    // non-negative value yields the same stored elements.
+    make_stage(nl_, tech_, ts, /*input_slope=*/0.0, scratch);
+    store_.add(scratch);
+  }
+  span.arg("stages", static_cast<double>(store_.size()));
+  span.arg("elements", static_cast<double>(store_.element_count()));
+}
+
+void TimingAnalyzer::evaluate_batch(std::span<const StageStore::StageId> ids,
+                                    std::span<const Seconds> input_slopes,
+                                    std::span<DelayEstimate> out) {
+  const std::size_t n = ids.size();
+  if (options_.threads <= 1 || n < 2 * kMinParallelChunk) {
+    model_.estimate_batch(store_, ids, input_slopes, out);
+    return;
+  }
+  // Contiguous chunks, workers write disjoint out[] windows; chunk 0
+  // runs on the calling thread so all `threads` threads participate.
+  const std::size_t nchunks = std::min<std::size_t>(
+      static_cast<std::size_t>(options_.threads), n / kMinParallelChunk);
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.threads);
+  const auto run_chunk = [&](std::size_t c) {
+    const std::size_t begin = c * n / nchunks;
+    const std::size_t end = (c + 1) * n / nchunks;
+    TraceSpan span("propagate-chunk", "timing");
+    span.arg("evaluations", static_cast<double>(end - begin));
+    model_.estimate_batch(store_, ids.subspan(begin, end - begin),
+                          input_slopes.subspan(begin, end - begin),
+                          out.subspan(begin, end - begin));
+  };
+  for (std::size_t c = 1; c < nchunks; ++c) {
+    pool_->submit([&run_chunk, c] { run_chunk(c); });
+  }
+  try {
+    run_chunk(0);
+  } catch (...) {
+    // The workers still hold references into this frame; drain them
+    // before unwinding (their failures, if any, stay suppressed -- the
+    // inline chunk's exception already carries the diagnosis).
+    try {
+      pool_->wait();
+    } catch (...) {
+    }
+    throw;
+  }
+  pool_->wait();
+}
+
 void TimingAnalyzer::propagate(std::deque<std::uint32_t>& work,
                                std::vector<char>& queued) {
-  Stage stage;  // element storage reused across evaluations
   Tracer& tracer = Tracer::instance();
   const bool tracing = tracer.enabled();
-  double batch_t0_us = tracing ? tracer.now_us() : 0.0;
-  std::size_t batch_evaluations = 0;
-  std::size_t processed = 0;
+
+  // Wavefront buffers, reused across rounds of the drain loop.
+  std::vector<StageStore::StageId> ids;
+  std::vector<Seconds> slopes;
+  std::vector<std::uint32_t> fire_keys;
+  std::vector<Seconds> fire_times;
+  std::vector<DelayEstimate> ests;
 
   while (!work.empty()) {
-    const std::uint32_t fire_key = work.front();
-    work.pop_front();
-    queued[fire_key] = 0;
-    SLDM_ASSERT(arrival_valid_[fire_key]);
-    const Seconds t_fire = arrival_time_[fire_key];
-    const Seconds slope_fire = arrival_slope_[fire_key];
+    const double wave_t0_us = tracing ? tracer.now_us() : 0.0;
 
-    for (std::size_t s : stages_by_trigger_[fire_key]) {
+    // --- Gather: snapshot the ready frontier.  Every event currently
+    // in the worklist fires all its stages this round; candidates are
+    // priced against the arrivals as of this snapshot, and any arrival
+    // the commit phase changes re-enqueues its key into the *next*
+    // wavefront, so the drain still reaches the same canonical
+    // fixpoint as one-event-at-a-time processing.
+    const std::size_t wave_events = work.size();
+    h_queue_depth_.add(static_cast<double>(wave_events));
+    ids.clear();
+    slopes.clear();
+    fire_keys.clear();
+    fire_times.clear();
+    for (std::size_t e = 0; e < wave_events; ++e) {
+      const std::uint32_t fire_key = work.front();
+      work.pop_front();
+      queued[fire_key] = 0;
+      SLDM_ASSERT(arrival_valid_[fire_key]);
+      for (std::size_t s : stages_by_trigger_[fire_key]) {
+        ids.push_back(static_cast<StageStore::StageId>(s));
+        slopes.push_back(arrival_slope_[fire_key]);
+        fire_keys.push_back(fire_key);
+        fire_times.push_back(arrival_time_[fire_key]);
+      }
+    }
+    if (ids.empty()) continue;  // frontier of sink events
+
+    // --- Evaluate the whole wavefront through the batch kernel.
+    const std::size_t n = ids.size();
+    ests.resize(n);
+    const double eval_t0_us = tracer.now_us();
+    evaluate_batch(ids, slopes, ests);
+    h_eval_us_.add((tracer.now_us() - eval_t0_us) /
+                   static_cast<double>(n));
+    ctr_stage_evaluations_.add(n);
+    ctr_batches_.add();
+    h_batch_size_.add(static_cast<double>(n));
+    if (static_cast<double>(n) > g_max_batch_size_.value()) {
+      g_max_batch_size_.set(static_cast<double>(n));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      h_rc_depth_.add(static_cast<double>(store_.length(ids[i])));
+    }
+
+    // --- Commit sequentially in gather order (FIFO event order, then
+    // ascending stage index per event): thread-independent, so the
+    // accepted arrivals -- and the next wavefront's contents -- are
+    // bit-identical for any chunking of the evaluation above.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t s = ids[i];
       const TimingStage& ts = stages_[s];
-      make_stage(nl_, tech_, ts, slope_fire, stage);
-      // Every 64th evaluation is wall-clocked into the eval-time
-      // histogram; the other 63 pay nothing for it.
-      const bool timed =
-          ctr_stage_evaluations_.value() % kEvalTimeSampleEvery == 0;
-      const double eval_t0_us = timed ? tracer.now_us() : 0.0;
-      const DelayEstimate est = model_.estimate(stage);
-      if (timed) h_eval_us_.add(tracer.now_us() - eval_t0_us);
-      ctr_stage_evaluations_.add();
-      h_rc_depth_.add(static_cast<double>(stage.elements.size()));
-      ++batch_evaluations;
+      const std::uint32_t fire_key = fire_keys[i];
       const std::size_t dest_key = key(ts.destination, ts.output_dir);
-      const Seconds t_new = t_fire + est.delay;
+      const Seconds t_new = fire_times[i] + ests[i].delay;
       bool tie = false;
       if (arrival_valid_[dest_key]) {
         if (t_new < arrival_time_[dest_key]) continue;
@@ -246,8 +350,8 @@ void TimingAnalyzer::propagate(std::deque<std::uint32_t>& work,
                     "': arrival keeps increasing");
       }
       arrival_time_[dest_key] = t_new;
-      arrival_slope_[dest_key] = est.output_slope;
-      arrival_from_[dest_key] = static_cast<std::uint32_t>(fire_key);
+      arrival_slope_[dest_key] = ests[i].output_slope;
+      arrival_from_[dest_key] = fire_key;
       arrival_via_[dest_key] = s;
       arrival_valid_[dest_key] = 1;
       ctr_arrival_updates_.add();
@@ -258,18 +362,12 @@ void TimingAnalyzer::propagate(std::deque<std::uint32_t>& work,
       }
     }
 
-    if (++processed % kQueueSampleEvery == 0) {
-      h_queue_depth_.add(static_cast<double>(work.size()));
-      if (tracing) {
-        const double now = tracer.now_us();
-        tracer.record(
-            "propagate-batch", "timing", batch_t0_us, now - batch_t0_us,
-            {{"events", static_cast<double>(kQueueSampleEvery)},
-             {"evaluations", static_cast<double>(batch_evaluations)},
-             {"queue_depth", static_cast<double>(work.size())}});
-        batch_t0_us = now;
-      }
-      batch_evaluations = 0;
+    if (tracing) {
+      tracer.record("propagate-wave", "timing", wave_t0_us,
+                    tracer.now_us() - wave_t0_us,
+                    {{"events", static_cast<double>(wave_events)},
+                     {"evaluations", static_cast<double>(n)},
+                     {"queue_depth", static_cast<double>(work.size())}});
     }
   }
 }
@@ -378,6 +476,10 @@ void TimingAnalyzer::update() {
     g_reextracted_stages_.set(static_cast<double>(fresh_total));
     ctr_incremental_updates_.add();
     index_stages_by_trigger();
+    // The splice renumbered stages_, so the SoA mirror must follow; a
+    // full rebuild keeps store ids == stage indices (the invariant the
+    // propagation and explain paths rely on).
+    rebuild_store();
     splice_span.arg("reused", static_cast<double>(reused));
     splice_span.arg("reextracted", static_cast<double>(fresh_total));
   }

@@ -10,10 +10,24 @@
 // Pipeline: construction decomposes the netlist into channel-connected
 // components (timing/ccc.h) and extracts stages per component, fanned
 // out over AnalyzerOptions::threads workers with a deterministic merge
-// (stage indices are identical for every thread count).  Propagation
-// runs an explicit FIFO worklist with in-queue deduplication over a
-// flat structure-of-arrays arrival store.  AnalyzerStats reports where
-// the time went.
+// (stage indices are identical for every thread count).  The extracted
+// stages are then baked into a flat SoA StageStore
+// (delay/stage_store.h): every per-stage electrical quantity the models
+// need is derived once here, so propagation never rebuilds a Stage or
+// an RC tree.
+//
+// Propagation drains an explicit FIFO worklist with in-queue
+// deduplication in *wavefronts*: each round snapshots the ready
+// frontier, gathers every (stage, firing event) candidate it triggers
+// into one batch, prices the whole batch through
+// DelayModel::estimate_batch (fanned over the thread pool in contiguous
+// chunks when threads > 1), and commits the results sequentially in
+// canonical order (FIFO event order, ascending stage index per event)
+// against the flat structure-of-arrays arrival store.  Estimates are
+// pure per (stage, slope) and the commit order is thread-independent,
+// so arrivals, predecessors, and every work counter are bit-identical
+// for any AnalyzerOptions::threads.  AnalyzerStats reports where the
+// time went, including the batch shape of the run.
 //
 // Incremental (ECO) analysis: after mutating the netlist through its
 // journaled API, update() absorbs the edits instead of rebuilding —
@@ -28,14 +42,18 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "delay/model.h"
+#include "delay/stage_store.h"
 #include "timing/ccc.h"
 #include "timing/stage_extract.h"
 #include "util/metrics.h"
+#include "util/thread_pool.h"
 
 namespace sldm {
 
@@ -45,8 +63,9 @@ struct AnalyzerOptions {
   /// Safety valve: maximum times a (node, direction) arrival may be
   /// improved before the analyzer reports a structural loop.
   int max_updates_per_arrival = 64;
-  /// Worker threads for stage extraction (1 = fully sequential; results
-  /// are bit-identical for any value).  Must be >= 1.
+  /// Worker threads for stage extraction and for batched wavefront
+  /// evaluation during propagation (1 = fully sequential; results are
+  /// bit-identical for any value).  Must be >= 1.
   int threads = 1;
 };
 
@@ -71,6 +90,12 @@ struct AnalyzerStats {
   Seconds extract_seconds = 0.0;    ///< stage-extraction wall clock
   Seconds propagate_seconds = 0.0;  ///< run() wall clock
   int threads = 1;                  ///< extraction worker count used
+
+  // Batch shape of wavefront propagation.  `batches` accumulates like
+  // stage_evaluations; mean/max describe the whole analyzer lifetime.
+  std::size_t batches = 0;          ///< wavefront batches evaluated
+  double mean_batch_size = 0.0;     ///< stage_evaluations / batches
+  std::size_t max_batch_size = 0;   ///< largest single batch
 
   // Incremental (ECO) counters.  `incremental_updates` accumulates;
   // the rest describe the most recent update() call.
@@ -190,6 +215,13 @@ class TimingAnalyzer {
   /// All extracted stages (index space of ArrivalInfo::via_stage).
   const std::vector<TimingStage>& stages() const { return stages_; }
 
+  /// The SoA store propagation evaluates against: stage ids coincide
+  /// with indices into stages() (and so with ArrivalInfo::via_stage).
+  /// Rebuilt by construction and update(); explain traces and path
+  /// queries materialize stages from here instead of re-deriving them
+  /// from the netlist.
+  const StageStore& stage_store() const { return store_; }
+
   /// The channel-connected component partition extraction ran over.
   const CccPartition& components() const { return ccc_; }
 
@@ -231,8 +263,22 @@ class TimingAnalyzer {
   /// Rebuilds the trigger index over the current stages_.
   void index_stages_by_trigger();
 
-  /// Drains the worklist to fixpoint.  `queued` is the in-queue
-  /// deduplication mark, sized like the arrival arrays.
+  /// Rebuilds the SoA stage store from the current stages_ (each
+  /// netlist-level stage is resolved to its electrical form exactly
+  /// once here instead of once per evaluation).
+  void rebuild_store();
+
+  /// Prices one wavefront batch through the model's batch kernel,
+  /// fanning contiguous chunks over the thread pool when
+  /// options_.threads > 1 and the batch is large enough to pay for the
+  /// handoff.  Estimates are pure per item, so the result is identical
+  /// for any thread count or chunking.
+  void evaluate_batch(std::span<const StageStore::StageId> ids,
+                      std::span<const Seconds> input_slopes,
+                      std::span<DelayEstimate> out);
+
+  /// Drains the worklist to fixpoint in wavefront batches.  `queued` is
+  /// the in-queue deduplication mark, sized like the arrival arrays.
   void propagate(std::deque<std::uint32_t>& work, std::vector<char>& queued);
 
   const Netlist& nl_;
@@ -241,6 +287,11 @@ class TimingAnalyzer {
   AnalyzerOptions options_;
   CccPartition ccc_;
   std::vector<TimingStage> stages_;
+  /// Electrical SoA view of stages_ (same index space).
+  StageStore store_;
+  /// Lazily created pool for batched wavefront evaluation (only when
+  /// options_.threads > 1; extraction manages its own pool).
+  std::unique_ptr<ThreadPool> pool_;
   /// stages indexed by trigger gate node and gate direction.
   std::vector<std::vector<std::size_t>> stages_by_trigger_;
 
@@ -267,6 +318,7 @@ class TimingAnalyzer {
   Counter ctr_stage_evaluations_;
   Counter ctr_worklist_pushes_;
   Counter ctr_arrival_updates_;
+  Counter ctr_batches_;
   Counter ctr_incremental_updates_;
   Gauge g_extract_seconds_;
   Gauge g_propagate_seconds_;
@@ -275,7 +327,9 @@ class TimingAnalyzer {
   Gauge g_reextracted_stages_;
   Gauge g_reused_stages_;
   Gauge g_frontier_keys_;
+  Gauge g_max_batch_size_;
   Histogram h_fan_in_{0.0, 64.0, 16};
+  Histogram h_batch_size_{0.0, 4096.0, 16};
   Histogram h_rc_depth_{0.0, 16.0, 16};
   Histogram h_eval_us_{0.0, 50.0, 20};
   Histogram h_queue_depth_{0.0, 4096.0, 16};

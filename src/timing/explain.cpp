@@ -79,8 +79,8 @@ ExplainReport explain_arrival(const TimingAnalyzer& analyzer, NodeId node,
       // reproduces the committed delay bit for bit.
       const ArrivalInfo from =
           *analyzer.arrival(info.from_node, info.from_dir);
-      const Stage stage =
-          make_stage(nl, analyzer.tech(), ts, from.slope);
+      const Stage stage = analyzer.stage_store().materialize(
+          static_cast<StageStore::StageId>(info.via_stage), from.slope);
       analyzer.delay_model().estimate_audited(stage, step.audit);
       step.delay = step.audit.estimate.delay;
       step.stage = describe(nl, ts);

@@ -37,7 +37,8 @@ std::vector<TimingAnalyzer::EnumeratedPath> TimingAnalyzer::k_worst_paths(
     }
     for (std::size_t s : stages_by_trigger_[kk]) {
       const TimingStage& ts = stages_[s];
-      const Stage stage = make_stage(nl_, tech_, ts, slope);
+      const Stage stage = store_.materialize(
+          static_cast<StageStore::StageId>(s), slope);
       const DelayEstimate est = model_.estimate(stage);
       self(self, ts.destination, ts.output_dir, t + est.delay,
            est.output_slope, describe(nl_, ts));

@@ -67,6 +67,11 @@ std::string format_analyzer_stats(const Netlist& nl,
                "%zu worklist pushes, %zu arrival updates)\n",
                st.propagate_seconds * 1e3, st.stage_evaluations,
                st.worklist_pushes, st.arrival_updates);
+  if (st.batches > 0) {
+    os << format("  wavefronts : %9zu batches  (mean %.1f, max %zu "
+                 "evaluations per batch)\n",
+                 st.batches, st.mean_batch_size, st.max_batch_size);
+  }
   if (st.incremental_updates > 0) {
     os << format("  eco update : %9.3f ms  (%zu absorbed; last: %zu dirty "
                  "CCC%s, %zu reused / %zu re-extracted stages, "
@@ -105,6 +110,9 @@ std::string analyzer_stats_json(const AnalyzerStats& st) {
      << format(",\"stage_evaluations\":%zu", st.stage_evaluations)
      << format(",\"worklist_pushes\":%zu", st.worklist_pushes)
      << format(",\"arrival_updates\":%zu", st.arrival_updates)
+     << format(",\"batches\":%zu", st.batches)
+     << ",\"mean_batch_size\":" << json_number(st.mean_batch_size)
+     << format(",\"max_batch_size\":%zu", st.max_batch_size)
      << ",\"extract_seconds\":" << json_number(st.extract_seconds)
      << ",\"propagate_seconds\":" << json_number(st.propagate_seconds)
      << format(",\"threads\":%d", st.threads)
