@@ -30,8 +30,8 @@ void annotate(GeneratedCircuit& g) {
   for (DeviceId d : g.netlist.device_ids()) {
     const Transistor& t = g.netlist.device(d);
     if (t.type != TransistorType::kNEnhancement) continue;
-    const std::string& gate = g.netlist.node(t.gate).name;
-    if (gate.rfind("sh", 0) == 0) {
+    const std::string_view gate = g.netlist.node(t.gate).name;
+    if (gate.starts_with("sh")) {
       g.netlist.set_flow(d, Flow::kSourceToDrain);
     }
   }

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
   std::vector<WaveformColumn> columns;
   for (NodeId n : chain) {
     columns.push_back(
-        {g.netlist.node(n).name, &sim.at(elab.analog(n))});
+        {g.netlist.node(n).name.str(), &sim.at(elab.analog(n))});
   }
   write_waveforms_csv_file(columns, "fig7_waveforms.csv");
   write_waveforms_vcd_file(columns, ctx.tech().vdd(), "fig7_waveforms.vcd");
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     const Seconds sim_rel = *cross - (t0 + edge / 2.0);
     benchio::note_circuit(g.name, g.netlist.device_count());
     benchio::note_error_pct(100.0 * (arrival->time - sim_rel) / sim_rel);
-    table.add_row({g.netlist.node(chain[i]).name, to_string(dir),
+    table.add_row({g.netlist.node(chain[i]).name.str(), to_string(dir),
                    format("%.3f", to_ns(sim_rel)),
                    format("%.3f", to_ns(arrival->time)),
                    format("%+.3f", to_ns(arrival->time - sim_rel))});

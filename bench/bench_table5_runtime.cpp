@@ -5,9 +5,10 @@
 // circuit size.  google-benchmark measures the analyzer per model (and
 // per extraction thread count) on growing random-logic networks; the
 // simulator is timed directly (it is far too slow to iterate) and a
-// speedup table is printed at the end, followed by a thread-scaling
-// table that splits analyzer runtime into stage extraction vs arrival
-// propagation using AnalyzerStats.
+// speedup table is printed at the end, followed by a cold-vs-warm table
+// (full .sim parse + extraction against a .sldc snapshot load) and a
+// thread-scaling table that splits analyzer runtime into stage
+// extraction vs arrival propagation using AnalyzerStats.
 #include <benchmark/benchmark.h>
 
 #include "bench_io.h"
@@ -15,9 +16,16 @@
 #include <algorithm>
 #include <chrono>
 #include <iostream>
+#include <sstream>
 #include <vector>
 
+#include "calib/calibrate.h"
 #include "compare/harness.h"
+#include "delay/slope.h"
+#include "design/compiled_design.h"
+#include "design/session.h"
+#include "design/snapshot.h"
+#include "netlist/sim_io.h"
 #include "util/strings.h"
 #include "util/text_table.h"
 #include "util/thread_pool.h"
@@ -160,6 +168,75 @@ void print_thread_scaling_table() {
   std::cout << table.to_string();
 }
 
+/// Cold start vs warm start, measured as the CLI pays them.  Cold is
+/// `sldm time circuit.sim` with the default (slope) model: calibrate
+/// against the analog simulator, parse the .sim text, partition into
+/// CCCs, extract stages, propagate.  Warm is `sldm time --load`:
+/// deserialize a .sldc snapshot (StageStore restored verbatim, slope
+/// tables embedded -- no recalibration), open a Session, propagate.
+/// Both legs run from memory (string stream vs byte buffer) so the
+/// table compares pipelines, not disk caches.
+void print_cold_warm_table() {
+  const CompareContext& ctx = CompareContext::get(Style::kCmos);
+  std::cout << "\nCold start (calibrate + .sim parse + extract + analyze) "
+               "vs warm start\n(.sldc load + Session; calibration tables "
+               "embedded in the snapshot):\nbest of 5, slope model, "
+               "single thread\n\n";
+  TextTable table({"circuit", "devices", "cold (ms)", "warm (ms)",
+                   "speedup"});
+
+  std::vector<GeneratedCircuit> circuits;
+  circuits.push_back(inverter_chain(Style::kCmos, 6, 1));
+  circuits.push_back(inverter_chain(Style::kCmos, 12, 2));
+  circuits.push_back(barrel_shifter(Style::kCmos, 6));
+  circuits.push_back(inverter_chain(Style::kCmos, 24, 4));
+  circuits.push_back(random_logic(Style::kCmos, 8, 16, 0x5DC + 8u));
+  for (const GeneratedCircuit& g : circuits) {
+    std::ostringstream sim_text;
+    write_sim(g.netlist, sim_text);
+    const std::string sim = sim_text.str();
+    // Compile with the calibrated tech -- exactly what `sldm compile`
+    // bakes -- so both legs analyze the same electrical quantities.
+    const auto design = CompiledDesign::compile(g.netlist, ctx.tech());
+    const std::vector<std::uint8_t> snapshot =
+        serialize_design(*design, &ctx.calibration().tables);
+
+    using clock = std::chrono::steady_clock;
+    Seconds cold = 1e9;
+    Seconds warm = 1e9;
+    for (int i = 0; i < 5; ++i) {
+      {
+        const auto t0 = clock::now();
+        const CalibrationResult cal = calibrate(cmos3(), Style::kCmos);
+        const SlopeModel model(cal.tables);
+        std::istringstream in(sim);
+        const Netlist nl = read_sim(in, g.name);
+        TimingAnalyzer analyzer(nl, cal.tech, model);
+        analyzer.add_all_input_events(1e-9);
+        analyzer.run();
+        benchmark::DoNotOptimize(analyzer.worst_arrival(false));
+        cold = std::min(
+            cold, std::chrono::duration<double>(clock::now() - t0).count());
+      }
+      {
+        const auto t0 = clock::now();
+        const LoadedDesign loaded = deserialize_design(snapshot, g.name);
+        const SlopeModel model(*loaded.slope_tables);
+        Session session(loaded.design, model);
+        session.add_all_input_events(1e-9);
+        session.run();
+        benchmark::DoNotOptimize(session.worst_arrival(false));
+        warm = std::min(
+            warm, std::chrono::duration<double>(clock::now() - t0).count());
+      }
+    }
+    table.add_row({g.name, std::to_string(g.netlist.device_count()),
+                   format("%.4f", cold * 1e3), format("%.4f", warm * 1e3),
+                   format("%.0fx", cold / warm)});
+  }
+  std::cout << table.to_string();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -168,6 +245,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_speedup_table();
+  print_cold_warm_table();
   print_thread_scaling_table();
   return 0;
 }

@@ -14,7 +14,10 @@
 #      must append a parseable record, and `sldm time --stats --json`
 #      must report identical propagation work counters at --threads 1
 #      and --threads 4 (the wavefront determinism contract);
-#   6. a fixed-seed differential fuzzing smoke under asan (`sldm fuzz`,
+#   6. a compiled-design snapshot smoke under asan: `sldm compile` +
+#      `sldm time --load` must match the direct path byte-for-byte at
+#      1 and 4 threads, and a bit-flipped .sldc must be rejected;
+#   7. a fixed-seed differential fuzzing smoke under asan (`sldm fuzz`,
 #      200 iterations: must be clean and deterministic), plus a replay
 #      pass over the checked-in repro corpus in testdata/fuzz/.
 # Any test failure (or sanitizer report, which fails the test) aborts
@@ -108,6 +111,37 @@ if not records or "bench" not in records[0] or \
     sys.exit("bench smoke: malformed record")
 EOF
 echo "check.sh: bench --json record parsed"
+
+# Compiled-design snapshot smoke under asan: `sldm compile` then
+# `time --load` must print byte-identical timing reports to the direct
+# path at 1 and 4 threads (the .sldc round-trip contract, FORMATS.md
+# section 11), and a corrupted snapshot must be rejected by checksum.
+out/asan/examples/sldm compile "$smoke_dir/chain.sim" \
+  -o "$smoke_dir/chain.sldc" > /dev/null
+for t in 1 4; do
+  out/asan/examples/sldm time "$smoke_dir/chain.sim" --threads "$t" \
+    > "$smoke_dir/direct$t.txt" 2> /dev/null
+  out/asan/examples/sldm time --load "$smoke_dir/chain.sldc" \
+    --threads "$t" > "$smoke_dir/loaded$t.txt" 2> /dev/null
+  cmp "$smoke_dir/direct$t.txt" "$smoke_dir/loaded$t.txt" \
+    || { echo "check.sh: --load timing differs from direct at" \
+         "--threads $t" >&2; exit 1; }
+done
+python3 - "$smoke_dir/chain.sldc" <<'EOF'
+import sys
+path = sys.argv[1]
+data = bytearray(open(path, "rb").read())
+data[40] ^= 0x5A  # inside the first section payload
+open(path, "wb").write(data)
+EOF
+if out/asan/examples/sldm time --load "$smoke_dir/chain.sldc" \
+    > /dev/null 2> "$smoke_dir/corrupt.txt"; then
+  echo "check.sh: corrupted snapshot was accepted" >&2; exit 1
+fi
+grep -q 'checksum mismatch' "$smoke_dir/corrupt.txt" \
+  || { echo "check.sh: corrupted snapshot not rejected by checksum" >&2
+       exit 1; }
+echo "check.sh: snapshot compile/load parity holds, corruption rejected"
 
 # Differential fuzzing smoke under asan: a fixed-seed campaign must run
 # clean twice with byte-identical reports (determinism contract), and

@@ -35,7 +35,7 @@ Elaboration elaborate(const Netlist& nl, const Tech& tech,
     if (info.is_ground) {
       node_map[n.index()] = kGround;
     } else {
-      node_map[n.index()] = circuit.add_node(info.name);
+      node_map[n.index()] = circuit.add_node(info.name.str());
     }
   }
 

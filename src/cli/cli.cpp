@@ -16,6 +16,8 @@
 #include "delay/rctree.h"
 #include "delay/slope.h"
 #include "delay/unit.h"
+#include "design/compiled_design.h"
+#include "design/snapshot.h"
 #include "fuzz/fuzz.h"
 #include "netlist/checks.h"
 #include "netlist/eco_io.h"
@@ -63,6 +65,11 @@ Options parse_options(const std::vector<std::string>& args,
                       std::size_t first) {
   Options out;
   for (std::size_t i = first; i < args.size(); ++i) {
+    if (args[i] == "-o") {  // short form of --out
+      if (i + 1 >= args.size()) throw UsageError("option -o needs a value");
+      out.values["out"] = args[++i];
+      continue;
+    }
     if (starts_with(args[i], "--")) {
       const std::string key = args[i].substr(2);
       if (kFlagOptions.count(key) > 0) {
@@ -116,7 +123,7 @@ std::unique_ptr<DelayModel> make_model(const Options& opts, Tech& tech,
   return std::make_unique<SlopeModel>(std::move(cal.tables));
 }
 
-int cmd_check(const Options& opts, std::ostream& out) {
+int cmd_check(const Options& opts, std::ostream& out, std::ostream&) {
   if (opts.positional.size() != 1) throw UsageError("usage: check <file.sim>");
   const Netlist nl = read_sim_file(opts.positional[0]);
   const auto ds = check(nl);
@@ -125,7 +132,7 @@ int cmd_check(const Options& opts, std::ostream& out) {
   return all_ok(ds) ? 0 : 1;
 }
 
-int cmd_stats(const Options& opts, std::ostream& out) {
+int cmd_stats(const Options& opts, std::ostream& out, std::ostream&) {
   if (opts.positional.size() != 1) throw UsageError("usage: stats <file.sim>");
   const Netlist nl = read_sim_file(opts.positional[0]);
   out << to_string(compute_stats(nl));
@@ -194,6 +201,71 @@ Constraints seed_events(const Options& opts, const Netlist& nl,
   return constraints;
 }
 
+/// With --load, an explicit --tech must agree with the technology the
+/// snapshot was compiled against; anything else would silently analyze
+/// under parameters the baked caches don't reflect.
+void check_tech_override(const Options& opts, const CompiledDesign& design,
+                         const std::string& load_path) {
+  if (!opts.get("tech")) return;
+  const Tech requested = load_tech(opts);
+  if (tech_fingerprint(requested) != design.fingerprint()) {
+    throw Error("--tech '" + *opts.get("tech") +
+                "' does not match the technology compiled into " +
+                load_path + "; drop the option or recompile the snapshot");
+  }
+}
+
+/// Everything a timing command runs over, built from either a .sim
+/// positional (compile in-process, analyzer borrows the locals here)
+/// or a --load snapshot (analyzer adopts the restored design; an
+/// embedded calibration is reused instead of recalibrating).
+struct AnalysisSetup {
+  std::unique_ptr<Netlist> nl;    // direct path only
+  std::unique_ptr<Tech> tech;     // direct path only
+  std::unique_ptr<DelayModel> model;
+  std::unique_ptr<TimingAnalyzer> analyzer;
+
+  const Netlist& netlist() const { return analyzer->netlist(); }
+};
+
+AnalysisSetup open_analysis(const Options& opts, const char* usage_msg,
+                            std::size_t extra_positionals,
+                            std::ostream& err) {
+  AnalysisSetup s;
+  const auto load = opts.get("load");
+  if (opts.positional.size() != extra_positionals + (load ? 0u : 1u)) {
+    throw UsageError(usage_msg);
+  }
+  if (load) {
+    LoadedDesign loaded = load_design_file(*load);
+    check_tech_override(opts, *loaded.design, *load);
+    const std::string model_name = opts.get("model").value_or("slope");
+    if (model_name == "slope" && !opts.get("tables")) {
+      if (!loaded.slope_tables) {
+        throw Error("snapshot " + *load +
+                    " carries no calibration tables; pass --tables or "
+                    "recompile it with `sldm compile`");
+      }
+      s.model =
+          std::make_unique<SlopeModel>(std::move(*loaded.slope_tables));
+    } else {
+      // Every remaining model choice leaves the tech untouched, so the
+      // scratch copy never diverges from the design's baked one.
+      Tech scratch = loaded.design->tech();
+      s.model = make_model(opts, scratch, err);
+    }
+    s.analyzer = std::make_unique<TimingAnalyzer>(
+        std::move(loaded.design), *s.model, analyzer_options(opts));
+  } else {
+    s.nl = std::make_unique<Netlist>(read_sim_file(opts.positional[0]));
+    s.tech = std::make_unique<Tech>(load_tech(opts));
+    s.model = make_model(opts, *s.tech, err);
+    s.analyzer = std::make_unique<TimingAnalyzer>(
+        *s.nl, *s.tech, *s.model, analyzer_options(opts));
+  }
+  return s;
+}
+
 void emit_stats(const Options& opts, const Netlist& nl,
                 const TimingAnalyzer& analyzer, std::ostream& out) {
   if (!opts.flag("stats") && !opts.flag("json")) return;
@@ -205,20 +277,18 @@ void emit_stats(const Options& opts, const Netlist& nl,
 }
 
 int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
-  if (opts.positional.size() != 1) {
-    throw UsageError("usage: time <file.sim> [options]");
-  }
   TraceCapture trace(opts.get("trace"));
-  const Netlist nl = read_sim_file(opts.positional[0]);
-  Tech tech = load_tech(opts);
-  const std::unique_ptr<DelayModel> model = make_model(opts, tech, err);
-
-  TimingAnalyzer analyzer(nl, tech, *model, analyzer_options(opts));
+  const AnalysisSetup s = open_analysis(
+      opts, "usage: time <file.sim> | time --load <design.sldc> [options]",
+      0, err);
+  const Netlist& nl = s.netlist();
+  TimingAnalyzer& analyzer = *s.analyzer;
+  const DelayModel& model = *s.model;
   const Constraints constraints = seed_events(opts, nl, analyzer);
   analyzer.run();
   trace.write(out);
 
-  out << "model: " << model->name() << "\n\n"
+  out << "model: " << model.name() << "\n\n"
       << format_output_arrivals(nl, analyzer) << '\n';
   emit_stats(opts, nl, analyzer, out);
   if (constraints.required) {
@@ -244,20 +314,19 @@ int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_explain(const Options& opts, std::ostream& out, std::ostream& err) {
-  if (opts.positional.size() != 2) {
-    throw UsageError(
-        "usage: explain <file.sim> <node> [--dir rise|fall] [--json]");
-  }
-  const Netlist nl = read_sim_file(opts.positional[0]);
-  Tech tech = load_tech(opts);
-  const std::unique_ptr<DelayModel> model = make_model(opts, tech, err);
-
-  TimingAnalyzer analyzer(nl, tech, *model, analyzer_options(opts));
+  const AnalysisSetup s = open_analysis(
+      opts,
+      "usage: explain <file.sim>|--load <design.sldc> <node> "
+      "[--dir rise|fall] [--json]",
+      1, err);
+  const Netlist& nl = s.netlist();
+  TimingAnalyzer& analyzer = *s.analyzer;
   seed_events(opts, nl, analyzer);
   analyzer.run();
 
-  const auto node = nl.find_node(opts.positional[1]);
-  if (!node) throw Error("unknown node '" + opts.positional[1] + "'");
+  const std::string& node_name = opts.positional.back();
+  const auto node = nl.find_node(node_name);
+  if (!node) throw Error("unknown node '" + node_name + "'");
   std::optional<Transition> dir;
   if (const auto d = opts.get("dir")) {
     if (*d == "rise") {
@@ -272,7 +341,7 @@ int cmd_explain(const Options& opts, std::ostream& out, std::ostream& err) {
     const auto rise = analyzer.arrival(*node, Transition::kRise);
     const auto fall = analyzer.arrival(*node, Transition::kFall);
     if (!rise && !fall) {
-      throw Error("no arrival at node '" + opts.positional[1] +
+      throw Error("no arrival at node '" + node_name +
                   "'; it never switches under the declared events");
     }
     dir = (!fall || (rise && rise->time >= fall->time)) ? Transition::kRise
@@ -289,21 +358,23 @@ int cmd_explain(const Options& opts, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_eco(const Options& opts, std::ostream& out, std::ostream& err) {
-  if (opts.positional.size() != 2) {
-    throw UsageError("usage: eco <file.sim> <file.eco> [options]");
-  }
   TraceCapture trace(opts.get("trace"));
-  Netlist nl = read_sim_file(opts.positional[0]);
-  Tech tech = load_tech(opts);
-  const std::unique_ptr<DelayModel> model = make_model(opts, tech, err);
-
-  TimingAnalyzer analyzer(nl, tech, *model, analyzer_options(opts));
+  const AnalysisSetup s = open_analysis(
+      opts,
+      "usage: eco <file.sim>|--load <design.sldc> <file.eco> [options]",
+      1, err);
+  TimingAnalyzer& analyzer = *s.analyzer;
+  const DelayModel& model = *s.model;
+  // The ECO edit surface: the caller-owned netlist on the direct path,
+  // the design-owned one after --load.
+  Netlist& nl = s.nl ? *s.nl : analyzer.mutable_netlist();
+  const Tech& tech = s.tech ? *s.tech : analyzer.tech();
   seed_events(opts, nl, analyzer);
   analyzer.run();
-  out << "model: " << model->name() << "\n\nbaseline:\n"
+  out << "model: " << model.name() << "\n\nbaseline:\n"
       << format_output_arrivals(nl, analyzer) << '\n';
 
-  const std::size_t applied = apply_eco_file(opts.positional[1], nl);
+  const std::size_t applied = apply_eco_file(opts.positional.back(), nl);
   analyzer.update();
   trace.write(out);
   out << "applied " << applied << " edit(s); incremental re-timing:\n"
@@ -311,7 +382,7 @@ int cmd_eco(const Options& opts, std::ostream& out, std::ostream& err) {
   emit_stats(opts, nl, analyzer, out);
 
   if (opts.flag("verify")) {
-    TimingAnalyzer fresh(nl, tech, *model, analyzer_options(opts));
+    TimingAnalyzer fresh(nl, tech, model, analyzer_options(opts));
     seed_events(opts, nl, fresh);
     fresh.run();
     std::size_t mismatches = 0;
@@ -347,7 +418,7 @@ int cmd_eco(const Options& opts, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
-int cmd_chargeshare(const Options& opts, std::ostream& out) {
+int cmd_chargeshare(const Options& opts, std::ostream& out, std::ostream&) {
   if (opts.positional.size() != 1) {
     throw UsageError("usage: chargeshare <file.sim> [--tech ...]");
   }
@@ -365,12 +436,22 @@ int cmd_chargeshare(const Options& opts, std::ostream& out) {
   return 0;
 }
 
-int cmd_sim(const Options& opts, std::ostream& out) {
-  if (opts.positional.size() != 1) {
-    throw UsageError("usage: sim <file.sim> [options]");
+int cmd_sim(const Options& opts, std::ostream& out, std::ostream&) {
+  const auto load = opts.get("load");
+  if (opts.positional.size() != (load ? 0u : 1u)) {
+    throw UsageError(
+        "usage: sim <file.sim> | sim --load <design.sldc> [options]");
   }
-  const Netlist nl = read_sim_file(opts.positional[0]);
-  const Tech tech = load_tech(opts);
+  std::optional<LoadedDesign> loaded;
+  std::optional<Netlist> parsed;
+  if (load) {
+    loaded = load_design_file(*load);
+    check_tech_override(opts, *loaded->design, *load);
+  } else {
+    parsed = read_sim_file(opts.positional[0]);
+  }
+  const Netlist& nl = load ? loaded->design->netlist() : *parsed;
+  const Tech tech = load ? loaded->design->tech() : load_tech(opts);
 
   // Stimuli: constraints file if given, otherwise every input rises at
   // 2 ns with a 1 ns edge.
@@ -413,7 +494,7 @@ int cmd_sim(const Options& opts, std::ostream& out) {
   for (NodeId n : nl.all_nodes()) {
     const Node& info = nl.node(n);
     if (info.is_input || info.is_output || info.is_precharged) {
-      columns.push_back({info.name, &result.at(elab.analog(n))});
+      columns.push_back({info.name.str(), &result.at(elab.analog(n))});
     }
   }
   if (const auto csv = opts.get("csv")) {
@@ -436,7 +517,7 @@ int cmd_sim(const Options& opts, std::ostream& out) {
   return 0;
 }
 
-int cmd_calibrate(const Options& opts, std::ostream& out) {
+int cmd_calibrate(const Options& opts, std::ostream& out, std::ostream&) {
   if (opts.positional.size() != 1 ||
       (opts.positional[0] != "nmos" && opts.positional[0] != "cmos")) {
     throw UsageError("usage: calibrate nmos|cmos --out <prefix>");
@@ -498,11 +579,97 @@ int cmd_fuzz(const Options& opts, std::ostream& out, std::ostream& err) {
   return report.clean() ? 0 : 1;
 }
 
+int cmd_compile(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (opts.positional.size() != 1) {
+    throw UsageError(
+        "usage: compile <file.sim> -o <design.sldc> [--tech ...] "
+        "[--tables <file.slopes>] [--threads N]");
+  }
+  const auto out_path = opts.get("out");
+  if (!out_path) throw UsageError("compile needs -o <design.sldc>");
+  Netlist nl = read_sim_file(opts.positional[0]);
+  Tech tech = load_tech(opts);
+
+  // Mirror make_model's tech semantics exactly, or loaded analyses
+  // would diverge from direct ones: only the slope model calibrates,
+  // and calibration rewrites the tech's effective resistances.  The
+  // fitted tables are baked into the snapshot so a load never re-runs
+  // the calibration (which would both cost the compile's main saving
+  // and drift the tech away from the fingerprint recorded here).
+  std::optional<SlopeTables> tables;
+  if (opts.get("model").value_or("slope") == "slope") {
+    if (const auto path = opts.get("tables")) {
+      tables = SlopeTables::read_file(*path);
+    } else {
+      err << "(no --tables given; calibrating " << tech.name()
+          << " in-process)\n";
+      CalibrationResult cal = calibrate(tech, style_for(tech));
+      tech = cal.tech;
+      tables = std::move(cal.tables);
+    }
+  }
+
+  const AnalyzerOptions aopts = analyzer_options(opts);
+  const std::shared_ptr<const CompiledDesign> design =
+      CompiledDesign::compile(std::move(nl), std::move(tech),
+                              CompileOptions{aopts.extract, aopts.threads});
+  save_design_file(*design, *out_path, tables ? &*tables : nullptr);
+  out << format(
+      "compiled %zu node(s), %zu device(s) -> %zu ccc(s), %zu stage(s)\n",
+      design->netlist().node_count(), design->netlist().device_count(),
+      design->components().count(), design->stages().size());
+  out << "wrote " << *out_path << '\n';
+  return 0;
+}
+
+int cmd_version(const Options&, std::ostream& out, std::ostream&) {
+  out << "sldm " << SLDM_VERSION
+      << " (switch-level delay models, Ousterhout DAC 1984)\n"
+      << "snapshot format: .sldc version " << kSnapshotFormatVersion
+      << '\n';
+  return 0;
+}
+
+/// One row of the command registry: dispatch and usage() are both
+/// generated from this table, so a new command cannot ship without its
+/// help line.
+struct CommandSpec {
+  const char* name;
+  const char* synopsis;
+  const char* summary;
+  int (*run)(const Options&, std::ostream& out, std::ostream& err);
+};
+
+const CommandSpec kCommands[] = {
+    {"check", "check <file.sim>", "structural diagnostics", cmd_check},
+    {"stats", "stats <file.sim>", "netlist census", cmd_stats},
+    {"time", "time <file.sim>|--load <design.sldc> [options]",
+     "static timing analysis", cmd_time},
+    {"explain", "explain <file.sim>|--load <design.sldc> <node> [options]",
+     "critical-path explain trace", cmd_explain},
+    {"eco", "eco <file.sim>|--load <design.sldc> <file.eco> [options]",
+     "incremental what-if timing", cmd_eco},
+    {"chargeshare", "chargeshare <file.sim> [--tech ...]",
+     "worst-case charge-sharing report", cmd_chargeshare},
+    {"sim", "sim <file.sim>|--load <design.sldc> [options]",
+     "analog reference simulation", cmd_sim},
+    {"calibrate", "calibrate nmos|cmos --out <prefix>",
+     "fit slope tables for a technology", cmd_calibrate},
+    {"compile", "compile <file.sim> -o <design.sldc> [options]",
+     "bake a reusable compiled-design snapshot", cmd_compile},
+    {"fuzz", "fuzz [options] | fuzz --replay <case.repro|dir>",
+     "differential fuzzing campaign", cmd_fuzz},
+    {"version", "version", "engine and snapshot format versions",
+     cmd_version},
+};
+
 void usage(std::ostream& err) {
-  err << "usage: sldm "
-         "<check|stats|time|explain|eco|chargeshare|sim|calibrate|fuzz> "
-         "...\n"
-         "see src/cli/cli.h for per-command options\n";
+  err << "usage: sldm <command> [options]\n\ncommands:\n";
+  for (const CommandSpec& c : kCommands) {
+    err << format("  %-12s %s\n", c.name, c.summary)
+        << format("  %-12s   sldm %s\n", "", c.synopsis);
+  }
+  err << "\nsee src/cli/cli.h for per-command options\n";
 }
 
 }  // namespace
@@ -515,16 +682,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   }
   try {
     const Options opts = parse_options(args, 1);
-    const std::string& cmd = args[0];
-    if (cmd == "check") return cmd_check(opts, out);
-    if (cmd == "stats") return cmd_stats(opts, out);
-    if (cmd == "time") return cmd_time(opts, out, err);
-    if (cmd == "explain") return cmd_explain(opts, out, err);
-    if (cmd == "eco") return cmd_eco(opts, out, err);
-    if (cmd == "chargeshare") return cmd_chargeshare(opts, out);
-    if (cmd == "sim") return cmd_sim(opts, out);
-    if (cmd == "calibrate") return cmd_calibrate(opts, out);
-    if (cmd == "fuzz") return cmd_fuzz(opts, out, err);
+    for (const CommandSpec& c : kCommands) {
+      if (args[0] == c.name) return c.run(opts, out, err);
+    }
     usage(err);
     return 2;
   } catch (const UsageError& e) {

@@ -4,7 +4,15 @@
 //   sldm check <file.sim>                    structural diagnostics
 //   sldm stats <file.sim>                    netlist census
 //   sldm time <file.sim> [options]           timing analysis
-//        --tech nmos|cmos|<file.tech>        process (default nmos)
+//        --load <design.sldc>                analyze a compiled design
+//                                            instead of a .sim file
+//                                            (skips parse + extraction
+//                                            + recalibration; FORMATS.md
+//                                            section 11); also accepted
+//                                            by explain/eco/sim
+//        --tech nmos|cmos|<file.tech>        process (default nmos;
+//                                            with --load, must match the
+//                                            compiled fingerprint)
 //        --tables <file.slopes>              slope tables (default:
 //                                            calibrate in-process)
 //        --model slope|rc-tree|lumped|rph-upper|unit
@@ -44,7 +52,23 @@
 //        --tstop-ns <x> --csv <out.csv> --vcd <out.vcd>
 //        (inputs rise at t=2ns unless --constraints is given)
 //   sldm calibrate nmos|cmos --out <prefix>  fit + write tech/tables
+//   sldm compile <file.sim> -o <out.sldc>    bake a CompiledDesign
+//        (tech/model/threads options above)  snapshot: parse, partition,
+//                                            extract stages, cache the
+//                                            StageStore; with the slope
+//                                            model (the default) also
+//                                            calibrate and embed the
+//                                            tables so later --load runs
+//                                            never recalibrate
+//   sldm fuzz [options]                      differential fuzzing
+//        --seed <n> --iterations <n>         campaigns + repro replay
+//        --threads <n> --out <dir>           (see src/fuzz/)
+//        --replay <path>
+//   sldm version                             engine + snapshot-format
+//                                            version
 //
+// The command table in cli.cpp (kCommands) is the single source of
+// truth for dispatch and the usage() synopsis list.
 // Returns 0 on success, 1 on analysis errors, 2 on usage errors.
 #pragma once
 

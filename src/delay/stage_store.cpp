@@ -1,6 +1,7 @@
 #include "delay/stage_store.h"
 
 #include "util/contracts.h"
+#include "util/error.h"
 
 namespace sldm {
 
@@ -108,6 +109,57 @@ Stage StageStore::materialize(StageId s, Seconds input_slope) const {
   Stage stage;
   materialize(s, input_slope, stage);
   return stage;
+}
+
+StageStore::RawArrays StageStore::export_arrays() const {
+  return RawArrays{elem_type_, elem_r_,   elem_c_, offset_,
+                   output_dir_, trigger_index_, trigger_type_,
+                   total_r_,   total_c_,  dest_c_, elmore_, tp_};
+}
+
+StageStore StageStore::from_arrays(RawArrays arrays) {
+  if (arrays.offset.empty() || arrays.offset.front() != 0 ||
+      arrays.offset.back() != arrays.elem_r.size()) {
+    throw Error("stage store arrays are inconsistent: bad offset table");
+  }
+  const std::size_t stages = arrays.offset.size() - 1;
+  const std::size_t elements = arrays.elem_r.size();
+  if (arrays.elem_type.size() != elements ||
+      arrays.elem_c.size() != elements) {
+    throw Error("stage store arrays are inconsistent: element lengths");
+  }
+  if (arrays.output_dir.size() != stages ||
+      arrays.trigger_index.size() != stages ||
+      arrays.trigger_type.size() != stages ||
+      arrays.total_r.size() != stages || arrays.total_c.size() != stages ||
+      arrays.dest_c.size() != stages || arrays.elmore.size() != stages ||
+      arrays.tp.size() != stages) {
+    throw Error("stage store arrays are inconsistent: per-stage lengths");
+  }
+  for (std::size_t s = 0; s < stages; ++s) {
+    if (arrays.offset[s] > arrays.offset[s + 1]) {
+      throw Error("stage store arrays are inconsistent: bad offset table");
+    }
+    const std::uint32_t len = arrays.offset[s + 1] - arrays.offset[s];
+    if (len == 0 || arrays.trigger_index[s] >= len) {
+      throw Error(
+          "stage store arrays are inconsistent: trigger out of window");
+    }
+  }
+  StageStore store;
+  store.elem_type_ = std::move(arrays.elem_type);
+  store.elem_r_ = std::move(arrays.elem_r);
+  store.elem_c_ = std::move(arrays.elem_c);
+  store.offset_ = std::move(arrays.offset);
+  store.output_dir_ = std::move(arrays.output_dir);
+  store.trigger_index_ = std::move(arrays.trigger_index);
+  store.trigger_type_ = std::move(arrays.trigger_type);
+  store.total_r_ = std::move(arrays.total_r);
+  store.total_c_ = std::move(arrays.total_c);
+  store.dest_c_ = std::move(arrays.dest_c);
+  store.elmore_ = std::move(arrays.elmore);
+  store.tp_ = std::move(arrays.tp);
+  return store;
 }
 
 }  // namespace sldm

@@ -89,6 +89,31 @@ class StageStore {
   void materialize(StageId s, Seconds input_slope, Stage& out) const;
   Stage materialize(StageId s, Seconds input_slope) const;
 
+  /// Snapshot bridge (design/snapshot.cpp): the store's exact internal
+  /// arrays, in declaration order.  Restoring from_arrays() with an
+  /// unmodified export reproduces a bit-identical store -- the cached
+  /// doubles travel verbatim, so no electrical quantity is re-derived
+  /// on a warm start.
+  struct RawArrays {
+    std::vector<TransistorType> elem_type;
+    std::vector<Ohms> elem_r;
+    std::vector<Farads> elem_c;
+    std::vector<std::uint32_t> offset;
+    std::vector<Transition> output_dir;
+    std::vector<std::uint32_t> trigger_index;
+    std::vector<TransistorType> trigger_type;
+    std::vector<Ohms> total_r;
+    std::vector<Farads> total_c;
+    std::vector<Farads> dest_c;
+    std::vector<Seconds> elmore;
+    std::vector<Seconds> tp;
+  };
+  RawArrays export_arrays() const;
+  /// Rebuilds a store from exported arrays.  Throws Error if the shapes
+  /// are inconsistent (wrong per-stage array lengths, non-monotonic
+  /// offsets) -- the snapshot loader's last line of defense.
+  static StageStore from_arrays(RawArrays arrays);
+
  private:
   // Concatenated element arrays; stage s owns [offset_[s], offset_[s+1]).
   std::vector<TransistorType> elem_type_;

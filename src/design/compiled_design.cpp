@@ -1,0 +1,133 @@
+#include "design/compiled_design.h"
+
+#include <chrono>
+#include <cstring>
+
+#include "util/contracts.h"
+#include "util/trace.h"
+
+namespace sldm {
+namespace {
+
+Seconds now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_double(std::uint64_t hash, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof bits);
+  return fnv1a(hash, &bits, sizeof bits);
+}
+
+}  // namespace
+
+std::uint64_t tech_fingerprint(const Tech& tech) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  hash = fnv1a(hash, tech.name().data(), tech.name().size());
+  hash = fnv1a_double(hash, tech.vdd());
+  for (const TransistorType t :
+       {TransistorType::kNEnhancement, TransistorType::kNDepletion,
+        TransistorType::kPEnhancement}) {
+    const DeviceParams& p = tech.params(t);
+    hash = fnv1a_double(hash, p.vt);
+    hash = fnv1a_double(hash, p.kp);
+    hash = fnv1a_double(hash, p.lambda);
+    hash = fnv1a_double(hash, p.cox);
+    hash = fnv1a_double(hash, p.cov_w);
+    hash = fnv1a_double(hash, p.cj_w);
+    hash = fnv1a_double(hash, p.r_up_sq);
+    hash = fnv1a_double(hash, p.r_down_sq);
+  }
+  return hash;
+}
+
+std::shared_ptr<const CompiledDesign> CompiledDesign::compile(
+    Netlist nl, Tech tech, const CompileOptions& options) {
+  auto design = std::shared_ptr<CompiledDesign>(new CompiledDesign());
+  design->owned_nl_ = std::make_unique<Netlist>(std::move(nl));
+  design->owned_tech_ = std::make_unique<Tech>(std::move(tech));
+  design->nl_ = design->owned_nl_.get();
+  design->tech_ = design->owned_tech_.get();
+  design->extract_ = options.extract;
+  design->build(options.threads);
+  return design;
+}
+
+std::shared_ptr<CompiledDesign> CompiledDesign::build_over(
+    const Netlist& nl, const Tech& tech, const CompileOptions& options) {
+  auto design = std::shared_ptr<CompiledDesign>(new CompiledDesign());
+  design->nl_ = &nl;
+  design->tech_ = &tech;
+  design->extract_ = options.extract;
+  design->build(options.threads);
+  return design;
+}
+
+void CompiledDesign::build(int threads) {
+  SLDM_EXPECTS(threads >= 1);
+  TraceSpan span("extract", "timing");
+  const Seconds t0 = now_seconds();
+  ccc_.emplace(*nl_);
+  PartitionedStages extracted =
+      extract_stages_partitioned(*nl_, extract_, *ccc_, threads);
+  stages_ = std::move(extracted.stages);
+  per_ccc_ = std::move(extracted.per_ccc);
+  span.arg("cccs", static_cast<double>(ccc_->count()));
+  span.arg("stages", static_cast<double>(stages_.size()));
+  span.arg("threads", static_cast<double>(threads));
+  index_stages_by_trigger();
+  rebuild_store();
+  fingerprint_ = tech_fingerprint(*tech_);
+  built_revision_ = nl_->revision();
+  build_threads_ = threads;
+  extract_seconds_ = now_seconds() - t0;
+}
+
+void CompiledDesign::index_stages_by_trigger() {
+  stages_by_trigger_.assign(nl_->node_count() * 2,
+                            std::vector<std::size_t>());
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
+    const TimingStage& ts = stages_[s];
+    const NodeId fire_node =
+        ts.source_triggered ? ts.source : nl_->device(ts.trigger).gate;
+    stages_by_trigger_[arrival_key(fire_node, ts.trigger_gate_dir)]
+        .push_back(s);
+  }
+}
+
+void CompiledDesign::rebuild_store() {
+  TraceSpan span("build-store", "timing");
+  store_.clear();
+  std::size_t elements = 0;
+  for (const TimingStage& ts : stages_) elements += ts.path.size();
+  store_.reserve(stages_.size(), elements);
+  Stage scratch;  // element storage reused across stages
+  for (const TimingStage& ts : stages_) {
+    // The slope argument is per-evaluation state, not store state: any
+    // non-negative value yields the same stored elements.
+    make_stage(*nl_, *tech_, ts, /*input_slope=*/0.0, scratch);
+    store_.add(scratch);
+  }
+  span.arg("stages", static_cast<double>(store_.size()));
+  span.arg("elements", static_cast<double>(store_.element_count()));
+}
+
+void CompiledDesign::recount_stages_per_ccc() {
+  per_ccc_.assign(ccc_->count(), 0);
+  for (const TimingStage& ts : stages_) {
+    ++per_ccc_[ccc_->component_of(ts.destination)];
+  }
+}
+
+}  // namespace sldm

@@ -1,0 +1,72 @@
+// The .sldc compiled-design snapshot: a versioned binary serialization
+// of a CompiledDesign, so warm starts skip parse + partition +
+// extraction entirely (FORMATS.md section 11 documents the layout and
+// the versioning policy).
+//
+// Layout: a fixed header (magic, format version, technology
+// fingerprint) followed by tagged flat sections, each integrity-checked
+// independently:
+//
+//   [tag u32][payload length u64][FNV-1a-64 checksum u64][payload]
+//
+// All integers are little-endian; doubles travel as their exact IEEE-754
+// bit patterns, which is what makes a loaded design's analysis
+// bit-identical to the direct path: the StageStore's cached electrical
+// quantities are restored verbatim, never re-derived.  Structures that
+// are cheap and deterministic to rebuild (the CccPartition, the trigger
+// index) are *not* serialized -- the loader reconstructs them from the
+// netlist, trading a linear pass for a smaller, harder-to-corrupt file.
+//
+// Loads are defensive: a wrong magic, a format version from the future,
+// a short read, a checksum mismatch, or an internally inconsistent
+// payload each produce an Error naming the file and the failing
+// section.  Snapshots additionally embed the slope-model calibration
+// tables when compiled with them, so `sldm time --load` never re-runs
+// the analog calibration the compile already paid for.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "delay/slope_table.h"
+#include "design/compiled_design.h"
+
+namespace sldm {
+
+/// "SLDC", read as a little-endian u32.
+constexpr std::uint32_t kSnapshotMagic = 0x43444C53u;
+/// Current .sldc format version.  Bump on any layout change; loaders
+/// reject snapshots from the future and (for now) from every older
+/// version -- the compile step is cheap enough that migration shims
+/// are not worth their risk.
+constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// A deserialized snapshot: the design (owning its netlist and tech)
+/// plus the optional calibration payload baked at compile time.
+struct LoadedDesign {
+  std::shared_ptr<CompiledDesign> design;
+  std::optional<SlopeTables> slope_tables;
+};
+
+/// Serializes `design` (and, when given, the slope tables) to the
+/// .sldc byte layout.
+std::vector<std::uint8_t> serialize_design(const CompiledDesign& design,
+                                           const SlopeTables* tables =
+                                               nullptr);
+
+/// Parses a .sldc byte buffer.  `origin` names the source in error
+/// messages.  Throws Error on any integrity failure (see file
+/// comment).
+LoadedDesign deserialize_design(const std::vector<std::uint8_t>& bytes,
+                                const std::string& origin = "<memory>");
+
+/// File conveniences.  Throws Error if the file cannot be written /
+/// read.
+void save_design_file(const CompiledDesign& design, const std::string& path,
+                      const SlopeTables* tables = nullptr);
+LoadedDesign load_design_file(const std::string& path);
+
+}  // namespace sldm

@@ -216,6 +216,25 @@ FuzzReport run_fuzz(const FuzzOptions& options, std::ostream& log) {
     }
 
     {
+      // ISSUE acceptance: bit-identity through the .sldc round trip at
+      // one worker and at four.
+      const std::vector<int> snapshot_threads{1, 4};
+      const OracleResult r = check_snapshot_roundtrip(
+          g, snapshot_threads, options.input_slope);
+      if (!count("snapshot-roundtrip", r)) {
+        const GeneratedCircuit small =
+            shrink_circuit(g, [&](const GeneratedCircuit& c) {
+              return !check_snapshot_roundtrip(c, snapshot_threads,
+                                               options.input_slope)
+                          .ok;
+            });
+        sink.record(i, "snapshot-roundtrip", small, r.detail, "",
+                    iter_seed);
+        continue;
+      }
+    }
+
+    {
       const OracleResult r = check_switchsim(g, *analyzer);
       if (!count("switchsim", r)) {
         const GeneratedCircuit small =

@@ -8,6 +8,8 @@
 #include "delay/rctree.h"
 #include "delay/slope.h"
 #include "delay/unit.h"
+#include "design/compiled_design.h"
+#include "design/snapshot.h"
 #include "netlist/checks.h"
 #include "netlist/eco_io.h"
 #include "switchsim/simulator.h"
@@ -299,6 +301,104 @@ OracleResult check_eco_identity(const GeneratedCircuit& g,
               nl.node(n).name.c_str(), to_string(dir).c_str(), threads,
               a ? format("%.17g", a->time).c_str() : "none",
               b ? format("%.17g", b->time).c_str() : "none"));
+        }
+      }
+    }
+  }
+  return OracleResult::pass();
+}
+
+OracleResult check_snapshot_roundtrip(const GeneratedCircuit& g,
+                                      const std::vector<int>& thread_counts,
+                                      Seconds input_slope) {
+  const RcTreeModel model;
+  const Tech& tech = tech_for_style(g.style);
+
+  const std::shared_ptr<const CompiledDesign> compiled =
+      CompiledDesign::compile(g.netlist, tech);
+  LoadedDesign loaded;
+  try {
+    loaded = deserialize_design(serialize_design(*compiled),
+                                "<roundtrip:" + g.name + ">");
+  } catch (const Error& e) {
+    return OracleResult::fail(
+        std::string("snapshot-roundtrip: reload rejected its own "
+                    "serialization: ") +
+        e.what());
+  }
+  if (loaded.design->stages().size() != compiled->stages().size()) {
+    return OracleResult::fail(format(
+        "snapshot-roundtrip: %zu stage(s) reloaded vs %zu compiled",
+        loaded.design->stages().size(), compiled->stages().size()));
+  }
+
+  for (const int threads : thread_counts) {
+    AnalyzerOptions opts;
+    opts.threads = threads;
+
+    TimingAnalyzer direct(g.netlist, tech, model, opts);
+    TimingAnalyzer reloaded(loaded.design, model, opts);
+    direct.add_all_input_events(input_slope);
+    reloaded.add_all_input_events(input_slope);
+    bool direct_looped = false;
+    bool reloaded_looped = false;
+    try {
+      direct.run();
+    } catch (const Error&) {
+      direct_looped = true;
+    }
+    try {
+      reloaded.run();
+    } catch (const Error&) {
+      reloaded_looped = true;
+    }
+    if (direct_looped != reloaded_looped) {
+      return OracleResult::fail(format(
+          "snapshot-roundtrip: loop detection diverged at %d thread(s): "
+          "direct %s, reloaded %s",
+          threads, direct_looped ? "looped" : "converged",
+          reloaded_looped ? "looped" : "converged"));
+    }
+    if (direct_looped) continue;  // both looped: states are unspecified
+
+    for (NodeId n : g.netlist.all_nodes()) {
+      for (Transition dir : {Transition::kRise, Transition::kFall}) {
+        const auto a = direct.arrival(n, dir);
+        const auto b = reloaded.arrival(n, dir);
+        const bool same =
+            a.has_value() == b.has_value() &&
+            (!a || (a->time == b->time && a->slope == b->slope &&
+                    a->from_node == b->from_node &&
+                    a->from_dir == b->from_dir &&
+                    a->via_stage == b->via_stage));
+        if (!same) {
+          return OracleResult::fail(format(
+              "snapshot-roundtrip: arrival mismatch at %s %s with %d "
+              "thread(s): direct=%s reloaded=%s",
+              g.netlist.node(n).name.c_str(), to_string(dir).c_str(),
+              threads, a ? format("%.17g", a->time).c_str() : "none",
+              b ? format("%.17g", b->time).c_str() : "none"));
+        }
+      }
+    }
+
+    const auto worst = direct.worst_arrival(/*outputs_only=*/false);
+    if (worst) {
+      const auto pa = direct.critical_path(worst->node, worst->dir);
+      const auto pb = reloaded.critical_path(worst->node, worst->dir);
+      if (pa.size() != pb.size()) {
+        return OracleResult::fail(format(
+            "snapshot-roundtrip: critical path length %zu vs %zu at %d "
+            "thread(s)",
+            pa.size(), pb.size(), threads));
+      }
+      for (std::size_t i = 0; i < pa.size(); ++i) {
+        if (pa[i].node != pb[i].node || pa[i].dir != pb[i].dir ||
+            pa[i].time != pb[i].time || pa[i].slope != pb[i].slope) {
+          return OracleResult::fail(format(
+              "snapshot-roundtrip: critical path step %zu differs at %d "
+              "thread(s)",
+              i, threads));
         }
       }
     }

@@ -27,6 +27,10 @@
 //                      transient reference;
 //  * eco-identity      after an eco script, update() must be
 //                      bit-identical to a from-scratch rebuild at every
+//                      requested thread count;
+//  * snapshot-roundtrip  analysis over a compile -> serialize ->
+//                      deserialize round trip of the design must be
+//                      bit-identical to direct analysis at every
 //                      requested thread count.
 #pragma once
 
@@ -96,5 +100,14 @@ OracleResult check_eco_identity(const GeneratedCircuit& g,
                                 const std::string& eco_script,
                                 const std::vector<int>& thread_counts,
                                 Seconds input_slope);
+
+/// Compiles g.netlist into a CompiledDesign, serializes it to the
+/// .sldc byte layout, deserializes, and checks that analysis over the
+/// round-tripped design (arrivals, stage count, the worst critical
+/// path) is bit-identical to direct analysis at each entry of
+/// `thread_counts`.
+OracleResult check_snapshot_roundtrip(const GeneratedCircuit& g,
+                                      const std::vector<int>& thread_counts,
+                                      Seconds input_slope);
 
 }  // namespace sldm

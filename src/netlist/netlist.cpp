@@ -66,21 +66,53 @@ std::string to_string(Flow f) {
   return {};
 }
 
-NodeId Netlist::add_node(const std::string& name) {
+Netlist::Netlist(const Netlist& other)
+    : nodes_(other.nodes_),
+      devices_(other.devices_),
+      gated_by_(other.gated_by_),
+      channels_at_(other.channels_at_),
+      log_(other.log_) {
+  reintern_names();
+}
+
+Netlist& Netlist::operator=(const Netlist& other) {
+  if (this == &other) return *this;
+  nodes_ = other.nodes_;
+  devices_ = other.devices_;
+  gated_by_ = other.gated_by_;
+  channels_at_ = other.channels_at_;
+  log_ = other.log_;
+  names_ = Interner();
+  reintern_names();
+  return *this;
+}
+
+void Netlist::reintern_names() {
+  by_name_.clear();
+  by_name_.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i].name = names_.intern(nodes_[i].name);
+    by_name_.emplace(nodes_[i].name.view(),
+                     NodeId(static_cast<NodeId::underlying_type>(i)));
+  }
+}
+
+NodeId Netlist::add_node(std::string_view name) {
   SLDM_EXPECTS(!name.empty());
   if (auto it = by_name_.find(name); it != by_name_.end()) {
     return it->second;
   }
   const NodeId id(static_cast<NodeId::underlying_type>(nodes_.size()));
-  nodes_.push_back(Node{.name = name});
+  const Symbol interned = names_.intern(name);
+  nodes_.push_back(Node{.name = interned});
   gated_by_.emplace_back();
   channels_at_.emplace_back();
-  by_name_.emplace(name, id);
+  by_name_.emplace(interned.view(), id);
   log_.record(ChangeKind::kNodeAdded, id.value());
   return id;
 }
 
-std::optional<NodeId> Netlist::find_node(const std::string& name) const {
+std::optional<NodeId> Netlist::find_node(std::string_view name) const {
   if (auto it = by_name_.find(name); it != by_name_.end()) {
     return it->second;
   }
@@ -187,35 +219,35 @@ const std::vector<DeviceId>& Netlist::channels_at(NodeId n) const {
   return channels_at_[n.index()];
 }
 
-NodeId Netlist::mark_power(const std::string& name) {
+NodeId Netlist::mark_power(std::string_view name) {
   const NodeId id = add_node(name);
   nodes_[id.index()].is_power = true;
   log_.record(ChangeKind::kNodeRole, id.value());
   return id;
 }
 
-NodeId Netlist::mark_ground(const std::string& name) {
+NodeId Netlist::mark_ground(std::string_view name) {
   const NodeId id = add_node(name);
   nodes_[id.index()].is_ground = true;
   log_.record(ChangeKind::kNodeRole, id.value());
   return id;
 }
 
-NodeId Netlist::mark_input(const std::string& name) {
+NodeId Netlist::mark_input(std::string_view name) {
   const NodeId id = add_node(name);
   nodes_[id.index()].is_input = true;
   log_.record(ChangeKind::kNodeRole, id.value());
   return id;
 }
 
-NodeId Netlist::mark_output(const std::string& name) {
+NodeId Netlist::mark_output(std::string_view name) {
   const NodeId id = add_node(name);
   nodes_[id.index()].is_output = true;
   log_.record(ChangeKind::kNodeRoleOutput, id.value());
   return id;
 }
 
-NodeId Netlist::mark_precharged(const std::string& name) {
+NodeId Netlist::mark_precharged(std::string_view name) {
   const NodeId id = add_node(name);
   nodes_[id.index()].is_precharged = true;
   log_.record(ChangeKind::kNodeRole, id.value());

@@ -16,19 +16,22 @@
 
 #include <cstdint>
 #include <optional>
-#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "netlist/changes.h"
 #include "netlist/types.h"
+#include "util/interner.h"
 #include "util/units.h"
 
 namespace sldm {
 
 /// One electrical net.
 struct Node {
-  std::string name;
+  /// Interned view into the owning Netlist's symbol arena (stable
+  /// across netlist moves; re-interned on netlist copy).
+  Symbol name;
   /// Explicit lumped capacitance to ground (wiring + any annotated load).
   /// Device capacitances are *not* included here; Tech::node_capacitance
   /// adds gate/diffusion contributions from connected transistors.
@@ -93,12 +96,22 @@ class Netlist {
  public:
   Netlist() = default;
 
-  /// Creates a node, or returns the existing one with this name.
-  /// Postcondition: find_node(name) == returned id.
-  NodeId add_node(const std::string& name);
+  /// Copying re-interns every node name into the copy's own arena, so
+  /// the copy is fully independent of the original's lifetime.  Moves
+  /// are cheap: the arena's chunks travel by pointer, so interned
+  /// Symbols (and the by-name index) stay valid.
+  Netlist(const Netlist& other);
+  Netlist& operator=(const Netlist& other);
+  Netlist(Netlist&&) = default;
+  Netlist& operator=(Netlist&&) = default;
+
+  /// Creates a node, or returns the existing one with this name.  The
+  /// name is interned into the netlist's arena (no per-node string
+  /// allocation).  Postcondition: find_node(name) == returned id.
+  NodeId add_node(std::string_view name);
 
   /// Looks up a node by name.
-  std::optional<NodeId> find_node(const std::string& name) const;
+  std::optional<NodeId> find_node(std::string_view name) const;
 
   /// Creates a transistor.  Preconditions: all ids valid and in range;
   /// width > 0 and length > 0; source != drain (no self-loops).
@@ -147,11 +160,11 @@ class Netlist {
 
   // --- Role helpers -------------------------------------------------------
   /// Marks by name, creating the node if needed.
-  NodeId mark_power(const std::string& name);
-  NodeId mark_ground(const std::string& name);
-  NodeId mark_input(const std::string& name);
-  NodeId mark_output(const std::string& name);
-  NodeId mark_precharged(const std::string& name);
+  NodeId mark_power(std::string_view name);
+  NodeId mark_ground(std::string_view name);
+  NodeId mark_input(std::string_view name);
+  NodeId mark_output(std::string_view name);
+  NodeId mark_precharged(std::string_view name);
 
   /// True if the node is a rail (power or ground).
   bool is_rail(NodeId n) const;
@@ -173,10 +186,15 @@ class Netlist {
  private:
   void check_node(NodeId id) const;
   void check_device(DeviceId id) const;
+  /// Re-interns node names and rebuilds by_name_ (copy construction).
+  void reintern_names();
 
   std::vector<Node> nodes_;
   std::vector<Transistor> devices_;
-  std::unordered_map<std::string, NodeId> by_name_;
+  /// Owns the bytes of every node name; by_name_ keys and Node::name
+  /// view into it.
+  Interner names_;
+  std::unordered_map<std::string_view, NodeId> by_name_;
   std::vector<std::vector<DeviceId>> gated_by_;
   std::vector<std::vector<DeviceId>> channels_at_;
   ChangeLog log_;

@@ -16,397 +16,86 @@ Seconds now_seconds() {
       .count();
 }
 
-/// Below this many candidates a wavefront batch is evaluated inline:
-/// the pool handoff costs more than the evaluations save.
-constexpr std::size_t kMinParallelChunk = 128;
-
 }  // namespace
 
 TimingAnalyzer::TimingAnalyzer(const Netlist& nl, const Tech& tech,
                                const DelayModel& model,
                                AnalyzerOptions options)
-    : nl_(nl),
-      tech_(tech),
-      model_(model),
+    : design_(CompiledDesign::build_over(
+          nl, tech, CompileOptions{options.extract, options.threads})),
       options_(options),
-      ccc_(nl),
-      arrival_time_(nl.node_count() * 2, 0.0),
-      arrival_slope_(nl.node_count() * 2, 0.0),
-      arrival_from_(nl.node_count() * 2, UINT32_MAX),
-      arrival_via_(nl.node_count() * 2, SIZE_MAX),
-      arrival_valid_(nl.node_count() * 2, 0),
-      update_counts_(static_cast<std::size_t>(nl.node_count()) * 2, 0),
-      synced_revision_(nl.revision()) {
-  SLDM_EXPECTS(options.threads >= 1);
-  TraceSpan span("extract", "timing");
-  const Seconds t0 = now_seconds();
-  PartitionedStages extracted =
-      extract_stages_partitioned(nl, options.extract, ccc_, options.threads);
-  stages_ = std::move(extracted.stages);
-  stats_.ccc_count = ccc_.count();
-  stats_.widest_ccc = ccc_.widest();
-  stats_.stages_per_ccc = std::move(extracted.per_ccc);
-  stats_.stage_count = stages_.size();
-  stats_.threads = options.threads;
-  span.arg("cccs", static_cast<double>(ccc_.count()));
-  span.arg("stages", static_cast<double>(stages_.size()));
-  span.arg("threads", static_cast<double>(options.threads));
-  index_stages_by_trigger();
-  rebuild_store();
-  g_extract_seconds_.set(now_seconds() - t0);
+      session_(design_, model,
+               SessionOptions{options.max_updates_per_arrival,
+                              options.threads}) {}
+
+TimingAnalyzer::TimingAnalyzer(std::shared_ptr<CompiledDesign> design,
+                               const DelayModel& model,
+                               AnalyzerOptions options)
+    : design_(std::move(design)),
+      options_(options),
+      session_(design_, model,
+               SessionOptions{options.max_updates_per_arrival,
+                              options.threads}) {
+  options_.extract = design_->extract_options();
 }
 
-const MetricsRegistry& TimingAnalyzer::metrics() const {
-  metrics_.counter("propagate.stage_evaluations")
-      .set(ctr_stage_evaluations_.value());
-  metrics_.counter("propagate.worklist_pushes")
-      .set(ctr_worklist_pushes_.value());
-  metrics_.counter("propagate.arrival_updates")
-      .set(ctr_arrival_updates_.value());
-  metrics_.counter("propagate.batches").set(ctr_batches_.value());
-  metrics_.counter("eco.updates").set(ctr_incremental_updates_.value());
-  metrics_.gauge("extract.seconds").set(g_extract_seconds_.value());
-  metrics_.gauge("propagate.seconds").set(g_propagate_seconds_.value());
-  metrics_.gauge("eco.update_seconds").set(g_update_seconds_.value());
-  metrics_.gauge("eco.dirty_cccs").set(g_dirty_cccs_.value());
-  metrics_.gauge("eco.reextracted_stages").set(g_reextracted_stages_.value());
-  metrics_.gauge("eco.reused_stages").set(g_reused_stages_.value());
-  metrics_.gauge("eco.frontier_keys").set(g_frontier_keys_.value());
-  metrics_.gauge("propagate.max_batch_size").set(g_max_batch_size_.value());
-  metrics_.histogram("propagate.batch_size", 0.0, 4096.0, 16) =
-      h_batch_size_;
-  metrics_.histogram("extract.stage_fan_in", 0.0, 64.0, 16) = h_fan_in_;
-  metrics_.histogram("propagate.rc_path_depth", 0.0, 16.0, 16) = h_rc_depth_;
-  metrics_.histogram("propagate.eval_us", 0.0, 50.0, 20) = h_eval_us_;
-  metrics_.histogram("propagate.queue_depth", 0.0, 4096.0, 16) =
-      h_queue_depth_;
-  metrics_.histogram("eco.frontier_size", 0.0, 2048.0, 16) = h_frontier_;
-  return metrics_;
-}
-
-const AnalyzerStats& TimingAnalyzer::stats() const {
-  stats_.stage_evaluations =
-      static_cast<std::size_t>(ctr_stage_evaluations_.value());
-  stats_.worklist_pushes =
-      static_cast<std::size_t>(ctr_worklist_pushes_.value());
-  stats_.arrival_updates =
-      static_cast<std::size_t>(ctr_arrival_updates_.value());
-  stats_.batches = static_cast<std::size_t>(ctr_batches_.value());
-  stats_.mean_batch_size =
-      stats_.batches == 0
-          ? 0.0
-          : static_cast<double>(ctr_stage_evaluations_.value()) /
-                static_cast<double>(stats_.batches);
-  stats_.max_batch_size =
-      static_cast<std::size_t>(g_max_batch_size_.value());
-  stats_.incremental_updates =
-      static_cast<std::size_t>(ctr_incremental_updates_.value());
-  stats_.extract_seconds = g_extract_seconds_.value();
-  stats_.propagate_seconds = g_propagate_seconds_.value();
-  stats_.update_seconds = g_update_seconds_.value();
-  stats_.dirty_cccs = static_cast<std::size_t>(g_dirty_cccs_.value());
-  stats_.reextracted_stages =
-      static_cast<std::size_t>(g_reextracted_stages_.value());
-  stats_.reused_stages = static_cast<std::size_t>(g_reused_stages_.value());
-  stats_.frontier_keys = static_cast<std::size_t>(g_frontier_keys_.value());
-  return stats_;
-}
-
-void TimingAnalyzer::index_stages_by_trigger() {
-  stages_by_trigger_.assign(nl_.node_count() * 2,
-                            std::vector<std::size_t>());
-  for (std::size_t s = 0; s < stages_.size(); ++s) {
-    const TimingStage& ts = stages_[s];
-    const NodeId fire_node =
-        ts.source_triggered ? ts.source : nl_.device(ts.trigger).gate;
-    stages_by_trigger_[key(fire_node, ts.trigger_gate_dir)].push_back(s);
+Netlist& TimingAnalyzer::mutable_netlist() {
+  if (!design_->owns_netlist()) {
+    throw Error(
+        "mutable_netlist() on an analyzer over a borrowed netlist; "
+        "mutate the caller-owned Netlist directly");
   }
-  // Fan-in census of the *current* structure: one sample per trigger
-  // key that fires at least one stage (rebuilt, not accumulated, so
-  // the distribution tracks the latest stage set after update()).
-  h_fan_in_.reset();
-  for (const std::vector<std::size_t>& list : stages_by_trigger_) {
-    if (!list.empty()) h_fan_in_.add(static_cast<double>(list.size()));
-  }
-}
-
-std::size_t TimingAnalyzer::key(NodeId node, Transition dir) const {
-  return node.index() * 2 + (dir == Transition::kRise ? 0 : 1);
-}
-
-void TimingAnalyzer::require_not_ran(const char* what) const {
-  if (ran_) {
-    throw Error(std::string(what) +
-                " called after run(); call reset() to start a new "
-                "analysis or construct a fresh TimingAnalyzer");
-  }
-}
-
-void TimingAnalyzer::require_synced(const char* what) const {
-  if (nl_.revision() != synced_revision_) {
-    throw Error(std::string(what) +
-                " called on a stale analyzer: the netlist was mutated "
-                "since the last synchronization; call update() first");
-  }
-}
-
-void TimingAnalyzer::add_input_event(NodeId input, Transition dir,
-                                     Seconds time, Seconds slope) {
-  require_not_ran("add_input_event");
-  require_synced("add_input_event");
-  SLDM_EXPECTS(nl_.node(input).is_input);
-  SLDM_EXPECTS(slope >= 0.0);
-  const std::size_t k = key(input, dir);
-  arrival_time_[k] = time;
-  arrival_slope_[k] = slope;
-  arrival_from_[k] = UINT32_MAX;
-  arrival_via_[k] = SIZE_MAX;
-  arrival_valid_[k] = 1;
-  seeds_.push_back(static_cast<std::uint32_t>(k));
-}
-
-void TimingAnalyzer::add_all_input_events(Seconds slope) {
-  require_not_ran("add_all_input_events");
-  require_synced("add_all_input_events");
-  for (NodeId n : nl_.all_nodes()) {
-    if (!nl_.node(n).is_input) continue;
-    add_input_event(n, Transition::kRise, 0.0, slope);
-    add_input_event(n, Transition::kFall, 0.0, slope);
-  }
-}
-
-void TimingAnalyzer::run() {
-  require_not_ran("run");
-  require_synced("run");
-  ran_ = true;
-  TraceSpan span("propagate", "timing");
-  const Seconds t0 = now_seconds();
-  const std::uint64_t evals_before = ctr_stage_evaluations_.value();
-
-  // Explicit FIFO worklist of packed (node, dir) keys with in-queue
-  // deduplication: an event already awaiting processing is not enqueued
-  // again, it simply gets processed with its latest arrival.
-  std::deque<std::uint32_t> work(seeds_.begin(), seeds_.end());
-  std::vector<char> queued(arrival_valid_.size(), 0);
-  for (const std::uint32_t k : seeds_) queued[k] = 1;
-  ctr_worklist_pushes_.add(seeds_.size());
-  propagate(work, queued);
-  g_propagate_seconds_.set(now_seconds() - t0);
-  span.arg("seeds", static_cast<double>(seeds_.size()));
-  span.arg("stage_evaluations",
-           static_cast<double>(ctr_stage_evaluations_.value() -
-                               evals_before));
-}
-
-void TimingAnalyzer::rebuild_store() {
-  TraceSpan span("build-store", "timing");
-  store_.clear();
-  std::size_t elements = 0;
-  for (const TimingStage& ts : stages_) elements += ts.path.size();
-  store_.reserve(stages_.size(), elements);
-  Stage scratch;  // element storage reused across stages
-  for (const TimingStage& ts : stages_) {
-    // The slope argument is per-evaluation state, not store state: any
-    // non-negative value yields the same stored elements.
-    make_stage(nl_, tech_, ts, /*input_slope=*/0.0, scratch);
-    store_.add(scratch);
-  }
-  span.arg("stages", static_cast<double>(store_.size()));
-  span.arg("elements", static_cast<double>(store_.element_count()));
-}
-
-void TimingAnalyzer::evaluate_batch(std::span<const StageStore::StageId> ids,
-                                    std::span<const Seconds> input_slopes,
-                                    std::span<DelayEstimate> out) {
-  const std::size_t n = ids.size();
-  if (options_.threads <= 1 || n < 2 * kMinParallelChunk) {
-    model_.estimate_batch(store_, ids, input_slopes, out);
-    return;
-  }
-  // Contiguous chunks, workers write disjoint out[] windows; chunk 0
-  // runs on the calling thread so all `threads` threads participate.
-  const std::size_t nchunks = std::min<std::size_t>(
-      static_cast<std::size_t>(options_.threads), n / kMinParallelChunk);
-  if (!pool_) pool_ = std::make_unique<ThreadPool>(options_.threads);
-  const auto run_chunk = [&](std::size_t c) {
-    const std::size_t begin = c * n / nchunks;
-    const std::size_t end = (c + 1) * n / nchunks;
-    TraceSpan span("propagate-chunk", "timing");
-    span.arg("evaluations", static_cast<double>(end - begin));
-    model_.estimate_batch(store_, ids.subspan(begin, end - begin),
-                          input_slopes.subspan(begin, end - begin),
-                          out.subspan(begin, end - begin));
-  };
-  for (std::size_t c = 1; c < nchunks; ++c) {
-    pool_->submit([&run_chunk, c] { run_chunk(c); });
-  }
-  try {
-    run_chunk(0);
-  } catch (...) {
-    // The workers still hold references into this frame; drain them
-    // before unwinding (their failures, if any, stay suppressed -- the
-    // inline chunk's exception already carries the diagnosis).
-    try {
-      pool_->wait();
-    } catch (...) {
-    }
-    throw;
-  }
-  pool_->wait();
-}
-
-void TimingAnalyzer::propagate(std::deque<std::uint32_t>& work,
-                               std::vector<char>& queued) {
-  Tracer& tracer = Tracer::instance();
-  const bool tracing = tracer.enabled();
-
-  // Wavefront buffers, reused across rounds of the drain loop.
-  std::vector<StageStore::StageId> ids;
-  std::vector<Seconds> slopes;
-  std::vector<std::uint32_t> fire_keys;
-  std::vector<Seconds> fire_times;
-  std::vector<DelayEstimate> ests;
-
-  while (!work.empty()) {
-    const double wave_t0_us = tracing ? tracer.now_us() : 0.0;
-
-    // --- Gather: snapshot the ready frontier.  Every event currently
-    // in the worklist fires all its stages this round; candidates are
-    // priced against the arrivals as of this snapshot, and any arrival
-    // the commit phase changes re-enqueues its key into the *next*
-    // wavefront, so the drain still reaches the same canonical
-    // fixpoint as one-event-at-a-time processing.
-    const std::size_t wave_events = work.size();
-    h_queue_depth_.add(static_cast<double>(wave_events));
-    ids.clear();
-    slopes.clear();
-    fire_keys.clear();
-    fire_times.clear();
-    for (std::size_t e = 0; e < wave_events; ++e) {
-      const std::uint32_t fire_key = work.front();
-      work.pop_front();
-      queued[fire_key] = 0;
-      SLDM_ASSERT(arrival_valid_[fire_key]);
-      for (std::size_t s : stages_by_trigger_[fire_key]) {
-        ids.push_back(static_cast<StageStore::StageId>(s));
-        slopes.push_back(arrival_slope_[fire_key]);
-        fire_keys.push_back(fire_key);
-        fire_times.push_back(arrival_time_[fire_key]);
-      }
-    }
-    if (ids.empty()) continue;  // frontier of sink events
-
-    // --- Evaluate the whole wavefront through the batch kernel.
-    const std::size_t n = ids.size();
-    ests.resize(n);
-    const double eval_t0_us = tracer.now_us();
-    evaluate_batch(ids, slopes, ests);
-    h_eval_us_.add((tracer.now_us() - eval_t0_us) /
-                   static_cast<double>(n));
-    ctr_stage_evaluations_.add(n);
-    ctr_batches_.add();
-    h_batch_size_.add(static_cast<double>(n));
-    if (static_cast<double>(n) > g_max_batch_size_.value()) {
-      g_max_batch_size_.set(static_cast<double>(n));
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      h_rc_depth_.add(static_cast<double>(store_.length(ids[i])));
-    }
-
-    // --- Commit sequentially in gather order (FIFO event order, then
-    // ascending stage index per event): thread-independent, so the
-    // accepted arrivals -- and the next wavefront's contents -- are
-    // bit-identical for any chunking of the evaluation above.
-    for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t s = ids[i];
-      const TimingStage& ts = stages_[s];
-      const std::uint32_t fire_key = fire_keys[i];
-      const std::size_t dest_key = key(ts.destination, ts.output_dir);
-      const Seconds t_new = fire_times[i] + ests[i].delay;
-      bool tie = false;
-      if (arrival_valid_[dest_key]) {
-        if (t_new < arrival_time_[dest_key]) continue;
-        if (t_new == arrival_time_[dest_key]) {
-          // Canonical tie-break: among equal-time candidates the one
-          // with the smallest (stage index, predecessor key) wins, so
-          // the fixpoint winner is independent of processing order --
-          // the property that keeps incremental update() bit-identical
-          // to a from-scratch rebuild.
-          if (arrival_via_[dest_key] < s ||
-              (arrival_via_[dest_key] == s &&
-               arrival_from_[dest_key] <= fire_key)) {
-            continue;
-          }
-          tie = true;
-        }
-      }
-      // Tie rewrites strictly decrease the stored (stage, predecessor)
-      // pair, so they terminate on their own and don't count toward
-      // the loop bound.
-      if (!tie &&
-          ++update_counts_[dest_key] > options_.max_updates_per_arrival) {
-        throw Error("timing loop detected at node '" +
-                    nl_.node(ts.destination).name +
-                    "': arrival keeps increasing");
-      }
-      arrival_time_[dest_key] = t_new;
-      arrival_slope_[dest_key] = ests[i].output_slope;
-      arrival_from_[dest_key] = fire_key;
-      arrival_via_[dest_key] = s;
-      arrival_valid_[dest_key] = 1;
-      ctr_arrival_updates_.add();
-      if (!queued[dest_key]) {
-        queued[dest_key] = 1;
-        work.push_back(static_cast<std::uint32_t>(dest_key));
-        ctr_worklist_pushes_.add();
-      }
-    }
-
-    if (tracing) {
-      tracer.record("propagate-wave", "timing", wave_t0_us,
-                    tracer.now_us() - wave_t0_us,
-                    {{"events", static_cast<double>(wave_events)},
-                     {"evaluations", static_cast<double>(n)},
-                     {"queue_depth", static_cast<double>(work.size())}});
-    }
-  }
+  return *design_->owned_nl_;
 }
 
 void TimingAnalyzer::update() {
-  const ChangeLog& log = nl_.changes();
-  if (log.revision() == synced_revision_) return;  // already in sync
+  const Netlist& nl = design_->netlist();
+  const ChangeLog& log = nl.changes();
+  if (log.revision() == design_->built_revision_) return;  // in sync
+  // Single-writer discipline: the facade and its session hold the only
+  // two references when the design is unshared.  Any outstanding
+  // share_design() handle (another session, a snapshot writer) sees the
+  // design as immutable, so in-place ECO mutation is forbidden.
+  if (design_.use_count() > 2) {
+    throw Error(
+        "update() on a shared CompiledDesign: " +
+        std::to_string(design_.use_count() - 2) +
+        " other reference(s) outstanding; drop them or rebuild instead");
+  }
   TraceSpan span("update", "timing");
   const Seconds t0 = now_seconds();
-  const std::uint64_t since = synced_revision_;
+  const std::uint64_t since = design_->built_revision_;
+  CccPartition& ccc = *design_->ccc_;
+  std::vector<TimingStage>& stages = design_->stages_;
 
   // --- Partition sync: which components' stage sets may have changed.
   std::vector<std::size_t> dirty;
   bool grew = false;
   {
     TraceSpan sync_span("update-partition", "timing");
-    dirty = ccc_.update(nl_, log, since);
+    dirty = ccc.update(nl, log, since);
     for (std::uint64_t i = since; i < log.revision(); ++i) {
       if (log.entry(i).kind == ChangeKind::kNodeAdded) grew = true;
     }
     sync_span.arg("edits", static_cast<double>(log.revision() - since));
     sync_span.arg("dirty_cccs", static_cast<double>(dirty.size()));
   }
-  synced_revision_ = log.revision();
+  design_->built_revision_ = log.revision();
 
   // Grow the flat per-(node, dir) arrays for nodes added by the batch.
-  const std::size_t nkeys = nl_.node_count() * 2;
+  const std::size_t nkeys = nl.node_count() * 2;
   if (grew) {
-    arrival_time_.resize(nkeys, 0.0);
-    arrival_slope_.resize(nkeys, 0.0);
-    arrival_from_.resize(nkeys, UINT32_MAX);
-    arrival_via_.resize(nkeys, SIZE_MAX);
-    arrival_valid_.resize(nkeys, 0);
-    update_counts_.resize(nkeys, 0);
+    session_.arrival_time_.resize(nkeys, 0.0);
+    session_.arrival_slope_.resize(nkeys, 0.0);
+    session_.arrival_from_.resize(nkeys, UINT32_MAX);
+    session_.arrival_via_.resize(nkeys, SIZE_MAX);
+    session_.arrival_valid_.resize(nkeys, 0);
+    session_.update_counts_.resize(nkeys, 0);
   }
 
-  std::vector<char> node_dirty(nl_.node_count(), 0);
+  std::vector<char> node_dirty(nl.node_count(), 0);
   for (const std::size_t c : dirty) {
-    for (NodeId n : ccc_.members(c)) node_dirty[n.index()] = 1;
+    for (NodeId n : ccc.members(c)) node_dirty[n.index()] = 1;
   }
 
   // --- Re-extract the dirty components only (same fan-out and per-
@@ -415,7 +104,7 @@ void TimingAnalyzer::update() {
   std::size_t fresh_total = 0;
   {
     TraceSpan extract_span("update-extract", "timing");
-    fresh = extract_components(nl_, options_.extract, ccc_, dirty,
+    fresh = extract_components(nl, design_->extract_, ccc, dirty,
                                options_.threads);
     for (const auto& bucket : fresh) fresh_total += bucket.size();
     extract_span.arg("cccs", static_cast<double>(dirty.size()));
@@ -427,19 +116,19 @@ void TimingAnalyzer::update() {
   // freshly extracted ones; clean nodes keep theirs.  remap[] carries
   // surviving old stage indices to their new positions so retained
   // arrivals' via_stage links stay valid.
-  std::vector<std::size_t> remap(stages_.size(), SIZE_MAX);
+  std::vector<std::size_t> remap(stages.size(), SIZE_MAX);
   std::size_t reused = 0;
   {
     TraceSpan splice_span("update-splice", "timing");
     std::vector<TimingStage> merged;
-    merged.reserve(stages_.size() + fresh_total);
+    merged.reserve(stages.size() + fresh_total);
     std::vector<std::size_t> cursor(fresh.size(), 0);
-    std::vector<TimingStage> old = std::move(stages_);
+    std::vector<TimingStage> old = std::move(stages);
     std::size_t old_i = 0;
-    for (NodeId n : nl_.all_nodes()) {
+    for (NodeId n : nl.all_nodes()) {
       if (node_dirty[n.index()]) {
         while (old_i < old.size() && old[old_i].destination == n) ++old_i;
-        const std::size_t c = ccc_.component_of(n);
+        const std::size_t c = ccc.component_of(n);
         const auto it = std::lower_bound(dirty.begin(), dirty.end(), c);
         SLDM_ASSERT(it != dirty.end() && *it == c);
         const std::size_t b = static_cast<std::size_t>(it - dirty.begin());
@@ -461,34 +150,29 @@ void TimingAnalyzer::update() {
       }
     }
     SLDM_ASSERT(old_i == old.size());
-    stages_ = std::move(merged);
+    stages = std::move(merged);
 
-    // --- Refresh structure-dependent stats and the trigger index.
-    stats_.stages_per_ccc.assign(ccc_.count(), 0);
-    for (const TimingStage& ts : stages_) {
-      ++stats_.stages_per_ccc[ccc_.component_of(ts.destination)];
-    }
-    stats_.ccc_count = ccc_.count();
-    stats_.widest_ccc = ccc_.widest();
-    stats_.stage_count = stages_.size();
-    g_dirty_cccs_.set(static_cast<double>(dirty.size()));
-    g_reused_stages_.set(static_cast<double>(reused));
-    g_reextracted_stages_.set(static_cast<double>(fresh_total));
-    ctr_incremental_updates_.add();
-    index_stages_by_trigger();
-    // The splice renumbered stages_, so the SoA mirror must follow; a
+    // --- Refresh the structure-dependent indexes and session census.
+    design_->recount_stages_per_ccc();
+    session_.g_dirty_cccs_.set(static_cast<double>(dirty.size()));
+    session_.g_reused_stages_.set(static_cast<double>(reused));
+    session_.g_reextracted_stages_.set(static_cast<double>(fresh_total));
+    session_.ctr_incremental_updates_.add();
+    design_->index_stages_by_trigger();
+    // The splice renumbered stages, so the SoA mirror must follow; a
     // full rebuild keeps store ids == stage indices (the invariant the
     // propagation and explain paths rely on).
-    rebuild_store();
+    design_->rebuild_store();
+    session_.refresh_fan_in();
     splice_span.arg("reused", static_cast<double>(reused));
     splice_span.arg("reextracted", static_cast<double>(fresh_total));
   }
 
-  if (!ran_) {
+  if (!session_.ran_) {
     // Structure-only sync: no arrivals to repair yet (declared seeds,
     // if any, are untouched and stages carry no arrival state).
-    g_frontier_keys_.set(0.0);
-    g_update_seconds_.set(now_seconds() - t0);
+    session_.g_frontier_keys_.set(0.0);
+    session_.g_update_seconds_.set(now_seconds() - t0);
     return;
   }
 
@@ -502,18 +186,22 @@ void TimingAnalyzer::update() {
     TraceSpan invalidate_span("update-invalidate", "timing");
     std::vector<std::vector<std::uint32_t>> successors(nkeys);
     for (std::size_t k = 0; k < nkeys; ++k) {
-      if (arrival_valid_[k] && arrival_from_[k] != UINT32_MAX) {
-        successors[arrival_from_[k]].push_back(
+      if (session_.arrival_valid_[k] &&
+          session_.arrival_from_[k] != UINT32_MAX) {
+        successors[session_.arrival_from_[k]].push_back(
             static_cast<std::uint32_t>(k));
       }
     }
     std::deque<std::uint32_t> bfs;
     for (const std::size_t c : dirty) {
-      for (NodeId n : ccc_.members(c)) {
+      for (NodeId n : ccc.members(c)) {
         for (const Transition dir :
              {Transition::kRise, Transition::kFall}) {
-          const std::size_t k = key(n, dir);
-          if (arrival_valid_[k] && arrival_via_[k] == SIZE_MAX) continue;
+          const std::size_t k = arrival_key(n, dir);
+          if (session_.arrival_valid_[k] &&
+              session_.arrival_via_[k] == SIZE_MAX) {
+            continue;
+          }
           if (!damaged[k]) {
             damaged[k] = 1;
             bfs.push_back(static_cast<std::uint32_t>(k));
@@ -538,18 +226,19 @@ void TimingAnalyzer::update() {
     std::size_t invalidated = 0;
     for (std::size_t k = 0; k < nkeys; ++k) {
       if (!damaged[k]) {
-        if (arrival_valid_[k] && arrival_via_[k] != SIZE_MAX) {
-          SLDM_ASSERT(remap[arrival_via_[k]] != SIZE_MAX);
-          arrival_via_[k] = remap[arrival_via_[k]];
+        if (session_.arrival_valid_[k] &&
+            session_.arrival_via_[k] != SIZE_MAX) {
+          SLDM_ASSERT(remap[session_.arrival_via_[k]] != SIZE_MAX);
+          session_.arrival_via_[k] = remap[session_.arrival_via_[k]];
         }
         continue;
       }
-      if (arrival_valid_[k]) ++invalidated;
-      arrival_valid_[k] = 0;
-      update_counts_[k] = 0;
+      if (session_.arrival_valid_[k]) ++invalidated;
+      session_.arrival_valid_[k] = 0;
+      session_.update_counts_[k] = 0;
     }
-    g_frontier_keys_.set(static_cast<double>(invalidated));
-    h_frontier_.add(static_cast<double>(invalidated));
+    session_.g_frontier_keys_.set(static_cast<double>(invalidated));
+    session_.h_frontier_.add(static_cast<double>(invalidated));
     invalidate_span.arg("frontier_keys", static_cast<double>(invalidated));
   }
 
@@ -561,87 +250,20 @@ void TimingAnalyzer::update() {
   std::deque<std::uint32_t> work;
   std::vector<char> queued(nkeys, 0);
   for (std::size_t k = 0; k < nkeys; ++k) {
-    if (!arrival_valid_[k] || queued[k]) continue;
-    for (const std::size_t s : stages_by_trigger_[k]) {
-      const TimingStage& ts = stages_[s];
-      if (damaged[key(ts.destination, ts.output_dir)]) {
+    if (!session_.arrival_valid_[k] || queued[k]) continue;
+    for (const std::size_t s : design_->stages_by_trigger_[k]) {
+      const TimingStage& ts = stages[s];
+      if (damaged[arrival_key(ts.destination, ts.output_dir)]) {
         queued[k] = 1;
         work.push_back(static_cast<std::uint32_t>(k));
-        ctr_worklist_pushes_.add();
+        session_.ctr_worklist_pushes_.add();
         break;
       }
     }
   }
   repropagate_span.arg("seeds", static_cast<double>(work.size()));
-  propagate(work, queued);
-  g_update_seconds_.set(now_seconds() - t0);
-}
-
-void TimingAnalyzer::reset() {
-  std::fill(arrival_valid_.begin(), arrival_valid_.end(), 0);
-  std::fill(update_counts_.begin(), update_counts_.end(), 0);
-  seeds_.clear();
-  ran_ = false;
-}
-
-std::optional<ArrivalInfo> TimingAnalyzer::arrival(NodeId node,
-                                                   Transition dir) const {
-  const std::size_t k = key(node, dir);
-  if (!arrival_valid_[k]) return std::nullopt;
-  ArrivalInfo info;
-  info.time = arrival_time_[k];
-  info.slope = arrival_slope_[k];
-  if (arrival_from_[k] != UINT32_MAX) {
-    info.from_node = NodeId(arrival_from_[k] / 2);
-    info.from_dir =
-        arrival_from_[k] % 2 == 0 ? Transition::kRise : Transition::kFall;
-  }
-  info.via_stage = arrival_via_[k];
-  return info;
-}
-
-std::optional<TimingAnalyzer::Worst> TimingAnalyzer::worst_arrival(
-    bool outputs_only) const {
-  std::optional<Worst> worst;
-  for (NodeId n : nl_.all_nodes()) {
-    if (outputs_only && !nl_.node(n).is_output) continue;
-    if (nl_.node(n).is_input) continue;  // input events are seeds
-    for (Transition dir : {Transition::kRise, Transition::kFall}) {
-      const std::size_t k = key(n, dir);
-      if (!arrival_valid_[k]) continue;
-      if (!worst || arrival_time_[k] > worst->time) {
-        worst = Worst{n, dir, arrival_time_[k]};
-      }
-    }
-  }
-  return worst;
-}
-
-std::vector<PathStep> TimingAnalyzer::critical_path(NodeId node,
-                                                    Transition dir) const {
-  std::vector<PathStep> steps;
-  NodeId cur = node;
-  Transition cdir = dir;
-  // Bounded walk: each step strictly decreases arrival time, so the
-  // node-count bound can only be exceeded by corrupted predecessors.
-  for (std::size_t guard = 0; guard <= arrival_valid_.size(); ++guard) {
-    const auto info = arrival(cur, cdir);
-    SLDM_EXPECTS(info.has_value());
-    PathStep step;
-    step.node = cur;
-    step.dir = cdir;
-    step.time = info->time;
-    step.slope = info->slope;
-    step.description = info->via_stage == SIZE_MAX
-                           ? "<- input"
-                           : describe(nl_, stages_[info->via_stage]);
-    steps.push_back(std::move(step));
-    if (!info->from_node.valid()) break;
-    cur = info->from_node;
-    cdir = info->from_dir;
-  }
-  std::reverse(steps.begin(), steps.end());
-  return steps;
+  session_.propagate(work, queued);
+  session_.g_update_seconds_.set(now_seconds() - t0);
 }
 
 }  // namespace sldm

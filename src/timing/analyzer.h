@@ -1,59 +1,36 @@
-// The Crystal-style static timing analyzer.
+// The Crystal-style static timing analyzer, as a facade over the
+// compiled-design / session split.
 //
-// Worst-case arrival times (and slopes) are propagated from the declared
-// input events through the extracted stages to a fixpoint: an event at a
-// gate node fires every stage it triggers, each stage's delay model
-// estimate produces a candidate (time, slope) at the stage destination,
-// and the latest candidate wins.  Critical paths are recovered by
-// walking the recorded predecessors.
+// Construction compiles the netlist into an immutable CompiledDesign
+// (design/compiled_design.h: CCC partition, per-component stage
+// extraction fanned over AnalyzerOptions::threads workers with a
+// deterministic merge, and the baked StageStore) and attaches one
+// Session (design/session.h) that owns all mutable analysis state.
+// Every query -- arrivals, critical paths, k-worst enumeration, stats,
+// metrics -- delegates to that session, so results are bit-identical
+// to driving the two layers directly.
 //
-// Pipeline: construction decomposes the netlist into channel-connected
-// components (timing/ccc.h) and extracts stages per component, fanned
-// out over AnalyzerOptions::threads workers with a deterministic merge
-// (stage indices are identical for every thread count).  The extracted
-// stages are then baked into a flat SoA StageStore
-// (delay/stage_store.h): every per-stage electrical quantity the models
-// need is derived once here, so propagation never rebuilds a Stage or
-// an RC tree.
-//
-// Propagation drains an explicit FIFO worklist with in-queue
-// deduplication in *wavefronts*: each round snapshots the ready
-// frontier, gathers every (stage, firing event) candidate it triggers
-// into one batch, prices the whole batch through
-// DelayModel::estimate_batch (fanned over the thread pool in contiguous
-// chunks when threads > 1), and commits the results sequentially in
-// canonical order (FIFO event order, ascending stage index per event)
-// against the flat structure-of-arrays arrival store.  Estimates are
-// pure per (stage, slope) and the commit order is thread-independent,
-// so arrivals, predecessors, and every work counter are bit-identical
-// for any AnalyzerOptions::threads.  AnalyzerStats reports where the
-// time went, including the batch shape of the run.
-//
-// Incremental (ECO) analysis: after mutating the netlist through its
-// journaled API, update() absorbs the edits instead of rebuilding —
-// only dirty components are re-extracted (spliced into the globally
-// ordered stage vector), only arrivals reachable from the damage are
-// invalidated (frontier walk over the recorded predecessor keys), and
-// re-propagation starts from the frontier instead of from all seeds.
+// The facade earns its keep on the ECO path: update() is the single
+// sanctioned writer of a CompiledDesign.  After mutating the netlist
+// through its journaled API, update() absorbs the edits instead of
+// rebuilding -- only dirty components are re-extracted (spliced into
+// the globally ordered stage vector), only arrivals reachable from the
+// damage are invalidated (frontier walk over the recorded predecessor
+// keys), and re-propagation starts from the frontier instead of from
+// all seeds.  Because other sessions may be borrowing the design,
+// update() refuses to run while share_design() handles are outstanding.
 // Invariant (enforced by tests/eco_timing_test.cpp): the analyzer state
 // after update() is bit-identical to a freshly constructed-and-run
 // analyzer over the mutated netlist.
 #pragma once
 
-#include <cstdint>
-#include <deque>
 #include <memory>
 #include <optional>
-#include <span>
 #include <string>
 #include <vector>
 
-#include "delay/model.h"
-#include "delay/stage_store.h"
-#include "timing/ccc.h"
-#include "timing/stage_extract.h"
-#include "util/metrics.h"
-#include "util/thread_pool.h"
+#include "design/compiled_design.h"
+#include "design/session.h"
 
 namespace sldm {
 
@@ -69,89 +46,43 @@ struct AnalyzerOptions {
   int threads = 1;
 };
 
-/// Observability counters for one analyzer lifetime: where did the time
-/// go (extraction vs propagation), and how much work did each phase do.
-/// Counter fields accumulate across run()/reset() cycles; wall-clock
-/// fields hold the most recent phase execution.
-///
-/// This struct is a *view*: the analyzer stores its work counters and
-/// phase timings in plain Counter/Gauge/Histogram members (also
-/// exported by name through TimingAnalyzer::metrics(), which
-/// additionally carries distribution histograms), and stats() refreshes
-/// these fields from those members on each call.
-struct AnalyzerStats {
-  std::size_t ccc_count = 0;        ///< channel-connected components
-  std::size_t widest_ccc = 0;       ///< member nodes in the largest CCC
-  std::vector<std::size_t> stages_per_ccc;  ///< indexed by CCC id
-  std::size_t stage_count = 0;      ///< total extracted stages
-  std::size_t stage_evaluations = 0;  ///< delay-model calls during run()
-  std::size_t worklist_pushes = 0;  ///< events enqueued (incl. seeds)
-  std::size_t arrival_updates = 0;  ///< arrival improvements committed
-  Seconds extract_seconds = 0.0;    ///< stage-extraction wall clock
-  Seconds propagate_seconds = 0.0;  ///< run() wall clock
-  int threads = 1;                  ///< extraction worker count used
-
-  // Batch shape of wavefront propagation.  `batches` accumulates like
-  // stage_evaluations; mean/max describe the whole analyzer lifetime.
-  std::size_t batches = 0;          ///< wavefront batches evaluated
-  double mean_batch_size = 0.0;     ///< stage_evaluations / batches
-  std::size_t max_batch_size = 0;   ///< largest single batch
-
-  // Incremental (ECO) counters.  `incremental_updates` accumulates;
-  // the rest describe the most recent update() call.
-  std::size_t incremental_updates = 0;  ///< update() calls absorbed
-  std::size_t dirty_cccs = 0;           ///< components re-extracted
-  std::size_t reextracted_stages = 0;   ///< stages rebuilt by update()
-  std::size_t reused_stages = 0;        ///< stages carried over untouched
-  std::size_t frontier_keys = 0;        ///< (node, dir) arrivals invalidated
-  Seconds update_seconds = 0.0;         ///< update() wall clock
-};
-
-/// Final arrival data at one (node, transition).
-struct ArrivalInfo {
-  Seconds time = 0.0;
-  Seconds slope = 0.0;
-  /// Predecessor event (invalid node for primary-input events).
-  NodeId from_node = NodeId::invalid();
-  Transition from_dir = Transition::kRise;
-  /// Index into TimingAnalyzer::stages() of the stage that set this
-  /// arrival; SIZE_MAX for primary-input events.
-  std::size_t via_stage = SIZE_MAX;
-};
-
-/// One step of a reported critical path.
-struct PathStep {
-  NodeId node;
-  Transition dir;
-  Seconds time;
-  Seconds slope;
-  std::string description;  ///< stage description ("<- input" for seeds)
-};
-
 class TimingAnalyzer {
  public:
-  /// Extracts all stages up-front (per channel-connected component,
-  /// over options.threads workers).  `nl`, `tech`, and `model` must
-  /// outlive the analyzer.
+  /// Compiles the design up-front (per channel-connected component,
+  /// over options.threads workers) and attaches a session.  `nl`,
+  /// `tech`, and `model` must outlive the analyzer.
   TimingAnalyzer(const Netlist& nl, const Tech& tech, const DelayModel& model,
                  AnalyzerOptions options = {});
+
+  /// Adopts an already-compiled design (e.g. loaded from a .sldc
+  /// snapshot) instead of compiling: options.extract is ignored in
+  /// favor of the design's own extraction options.  `model` must
+  /// outlive the analyzer.  ECO updates through this analyzer require
+  /// the design to own its netlist (snapshot loads do) and to not be
+  /// shared with other sessions.
+  TimingAnalyzer(std::shared_ptr<CompiledDesign> design,
+                 const DelayModel& model, AnalyzerOptions options = {});
 
   /// Declares a primary-input event.  Precondition: `input` is marked
   /// is_input; slope >= 0.  May be called repeatedly before run().
   /// Throws Error if run() already completed (reset() first).
   void add_input_event(NodeId input, Transition dir, Seconds time,
-                       Seconds slope);
+                       Seconds slope) {
+    session_.add_input_event(input, dir, time, slope);
+  }
 
   /// Convenience: both transitions on every input at t=0 with `slope`
   /// (full worst-case analysis).  Same post-run() Error as
   /// add_input_event.
-  void add_all_input_events(Seconds slope);
+  void add_all_input_events(Seconds slope) {
+    session_.add_all_input_events(slope);
+  }
 
   /// Propagates to fixpoint.  Throws Error if a structural loop exceeds
   /// the update bound, or if run() already completed (reset() first),
   /// or if the netlist was mutated since the analyzer synchronized
   /// (update() first).
-  void run();
+  void run() { session_.run(); }
 
   /// Absorbs all netlist mutations since the analyzer last
   /// synchronized (construction or previous update()): synchronizes the
@@ -162,185 +93,99 @@ class TimingAnalyzer {
   /// constructed analyzer over the mutated netlist with the same input
   /// events (and run(), if this analyzer had run).  No-op when already
   /// in sync.  Throws Error for edits the incremental pipeline cannot
-  /// absorb (power/ground/input/precharge role changes) and for timing
-  /// loops, exactly like construction + run() would.
+  /// absorb (power/ground/input/precharge role changes), for timing
+  /// loops exactly like construction + run() would, and when the design
+  /// is shared (outstanding share_design() handles -- the immutability
+  /// other sessions rely on forbids in-place mutation).
   void update();
 
   /// Discards arrivals and seeds so a new set of input events can be
   /// analyzed without re-extracting stages.  Wall-clock stats of the
   /// extraction phase are kept; propagation counters keep accumulating.
-  void reset();
+  void reset() { session_.reset(); }
 
   /// Arrival at (node, dir), if the node can switch that way at all.
-  std::optional<ArrivalInfo> arrival(NodeId node, Transition dir) const;
+  std::optional<ArrivalInfo> arrival(NodeId node, Transition dir) const {
+    return session_.arrival(node, dir);
+  }
 
   /// The latest arrival over all nodes (or only output-marked nodes).
-  struct Worst {
-    NodeId node;
-    Transition dir;
-    Seconds time;
-  };
-  std::optional<Worst> worst_arrival(bool outputs_only) const;
+  using Worst = Session::Worst;
+  std::optional<Worst> worst_arrival(bool outputs_only) const {
+    return session_.worst_arrival(outputs_only);
+  }
 
   /// The chain of events ending at (node, dir), input first.
   /// Precondition: arrival(node, dir) has a value.
-  std::vector<PathStep> critical_path(NodeId node, Transition dir) const;
+  std::vector<PathStep> critical_path(NodeId node, Transition dir) const {
+    return session_.critical_path(node, dir);
+  }
 
-  /// Limits for k_worst_paths().
-  struct PathQueryOptions {
-    std::size_t max_explored = 200000;  ///< DFS work bound
-    int max_length = 64;                ///< events per path
-  };
-
-  /// One enumerated event path (input seed first).
-  struct EnumeratedPath {
-    std::vector<PathStep> steps;
-    Seconds arrival = 0.0;  ///< arrival of the final event
-  };
+  using PathQueryOptions = Session::PathQueryOptions;
+  using EnumeratedPath = Session::EnumeratedPath;
 
   /// The k latest-arriving distinct event paths ending at (node, dir),
-  /// sorted latest first -- Crystal's "show me the N worst paths".
-  /// Slopes are propagated along each candidate path independently, so
-  /// alternative paths get their own slope history (unlike the arrival
-  /// fixpoint, which keeps only the worst predecessor).
+  /// sorted latest first (see Session::k_worst_paths).
   /// Precondition: run() has completed; k >= 1.
   std::vector<EnumeratedPath> k_worst_paths(
       NodeId node, Transition dir, std::size_t k,
-      const PathQueryOptions& options) const;
+      const PathQueryOptions& options) const {
+    return session_.k_worst_paths(node, dir, k, options);
+  }
   std::vector<EnumeratedPath> k_worst_paths(NodeId node, Transition dir,
                                             std::size_t k) const {
-    return k_worst_paths(node, dir, k, PathQueryOptions());
+    return session_.k_worst_paths(node, dir, k);
   }
 
   /// All extracted stages (index space of ArrivalInfo::via_stage).
-  const std::vector<TimingStage>& stages() const { return stages_; }
+  const std::vector<TimingStage>& stages() const {
+    return design_->stages();
+  }
 
   /// The SoA store propagation evaluates against: stage ids coincide
   /// with indices into stages() (and so with ArrivalInfo::via_stage).
-  /// Rebuilt by construction and update(); explain traces and path
-  /// queries materialize stages from here instead of re-deriving them
-  /// from the netlist.
-  const StageStore& stage_store() const { return store_; }
+  const StageStore& stage_store() const { return design_->stage_store(); }
 
   /// The channel-connected component partition extraction ran over.
-  const CccPartition& components() const { return ccc_; }
+  const CccPartition& components() const { return design_->components(); }
 
   /// The analyzed netlist / technology / delay model (explain traces
   /// re-evaluate stages through these).
-  const Netlist& netlist() const { return nl_; }
-  const Tech& tech() const { return tech_; }
-  const DelayModel& delay_model() const { return model_; }
+  const Netlist& netlist() const { return design_->netlist(); }
+  /// Mutable access to a design-owned netlist (snapshot loads), the
+  /// ECO edit surface for adopted designs.  Throws Error when the
+  /// design borrows the caller's netlist -- mutate that one instead.
+  Netlist& mutable_netlist();
+  const Tech& tech() const { return design_->tech(); }
+  const DelayModel& delay_model() const { return session_.delay_model(); }
+
+  /// The immutable compiled artifact this analyzer drives.  Additional
+  /// Sessions may borrow it concurrently; while any such handle is
+  /// outstanding, update() refuses to mutate the design.
+  std::shared_ptr<const CompiledDesign> share_design() const {
+    return design_;
+  }
+
+  /// The attached session (the mutable half of this analyzer).
+  Session& session() { return session_; }
+  const Session& session() const { return session_; }
 
   /// Phase timings and work counters (see AnalyzerStats); refreshed
   /// from the metrics registry on each call.
-  const AnalyzerStats& stats() const;
+  const AnalyzerStats& stats() const { return session_.stats(); }
 
-  /// The named metric registry: counters, phase-timing gauges, and
-  /// distribution histograms (stage fan-in, RC path depth, sampled
-  /// delay-model evaluation time, worklist queue depth, ECO frontier
-  /// size).  Names are listed in FORMATS.md.  Materialized from the
-  /// plain metric members on each call, so observers pay for the name
-  /// table and the hot paths do not; the reference stays valid (and is
-  /// re-refreshed by later calls) for the analyzer's lifetime.
-  const MetricsRegistry& metrics() const;
+  /// The named metric registry (names listed in FORMATS.md).
+  const MetricsRegistry& metrics() const { return session_.metrics(); }
 
   /// Work counter for the Table 5 runtime comparison.
   std::size_t stage_evaluations() const {
-    return static_cast<std::size_t>(ctr_stage_evaluations_.value());
+    return session_.stage_evaluations();
   }
 
  private:
-  /// Flat arrival key: (node, dir) -> node * 2 + dir.
-  std::size_t key(NodeId node, Transition dir) const;
-
-  /// Requires that run() has not completed yet (Error otherwise).
-  void require_not_ran(const char* what) const;
-
-  /// Requires that the netlist is at the revision the analyzer last
-  /// synchronized to (Error pointing at update() otherwise).
-  void require_synced(const char* what) const;
-
-  /// Rebuilds the trigger index over the current stages_.
-  void index_stages_by_trigger();
-
-  /// Rebuilds the SoA stage store from the current stages_ (each
-  /// netlist-level stage is resolved to its electrical form exactly
-  /// once here instead of once per evaluation).
-  void rebuild_store();
-
-  /// Prices one wavefront batch through the model's batch kernel,
-  /// fanning contiguous chunks over the thread pool when
-  /// options_.threads > 1 and the batch is large enough to pay for the
-  /// handoff.  Estimates are pure per item, so the result is identical
-  /// for any thread count or chunking.
-  void evaluate_batch(std::span<const StageStore::StageId> ids,
-                      std::span<const Seconds> input_slopes,
-                      std::span<DelayEstimate> out);
-
-  /// Drains the worklist to fixpoint in wavefront batches.  `queued` is
-  /// the in-queue deduplication mark, sized like the arrival arrays.
-  void propagate(std::deque<std::uint32_t>& work, std::vector<char>& queued);
-
-  const Netlist& nl_;
-  const Tech& tech_;
-  const DelayModel& model_;
+  std::shared_ptr<CompiledDesign> design_;
   AnalyzerOptions options_;
-  CccPartition ccc_;
-  std::vector<TimingStage> stages_;
-  /// Electrical SoA view of stages_ (same index space).
-  StageStore store_;
-  /// Lazily created pool for batched wavefront evaluation (only when
-  /// options_.threads > 1; extraction manages its own pool).
-  std::unique_ptr<ThreadPool> pool_;
-  /// stages indexed by trigger gate node and gate direction.
-  std::vector<std::vector<std::size_t>> stages_by_trigger_;
-
-  // Arrival store: structure-of-arrays keyed by key(node, dir).  The
-  // hot propagation loop touches time_/slope_/valid_ only; predecessor
-  // bookkeeping lives in parallel arrays instead of an optional-of-
-  // struct so the inner loop stays on dense doubles.
-  std::vector<Seconds> arrival_time_;
-  std::vector<Seconds> arrival_slope_;
-  std::vector<std::uint32_t> arrival_from_;  ///< packed key; UINT32_MAX none
-  std::vector<std::size_t> arrival_via_;     ///< stage idx; SIZE_MAX seeds
-  std::vector<char> arrival_valid_;
-
-  std::vector<int> update_counts_;
-  std::vector<std::uint32_t> seeds_;  ///< packed keys, insertion order
-  bool ran_ = false;
-  /// Netlist revision the stages/partition reflect.
-  std::uint64_t synced_revision_ = 0;
-
-  // Metric storage: plain members, so constructing an analyzer and the
-  // hot loops pay a field update and never a map lookup or a string
-  // allocation.  metrics() materializes these into the named registry
-  // below on demand.
-  Counter ctr_stage_evaluations_;
-  Counter ctr_worklist_pushes_;
-  Counter ctr_arrival_updates_;
-  Counter ctr_batches_;
-  Counter ctr_incremental_updates_;
-  Gauge g_extract_seconds_;
-  Gauge g_propagate_seconds_;
-  Gauge g_update_seconds_;
-  Gauge g_dirty_cccs_;
-  Gauge g_reextracted_stages_;
-  Gauge g_reused_stages_;
-  Gauge g_frontier_keys_;
-  Gauge g_max_batch_size_;
-  Histogram h_fan_in_{0.0, 64.0, 16};
-  Histogram h_batch_size_{0.0, 4096.0, 16};
-  Histogram h_rc_depth_{0.0, 16.0, 16};
-  Histogram h_eval_us_{0.0, 50.0, 20};
-  Histogram h_queue_depth_{0.0, 4096.0, 16};
-  Histogram h_frontier_{0.0, 2048.0, 16};
-
-  /// Named export refreshed from the members above by metrics().
-  mutable MetricsRegistry metrics_;
-
-  /// View refreshed from the metric members by stats(); structural
-  /// fields (ccc_count, stage counts, threads) are maintained directly.
-  mutable AnalyzerStats stats_;
+  Session session_;
 };
 
 }  // namespace sldm

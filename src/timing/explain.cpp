@@ -35,10 +35,10 @@ std::string audit_json(const DelayAudit& audit) {
 
 }  // namespace
 
-ExplainReport explain_arrival(const TimingAnalyzer& analyzer, NodeId node,
+ExplainReport explain_arrival(const Session& session, NodeId node,
                               Transition dir) {
-  const Netlist& nl = analyzer.netlist();
-  if (!analyzer.arrival(node, dir)) {
+  const Netlist& nl = session.netlist();
+  if (!session.arrival(node, dir)) {
     throw Error("no arrival at node '" + nl.node(node).name + "' " +
                 to_string(dir) + "; nothing to explain");
   }
@@ -51,7 +51,7 @@ ExplainReport explain_arrival(const TimingAnalyzer& analyzer, NodeId node,
   for (std::size_t guard = 0;; ++guard) {
     SLDM_ASSERT(guard <= 2 * nl.node_count());
     chain.emplace_back(cur, cdir);
-    const auto info = analyzer.arrival(cur, cdir);
+    const auto info = session.arrival(cur, cdir);
     SLDM_EXPECTS(info.has_value());
     if (!info->from_node.valid()) break;
     cur = info->from_node;
@@ -61,10 +61,10 @@ ExplainReport explain_arrival(const TimingAnalyzer& analyzer, NodeId node,
   ExplainReport report;
   report.node = node;
   report.dir = dir;
-  report.arrival = analyzer.arrival(node, dir)->time;
+  report.arrival = session.arrival(node, dir)->time;
   report.steps.reserve(chain.size());
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    const ArrivalInfo info = *analyzer.arrival(it->first, it->second);
+    const ArrivalInfo info = *session.arrival(it->first, it->second);
     ExplainStep step;
     step.node = it->first;
     step.dir = it->second;
@@ -73,21 +73,26 @@ ExplainReport explain_arrival(const TimingAnalyzer& analyzer, NodeId node,
     if (info.via_stage == SIZE_MAX) {
       step.is_seed = true;
     } else {
-      const TimingStage& ts = analyzer.stages()[info.via_stage];
+      const TimingStage& ts = session.stages()[info.via_stage];
       // The predecessor's committed slope is exactly what fed this
       // stage during propagation, so the audited re-evaluation
       // reproduces the committed delay bit for bit.
       const ArrivalInfo from =
-          *analyzer.arrival(info.from_node, info.from_dir);
-      const Stage stage = analyzer.stage_store().materialize(
+          *session.arrival(info.from_node, info.from_dir);
+      const Stage stage = session.stage_store().materialize(
           static_cast<StageStore::StageId>(info.via_stage), from.slope);
-      analyzer.delay_model().estimate_audited(stage, step.audit);
+      session.delay_model().estimate_audited(stage, step.audit);
       step.delay = step.audit.estimate.delay;
       step.stage = describe(nl, ts);
     }
     report.steps.push_back(std::move(step));
   }
   return report;
+}
+
+ExplainReport explain_arrival(const TimingAnalyzer& analyzer, NodeId node,
+                              Transition dir) {
+  return explain_arrival(analyzer.session(), node, dir);
 }
 
 std::string format_explain(const Netlist& nl, const ExplainReport& report) {

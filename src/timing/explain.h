@@ -46,8 +46,12 @@ struct ExplainReport {
 
 /// Walks the stored predecessor links from (node, dir) back to its seed
 /// and re-evaluates every stage on the path through estimate_audited.
-/// Preconditions: the analyzer has run and arrival(node, dir) has a
+/// Preconditions: the session has run and arrival(node, dir) has a
 /// value (Error otherwise).
+ExplainReport explain_arrival(const Session& session, NodeId node,
+                              Transition dir);
+
+/// Facade form over the analyzer's attached session.
 ExplainReport explain_arrival(const TimingAnalyzer& analyzer, NodeId node,
                               Transition dir);
 

@@ -1,20 +1,25 @@
-// K-worst-path enumeration: the analyzer's fixpoint keeps only the
+// K-worst-path enumeration: the session's fixpoint keeps only the
 // single worst predecessor per (node, transition); this pass re-walks
 // the stage graph forward from the input seeds, carrying an independent
 // (time, slope) history per candidate path, and reports the k latest
 // distinct event chains ending at a target.
 #include <algorithm>
 
-#include "timing/analyzer.h"
+#include "design/session.h"
 #include "util/contracts.h"
 
 namespace sldm {
 
-std::vector<TimingAnalyzer::EnumeratedPath> TimingAnalyzer::k_worst_paths(
+std::vector<Session::EnumeratedPath> Session::k_worst_paths(
     NodeId node, Transition dir, std::size_t k,
     const PathQueryOptions& options) const {
   SLDM_EXPECTS(ran_);
   SLDM_EXPECTS(k >= 1);
+  const Netlist& nl = design_->netlist();
+  const std::vector<TimingStage>& stages = design_->stages();
+  const StageStore& store = design_->stage_store();
+  const std::vector<std::vector<std::size_t>>& by_trigger =
+      design_->stages_by_trigger();
   const std::size_t target = key(node, dir);
 
   std::vector<EnumeratedPath> found;
@@ -35,13 +40,13 @@ std::vector<TimingAnalyzer::EnumeratedPath> TimingAnalyzer::k_worst_paths(
     if (kk == target) {
       found.push_back(EnumeratedPath{steps, t});
     }
-    for (std::size_t s : stages_by_trigger_[kk]) {
-      const TimingStage& ts = stages_[s];
-      const Stage stage = store_.materialize(
+    for (std::size_t s : by_trigger[kk]) {
+      const TimingStage& ts = stages[s];
+      const Stage stage = store.materialize(
           static_cast<StageStore::StageId>(s), slope);
       const DelayEstimate est = model_.estimate(stage);
       self(self, ts.destination, ts.output_dir, t + est.delay,
-           est.output_slope, describe(nl_, ts));
+           est.output_slope, describe(nl, ts));
     }
     steps.pop_back();
     on_path[kk] = false;

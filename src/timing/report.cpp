@@ -28,7 +28,7 @@ std::string format_output_arrivals(const Netlist& nl,
     if (!nl.node(n).is_output) continue;
     const auto rise = analyzer.arrival(n, Transition::kRise);
     const auto fall = analyzer.arrival(n, Transition::kFall);
-    table.add_row({nl.node(n).name,
+    table.add_row({nl.node(n).name.str(),
                    rise ? format("%.3f", to_ns(rise->time)) : "-",
                    fall ? format("%.3f", to_ns(fall->time)) : "-"});
   }
@@ -44,7 +44,7 @@ std::string format_all_arrivals(const Netlist& nl,
     const auto rise = analyzer.arrival(n, Transition::kRise);
     const auto fall = analyzer.arrival(n, Transition::kFall);
     if (!rise && !fall) continue;
-    table.add_row({nl.node(n).name,
+    table.add_row({nl.node(n).name.str(),
                    rise ? format("%.3f", to_ns(rise->time)) : "-",
                    rise ? format("%.3f", to_ns(rise->slope)) : "-",
                    fall ? format("%.3f", to_ns(fall->time)) : "-",
@@ -96,7 +96,7 @@ std::string format_analyzer_stats(const Netlist& nl,
                    std::to_string(ccc.members(c).size()),
                    std::to_string(ccc.device_count(c)),
                    std::to_string(st.stages_per_ccc[c]),
-                   nl.node(ccc.members(c).front()).name});
+                   nl.node(ccc.members(c).front()).name.str()});
   }
   os << table.to_string();
   return os.str();

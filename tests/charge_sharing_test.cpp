@@ -137,7 +137,7 @@ TEST(ChargeSharing, PredictionMatchesAnalogSimulator) {
   for (NodeId n : g.netlist.node_ids()) {
     const Node& info = g.netlist.node(n);
     if (!info.is_input) continue;
-    const bool is_select = info.name.rfind("sel", 0) == 0;
+    const bool is_select = info.name.view().starts_with("sel");
     stimuli.push_back({n, PwlSource::dc(is_select ? tech.vdd() : 0.0)});
   }
   const Elaboration e = elaborate(g.netlist, tech, stimuli);

@@ -302,5 +302,109 @@ TEST(Cli, ExplainUsageAndErrors) {
   EXPECT_NE(r.err.find("error"), std::string::npos);
 }
 
+TEST(Cli, VersionReportsEngineAndSnapshotFormat) {
+  const CliRun r = run({"version"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("sldm "), std::string::npos);
+  EXPECT_NE(r.out.find(".sldc"), std::string::npos);
+}
+
+TEST(Cli, UsageListsEveryCommand) {
+  const CliRun r = run({});
+  EXPECT_EQ(r.code, 2);
+  for (const char* cmd :
+       {"check", "stats", "time", "explain", "eco", "chargeshare", "sim",
+        "calibrate", "compile", "fuzz", "version"}) {
+    EXPECT_NE(r.err.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+/// A compiled snapshot deleted at scope exit.
+class TempSnapshot {
+ public:
+  TempSnapshot(const std::string& sim_path,
+               std::vector<std::string> extra_args = {})
+      : path_("/tmp/sldm_cli_test_design.sldc") {
+    std::vector<std::string> args{"compile", sim_path, "-o", path_,
+                                  "--model", "rc-tree"};
+    for (auto& a : extra_args) args.push_back(std::move(a));
+    compile_ = run(args);
+  }
+  ~TempSnapshot() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+  const CliRun& compile_result() const { return compile_; }
+
+ private:
+  std::string path_;
+  CliRun compile_;
+};
+
+TEST(Cli, CompileThenLoadMatchesDirectTiming) {
+  TempFile f("inv.sim", kInverterSim);
+  TempSnapshot snapshot(f.path());
+  ASSERT_EQ(snapshot.compile_result().code, 0)
+      << snapshot.compile_result().err;
+  EXPECT_NE(snapshot.compile_result().out.find("wrote"),
+            std::string::npos);
+
+  const CliRun direct = run({"time", f.path(), "--model", "rc-tree"});
+  const CliRun loaded =
+      run({"time", "--load", snapshot.path(), "--model", "rc-tree"});
+  ASSERT_EQ(direct.code, 0) << direct.err;
+  ASSERT_EQ(loaded.code, 0) << loaded.err;
+  EXPECT_EQ(direct.out, loaded.out);
+}
+
+TEST(Cli, LoadedSlopeTimingSkipsRecalibration) {
+  TempFile f("inv.sim", kInverterSim);
+  // Default model: compile calibrates once and embeds the tables.
+  const std::string path = "/tmp/sldm_cli_test_slope.sldc";
+  ASSERT_EQ(run({"compile", f.path(), "-o", path}).code, 0);
+  const CliRun direct = run({"time", f.path()});
+  const CliRun loaded = run({"time", "--load", path});
+  std::remove(path.c_str());
+  ASSERT_EQ(direct.code, 0) << direct.err;
+  ASSERT_EQ(loaded.code, 0) << loaded.err;
+  EXPECT_EQ(direct.out, loaded.out);
+  // The direct run calibrates in-process; the loaded one must not.
+  EXPECT_NE(direct.err.find("calibrating"), std::string::npos);
+  EXPECT_EQ(loaded.err.find("calibrating"), std::string::npos);
+}
+
+TEST(Cli, LoadWithMismatchedTechIsError) {
+  TempFile f("inv.sim", kInverterSim);
+  TempSnapshot snapshot(f.path());  // default tech: nmos
+  ASSERT_EQ(snapshot.compile_result().code, 0);
+  const CliRun r = run({"time", "--load", snapshot.path(), "--tech",
+                        "cmos", "--model", "rc-tree"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("does not match"), std::string::npos);
+}
+
+TEST(Cli, EcoOverLoadedSnapshotVerifies) {
+  TempFile f("inv.sim", kInverterSim);
+  TempFile eco("load.eco", "cap out 0.05\n");
+  TempSnapshot snapshot(f.path());
+  ASSERT_EQ(snapshot.compile_result().code, 0);
+  const CliRun r = run({"eco", "--load", snapshot.path(), eco.path(),
+                        "--model", "rc-tree", "--verify"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("bit-identical"), std::string::npos);
+}
+
+TEST(Cli, CompileUsageErrors) {
+  TempFile f("inv.sim", kInverterSim);
+  EXPECT_EQ(run({"compile", f.path()}).code, 2);  // missing -o
+  EXPECT_EQ(run({"compile", "-o", "/tmp/x.sldc"}).code, 2);  // no input
+}
+
+TEST(Cli, LoadingGarbageIsAnalysisError) {
+  TempFile junk("junk.sldc", "this is not a snapshot");
+  const CliRun r = run({"time", "--load", junk.path(), "--model",
+                        "rc-tree"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("not a .sldc"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace sldm

@@ -1,0 +1,248 @@
+// The .sldc compiled-design snapshot (FORMATS.md section 11):
+// analysis over a serialize -> deserialize round trip must be
+// bit-identical to direct analysis -- arrivals, critical paths, and
+// explain traces, across every generator family at 1 and 4 threads --
+// and corrupted, truncated, or version-skewed files must be rejected
+// with an Error naming the problem.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "delay/rctree.h"
+#include "delay/slope.h"
+#include "design/compiled_design.h"
+#include "design/snapshot.h"
+#include "gen/generators.h"
+#include "tech/tech.h"
+#include "timing/analyzer.h"
+#include "timing/explain.h"
+#include "util/error.h"
+
+namespace sldm {
+namespace {
+
+constexpr Seconds kSlope = 1e-9;
+
+const Tech& tech_for(const GeneratedCircuit& g) {
+  static const Tech nmos = nmos4();
+  static const Tech cmos = cmos3();
+  return g.style == Style::kNmos ? nmos : cmos;
+}
+
+/// One circuit per generator family in src/gen (same roster as
+/// tests/parallel_timing_test.cpp).
+std::vector<GeneratedCircuit> generator_suite() {
+  std::vector<GeneratedCircuit> out;
+  out.push_back(inverter_chain(Style::kCmos, 8, 3));
+  out.push_back(inverter_chain(Style::kNmos, 6, 2));
+  out.push_back(nand_chain(Style::kCmos, 3));
+  out.push_back(nor_chain(Style::kNmos, 3));
+  out.push_back(pass_chain(Style::kNmos, 5));
+  out.push_back(barrel_shifter(Style::kCmos, 4));
+  out.push_back(manchester_carry(Style::kNmos, 6));
+  out.push_back(precharged_bus(Style::kCmos, 5));
+  out.push_back(driver_chain(Style::kCmos, 4, 2.5, 80.0));
+  out.push_back(address_decoder(Style::kCmos, 3));
+  out.push_back(pla(Style::kCmos, 4, 5, 3, 0x1234));
+  out.push_back(shift_register(Style::kCmos, 3));
+  out.push_back(sram_read_column(Style::kNmos, 6));
+  out.push_back(random_logic(Style::kCmos, 6, 10, 0xABCD));
+  return out;
+}
+
+std::vector<std::uint8_t> snapshot_of(const GeneratedCircuit& g) {
+  const auto design = CompiledDesign::compile(g.netlist, tech_for(g));
+  return serialize_design(*design);
+}
+
+void expect_load_error(std::vector<std::uint8_t> bytes,
+                       const std::string& expected_substring) {
+  try {
+    deserialize_design(bytes, "<test>");
+    FAIL() << "load succeeded; expected an Error mentioning '"
+           << expected_substring << "'";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(expected_substring),
+              std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(Snapshot, RoundTripIsBitIdenticalAcrossGeneratorFamilies) {
+  const RcTreeModel model;
+  for (const GeneratedCircuit& g : generator_suite()) {
+    SCOPED_TRACE(g.name);
+    const Tech& tech = tech_for(g);
+    const LoadedDesign loaded =
+        deserialize_design(snapshot_of(g), g.name);
+    ASSERT_NE(loaded.design, nullptr);
+    EXPECT_EQ(loaded.design->extract_seconds(), 0.0);
+    EXPECT_EQ(loaded.design->fingerprint(), tech_fingerprint(tech));
+
+    for (const int threads : {1, 4}) {
+      AnalyzerOptions opts;
+      opts.threads = threads;
+      TimingAnalyzer direct(g.netlist, tech, model, opts);
+      TimingAnalyzer reloaded(loaded.design, model, opts);
+      direct.add_all_input_events(kSlope);
+      reloaded.add_all_input_events(kSlope);
+      direct.run();
+      reloaded.run();
+
+      ASSERT_EQ(direct.stages().size(), reloaded.stages().size());
+      for (NodeId n : g.netlist.all_nodes()) {
+        for (Transition dir : {Transition::kRise, Transition::kFall}) {
+          const auto a = direct.arrival(n, dir);
+          const auto b = reloaded.arrival(n, dir);
+          ASSERT_EQ(a.has_value(), b.has_value())
+              << g.netlist.node(n).name << ' ' << to_string(dir)
+              << " at " << threads << " thread(s)";
+          if (!a) continue;
+          EXPECT_EQ(a->time, b->time);
+          EXPECT_EQ(a->slope, b->slope);
+          EXPECT_EQ(a->from_node, b->from_node);
+          EXPECT_EQ(a->from_dir, b->from_dir);
+          EXPECT_EQ(a->via_stage, b->via_stage);
+        }
+      }
+
+      const auto worst = direct.worst_arrival(/*outputs_only=*/false);
+      ASSERT_TRUE(worst.has_value());
+      const auto pa = direct.critical_path(worst->node, worst->dir);
+      const auto pb = reloaded.critical_path(worst->node, worst->dir);
+      ASSERT_EQ(pa.size(), pb.size());
+      for (std::size_t i = 0; i < pa.size(); ++i) {
+        EXPECT_EQ(pa[i].node, pb[i].node);
+        EXPECT_EQ(pa[i].dir, pb[i].dir);
+        EXPECT_EQ(pa[i].time, pb[i].time);
+        EXPECT_EQ(pa[i].slope, pb[i].slope);
+        EXPECT_EQ(pa[i].description, pb[i].description);
+      }
+
+      const ExplainReport ea =
+          explain_arrival(direct, worst->node, worst->dir);
+      const ExplainReport eb =
+          explain_arrival(reloaded, worst->node, worst->dir);
+      EXPECT_EQ(ea.arrival, eb.arrival);
+      ASSERT_EQ(ea.steps.size(), eb.steps.size());
+      for (std::size_t i = 0; i < ea.steps.size(); ++i) {
+        EXPECT_EQ(ea.steps[i].node, eb.steps[i].node);
+        EXPECT_EQ(ea.steps[i].arrival, eb.steps[i].arrival);
+        EXPECT_EQ(ea.steps[i].slope, eb.steps[i].slope);
+        EXPECT_EQ(ea.steps[i].delay, eb.steps[i].delay);
+        EXPECT_EQ(ea.steps[i].stage, eb.steps[i].stage);
+      }
+    }
+  }
+}
+
+TEST(Snapshot, FileRoundTripPreservesEmbeddedSlopeTables) {
+  const GeneratedCircuit g = nand_chain(Style::kCmos, 3);
+  const Tech& tech = tech_for(g);
+  const auto design = CompiledDesign::compile(g.netlist, tech);
+  const SlopeTables tables = SlopeTables::unit();
+  const std::string path = "/tmp/sldm_snapshot_test.sldc";
+  save_design_file(*design, path, &tables);
+  const LoadedDesign loaded = load_design_file(path);
+  std::remove(path.c_str());
+
+  ASSERT_TRUE(loaded.slope_tables.has_value());
+  const SlopeModel direct_model(SlopeTables::unit());
+  const SlopeModel loaded_model(*loaded.slope_tables);
+  TimingAnalyzer direct(g.netlist, tech, direct_model);
+  TimingAnalyzer reloaded(loaded.design, loaded_model);
+  direct.add_all_input_events(kSlope);
+  reloaded.add_all_input_events(kSlope);
+  direct.run();
+  reloaded.run();
+  const auto a = direct.worst_arrival(true);
+  const auto b = reloaded.worst_arrival(true);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(a->time, b->time);
+}
+
+TEST(Snapshot, LoadedDesignSupportsEcoUpdates) {
+  const GeneratedCircuit g = inverter_chain(Style::kCmos, 5, 2);
+  LoadedDesign loaded = deserialize_design(snapshot_of(g), g.name);
+  const RcTreeModel model;
+  // Moved in, not copied: a handle left outstanding would (correctly)
+  // make update() refuse under the single-writer discipline.
+  TimingAnalyzer analyzer(std::move(loaded.design), model);
+  analyzer.add_all_input_events(kSlope);
+  analyzer.run();
+
+  Netlist& nl = analyzer.mutable_netlist();
+  nl.set_capacitance(*nl.find_node("s2"), 25e-15);
+  analyzer.update();
+
+  TimingAnalyzer fresh(nl, tech_for(g), model);
+  fresh.add_all_input_events(kSlope);
+  fresh.run();
+  for (NodeId n : nl.all_nodes()) {
+    for (Transition dir : {Transition::kRise, Transition::kFall}) {
+      const auto a = analyzer.arrival(n, dir);
+      const auto b = fresh.arrival(n, dir);
+      ASSERT_EQ(a.has_value(), b.has_value());
+      if (!a) continue;
+      EXPECT_EQ(a->time, b->time);
+      EXPECT_EQ(a->slope, b->slope);
+    }
+  }
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  auto bytes = snapshot_of(inverter_chain(Style::kCmos, 3, 1));
+  bytes[0] ^= 0xFF;
+  expect_load_error(std::move(bytes), "not a .sldc");
+}
+
+TEST(Snapshot, RejectsFutureFormatVersion) {
+  auto bytes = snapshot_of(inverter_chain(Style::kCmos, 3, 1));
+  bytes[4] = static_cast<std::uint8_t>(kSnapshotFormatVersion + 1);
+  expect_load_error(std::move(bytes), "not supported");
+}
+
+TEST(Snapshot, RejectsFlippedPayloadByte) {
+  auto bytes = snapshot_of(inverter_chain(Style::kCmos, 3, 1));
+  // Header is 16 bytes, each section header 20; flip a byte inside the
+  // first (TECH) section payload.
+  bytes[16 + 20 + 3] ^= 0x01;
+  expect_load_error(std::move(bytes), "checksum mismatch");
+}
+
+TEST(Snapshot, RejectsTruncatedFile) {
+  auto bytes = snapshot_of(inverter_chain(Style::kCmos, 3, 1));
+  bytes.resize(bytes.size() - 7);
+  expect_load_error(std::move(bytes), "truncated");
+}
+
+TEST(Snapshot, RejectsHeaderShorterThanFixedFields) {
+  auto bytes = snapshot_of(inverter_chain(Style::kCmos, 3, 1));
+  bytes.resize(10);
+  expect_load_error(std::move(bytes), "truncated");
+}
+
+TEST(Snapshot, RejectsTechFingerprintMismatch) {
+  auto bytes = snapshot_of(inverter_chain(Style::kCmos, 3, 1));
+  // Corrupt the claimed fingerprint (header bytes 8..15); the embedded
+  // TECH section no longer hashes to it.
+  bytes[8] ^= 0xA5;
+  expect_load_error(std::move(bytes), "fingerprint");
+}
+
+TEST(Snapshot, ErrorsNameTheOrigin) {
+  auto bytes = snapshot_of(inverter_chain(Style::kCmos, 3, 1));
+  bytes.resize(bytes.size() - 7);
+  try {
+    deserialize_design(bytes, "designs/adder.sldc");
+    FAIL() << "expected an Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("designs/adder.sldc"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sldm
