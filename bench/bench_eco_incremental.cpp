@@ -12,6 +12,7 @@
 
 #include "bench_io.h"
 #include "delay/rctree.h"
+#include "design/compiled_design.h"
 #include "gen/generators.h"
 #include "tech/tech.h"
 #include "timing/analyzer.h"
@@ -50,7 +51,8 @@ int main(int argc, char** argv) {
     const GeneratedCircuit g =
         random_logic(Style::kCmos, c.layers, c.width, 0xEC0);
     Netlist nl = g.netlist;
-    benchio::note_circuit(g.name, nl.device_count());
+    benchio::note_circuit(g.name, nl.device_count(),
+                          design_fingerprint(nl, tech));
 
     TimingAnalyzer inc(nl, tech, model);
     inc.add_input_event(g.input, Transition::kRise, 0.0, 1e-9);

@@ -2,8 +2,9 @@
 //
 // Every bench_* binary accepts `--json <file>`; when given, one JSON
 // object is appended to the file (JSONL) describing the run: bench
-// name, wall seconds, the largest circuit exercised, the extraction
-// thread count, and the worst absolute model error observed.  The flag
+// name, engine version, wall seconds, the largest circuit exercised
+// (with its design fingerprint when noted), the extraction thread
+// count, and the worst absolute model error observed.  The flag
 // is stripped from argv before google-benchmark sees it (it rejects
 // unknown flags), so benches that call benchmark::Initialize construct
 // the BenchMain guard first.  Schema: FORMATS.md, "Bench records".
@@ -20,11 +21,14 @@
 #include <chrono>
 #include <cmath>
 #include <cstddef>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
 
 #include "util/json.h"
+#include "util/strings.h"
+#include "util/version.h"
 
 namespace sldm {
 namespace benchio {
@@ -43,11 +47,15 @@ class Reporter {
     t0_ = std::chrono::steady_clock::now();
   }
 
-  /// Remembers the largest circuit (by device count) seen so far.
-  void note_circuit(const std::string& name, std::size_t devices) {
+  /// Remembers the largest circuit (by device count) seen so far,
+  /// along with its design fingerprint when the bench computes one
+  /// (design_fingerprint(); joins bench records to ledger records).
+  void note_circuit(const std::string& name, std::size_t devices,
+                    std::uint64_t fingerprint = 0) {
     if (devices >= devices_) {
       circuit_ = name;
       devices_ = devices;
+      fingerprint_ = fingerprint;
     }
   }
 
@@ -77,11 +85,18 @@ class Reporter {
       return;
     }
     out << "{\"bench\":\"" << json_escape(bench_) << '"';
+    out << ",\"version\":\"" << json_escape(sldm_version()) << '"';
     out << ",\"wall_seconds\":" << json_number(wall);
     out << ",\"threads\":" << threads_;
     if (!circuit_.empty()) {
       out << ",\"circuit\":\"" << json_escape(circuit_) << '"'
           << ",\"devices\":" << devices_;
+    }
+    if (fingerprint_ != 0) {
+      out << ",\"fingerprint\":\""
+          << format("%016llx",
+                    static_cast<unsigned long long>(fingerprint_))
+          << '"';
     }
     if (has_error_) {
       out << ",\"model_error_pct\":" << json_number(error_pct_);
@@ -96,6 +111,7 @@ class Reporter {
   std::string path_;
   std::string circuit_;
   std::size_t devices_ = 0;
+  std::uint64_t fingerprint_ = 0;
   int threads_ = 1;
   double error_pct_ = 0.0;
   bool has_error_ = false;
@@ -134,8 +150,9 @@ class BenchMain {
   BenchMain& operator=(const BenchMain&) = delete;
 };
 
-inline void note_circuit(const std::string& name, std::size_t devices) {
-  Reporter::instance().note_circuit(name, devices);
+inline void note_circuit(const std::string& name, std::size_t devices,
+                         std::uint64_t fingerprint = 0) {
+  Reporter::instance().note_circuit(name, devices, fingerprint);
 }
 inline void note_error_pct(double pct) {
   Reporter::instance().note_error_pct(pct);

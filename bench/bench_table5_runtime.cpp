@@ -98,7 +98,8 @@ void print_speedup_table() {
   circuits.push_back(barrel_shifter(Style::kCmos, 6));
   circuits.push_back(inverter_chain(Style::kCmos, 24, 4));
   for (const GeneratedCircuit& g : circuits) {
-    benchio::note_circuit(g.name, g.netlist.device_count());
+    benchio::note_circuit(g.name, g.netlist.device_count(),
+                          design_fingerprint(g.netlist, ctx.tech()));
     const SimulateOnlyResult sim = run_simulation(g, ctx.tech(), 1e-9);
     const AnalyzeOnlyResult ar =
         best_analyzer_run(g, ctx, AnalyzerOptions{}, 3);

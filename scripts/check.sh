@@ -19,7 +19,13 @@
 #      1 and 4 threads, and a bit-flipped .sldc must be rejected;
 #   7. a fixed-seed differential fuzzing smoke under asan (`sldm fuzz`,
 #      200 iterations: must be clean and deterministic), plus a replay
-#      pass over the checked-in repro corpus in testdata/fuzz/.
+#      pass over the checked-in repro corpus in testdata/fuzz/;
+#   8. a telemetry smoke: `sldm time --prom` must emit well-formed
+#      Prometheus text exposition (every line a TYPE comment or a
+#      sample, complete _bucket/_sum/_count triads, the analyzer
+#      families present), a run must land in the ledger and summarize,
+#      and the `sldm bench diff` regression gate must pass on an
+#      identity diff and fail on an injected 2x wall-time regression.
 # Any test failure (or sanitizer report, which fails the test) aborts
 # with a nonzero exit.  Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -45,8 +51,9 @@ echo "check.sh: all tests passed under asan+ubsan"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
-  --target parallel_timing_test eco_timing_test
-ctest --preset tsan -j "$jobs" -R 'parallel_timing_test|eco_timing_test'
+  --target parallel_timing_test eco_timing_test telemetry_test
+ctest --preset tsan -j "$jobs" \
+  -R 'parallel_timing_test|eco_timing_test|telemetry_test'
 echo "check.sh: threaded suites passed under tsan"
 
 cmake --preset ubsan
@@ -156,3 +163,66 @@ grep -q '^verdict: clean$' "$smoke_dir/fuzz1.txt" \
   || { echo "check.sh: seeded fuzz run found failures" >&2; exit 1; }
 out/asan/examples/sldm fuzz --replay testdata/fuzz
 echo "check.sh: fuzz smoke clean, repro corpus replays"
+
+# Telemetry smoke: the Prometheus exposition must be well-formed and
+# complete, the run ledger must record and summarize the run, and the
+# bench regression gate must hold on both sides.
+out/ubsan/examples/sldm time "$smoke_dir/chain.sim" --model rc-tree \
+  --prom "$smoke_dir/metrics.prom" --ledger "$smoke_dir/ledger.jsonl" \
+  > /dev/null
+python3 - "$smoke_dir/metrics.prom" <<'EOF'
+import re, sys
+type_re = re.compile(r"^# TYPE (sldm_[a-zA-Z0-9_:]+) (counter|gauge|histogram)$")
+sample_re = re.compile(
+    r"^(sldm_[a-zA-Z0-9_:]+)(\{[^{}]*\})? (NaN|[+-]Inf|[-+0-9.eE]+)$")
+families, seen = {}, set()
+for line in open(sys.argv[1]):
+    line = line.rstrip("\n")
+    if not line:
+        continue
+    m = type_re.match(line)
+    if m:
+        families[m.group(1)] = m.group(2)
+        continue
+    m = sample_re.match(line)
+    if not m:
+        sys.exit(f"prom smoke: malformed line: {line!r}")
+    seen.add(m.group(1))
+for name in ("sldm_propagate_stage_evaluations_total",
+             "sldm_extract_seconds", "sldm_propagate_seconds"):
+    if name not in seen:
+        sys.exit(f"prom smoke: missing sample {name}")
+for name, kind in families.items():
+    if kind == "histogram":
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name + suffix not in seen:
+                sys.exit(f"prom smoke: {name} missing {suffix} series")
+    elif name not in seen:
+        sys.exit(f"prom smoke: TYPE {name} has no sample")
+if not any(k == "histogram" for k in families.values()):
+    sys.exit("prom smoke: no histogram family emitted")
+EOF
+out/ubsan/examples/sldm ledger summarize "$smoke_dir/ledger.jsonl" \
+  | grep -q 'run:1' \
+  || { echo "check.sh: ledger did not record the run" >&2; exit 1; }
+echo "check.sh: prometheus exposition well-formed, ledger recorded"
+
+# Bench regression gate, self-test: identity must pass, an injected 2x
+# wall-time regression must fail.  Reuses the stage-5 bench record.
+out/ubsan/examples/sldm bench diff "$smoke_dir/bench.json" \
+  "$smoke_dir/bench.json" --max-regress 50 > /dev/null \
+  || { echo "check.sh: bench diff failed an identity diff" >&2; exit 1; }
+python3 - "$smoke_dir/bench.json" "$smoke_dir/bench_slow.json" <<'EOF'
+import json, sys
+with open(sys.argv[2], "w") as out:
+    for line in open(sys.argv[1]):
+        record = json.loads(line)
+        if "wall_seconds" in record:
+            record["wall_seconds"] *= 2.0
+        out.write(json.dumps(record) + "\n")
+EOF
+if out/ubsan/examples/sldm bench diff "$smoke_dir/bench.json" \
+    "$smoke_dir/bench_slow.json" --max-regress 50 > /dev/null; then
+  echo "check.sh: bench diff missed a 2x regression" >&2; exit 1
+fi
+echo "check.sh: bench diff gate passes identity, catches regression"

@@ -1,5 +1,7 @@
 #include "cli/cli.h"
 
+#include <cstdlib>
+#include <fstream>
 #include <functional>
 #include <map>
 #include <memory>
@@ -31,8 +33,13 @@
 #include "timing/slack.h"
 #include "util/contracts.h"
 #include "util/error.h"
+#include "util/json.h"
+#include "util/ledger.h"
 #include "util/strings.h"
+#include "util/telemetry.h"
+#include "util/text_table.h"
 #include "util/trace.h"
+#include "util/version.h"
 
 namespace sldm {
 namespace {
@@ -123,6 +130,24 @@ std::unique_ptr<DelayModel> make_model(const Options& opts, Tech& tech,
   return std::make_unique<SlopeModel>(std::move(cal.tables));
 }
 
+/// `--prom <file|->`: renders the whole telemetry hub in Prometheus
+/// text exposition (FORMATS.md section 13) to the file, or to stdout
+/// for "-".
+void write_prometheus(const Options& opts, std::ostream& out) {
+  const auto dest = opts.get("prom");
+  if (!dest) return;
+  const std::string text = TelemetryHub::instance().to_prometheus();
+  if (*dest == "-") {
+    out << text;
+    return;
+  }
+  std::ofstream file(*dest);
+  if (!file) throw Error("cannot open " + *dest + " for writing");
+  file << text;
+  if (!file) throw Error("short write to " + *dest);
+  out << "wrote " << *dest << '\n';
+}
+
 int cmd_check(const Options& opts, std::ostream& out, std::ostream&) {
   if (opts.positional.size() != 1) throw UsageError("usage: check <file.sim>");
   const Netlist nl = read_sim_file(opts.positional[0]);
@@ -133,7 +158,25 @@ int cmd_check(const Options& opts, std::ostream& out, std::ostream&) {
 }
 
 int cmd_stats(const Options& opts, std::ostream& out, std::ostream&) {
-  if (opts.positional.size() != 1) throw UsageError("usage: stats <file.sim>");
+  if (opts.positional.empty()) {
+    // No netlist: render the process-wide telemetry hub instead (the
+    // in-process embedding surface -- a host that ran analyses through
+    // run_cli or the library reads them all back here).
+    const TelemetryHub& hub = TelemetryHub::instance();
+    if (opts.get("prom")) {
+      write_prometheus(opts, out);
+    } else if (opts.flag("json")) {
+      out << hub.aggregate().to_json() << '\n';
+    } else {
+      out << hub.to_string();
+    }
+    return 0;
+  }
+  if (opts.positional.size() != 1) {
+    throw UsageError(
+        "usage: stats <file.sim>  (netlist census)\n"
+        "       stats [--json | --prom <file|->]  (telemetry hub)");
+  }
   const Netlist nl = read_sim_file(opts.positional[0]);
   out << to_string(compute_stats(nl));
   return 0;
@@ -178,6 +221,49 @@ class TraceCapture {
 
  private:
   std::optional<std::string> path_;
+};
+
+/// Scoped run-ledger append (`--ledger <file>` or SLDM_LEDGER,
+/// FORMATS.md section 12): the command fills record() as results become
+/// known and the destructor appends exactly one line -- with the
+/// default outcome "error" unless complete() ran, so aborted analyses
+/// still leave a trace.  Inactive (and free) when neither source names
+/// a path.
+class LedgerScope {
+ public:
+  LedgerScope(const Options& opts, const char* kind) {
+    std::optional<std::string> path = opts.get("ledger");
+    if (!path) {
+      if (const char* env = std::getenv("SLDM_LEDGER");
+          env != nullptr && *env != '\0') {
+        path = std::string(env);
+      }
+    }
+    if (!path) return;
+    path_ = std::move(path);
+    record_.kind = kind;
+    record_.version = sldm_version();
+    record_.outcome = "error";
+  }
+  ~LedgerScope() {
+    if (!path_) return;
+    try {
+      append_ledger_record(*path_, record_);
+    } catch (const Error&) {
+      // Best-effort by design: a failing ledger append must not turn a
+      // finished analysis into an error exit.
+    }
+  }
+  LedgerScope(const LedgerScope&) = delete;
+  LedgerScope& operator=(const LedgerScope&) = delete;
+
+  bool active() const { return path_.has_value(); }
+  LedgerRecord& record() { return record_; }
+  void complete(const char* outcome) { record_.outcome = outcome; }
+
+ private:
+  std::optional<std::string> path_;
+  LedgerRecord record_;
 };
 
 /// Seeds input events from --constraints or --slope-ns (both commands
@@ -266,6 +352,32 @@ AnalysisSetup open_analysis(const Options& opts, const char* usage_msg,
   return s;
 }
 
+/// Fills a ledger record from a finished analysis: input identity
+/// (path + design fingerprint), model, phase timings, and the worst
+/// output arrival.
+void note_analysis(LedgerScope& ledger, const Options& opts,
+                   const AnalysisSetup& s) {
+  if (!ledger.active()) return;
+  LedgerRecord& r = ledger.record();
+  r.source = opts.get("load").value_or(
+      opts.positional.empty() ? std::string() : opts.positional[0]);
+  r.model = s.model->name();
+  const TimingAnalyzer& analyzer = *s.analyzer;
+  r.fingerprint = design_fingerprint(analyzer.netlist(), analyzer.tech());
+  const AnalyzerStats& stats = analyzer.stats();
+  r.threads = stats.threads;
+  r.extract_seconds = stats.extract_seconds;
+  r.propagate_seconds = stats.propagate_seconds;
+  r.update_seconds = stats.update_seconds;
+  r.stage_evaluations = stats.stage_evaluations;
+  if (const auto worst = analyzer.worst_arrival(true)) {
+    r.has_critical = true;
+    r.critical_node = analyzer.netlist().node(worst->node).name.str();
+    r.critical_dir = to_string(worst->dir);
+    r.critical_arrival_s = worst->time;
+  }
+}
+
 void emit_stats(const Options& opts, const Netlist& nl,
                 const TimingAnalyzer& analyzer, std::ostream& out) {
   if (!opts.flag("stats") && !opts.flag("json")) return;
@@ -277,6 +389,8 @@ void emit_stats(const Options& opts, const Netlist& nl,
 }
 
 int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
+  TelemetryHub::instance().enable();
+  LedgerScope ledger(opts, "run");
   TraceCapture trace(opts.get("trace"));
   const AnalysisSetup s = open_analysis(
       opts, "usage: time <file.sim> | time --load <design.sldc> [options]",
@@ -291,11 +405,17 @@ int cmd_time(const Options& opts, std::ostream& out, std::ostream& err) {
   out << "model: " << model.name() << "\n\n"
       << format_output_arrivals(nl, analyzer) << '\n';
   emit_stats(opts, nl, analyzer, out);
+  note_analysis(ledger, opts, s);
+  ledger.complete("ok");
+  write_prometheus(opts, out);
   if (constraints.required) {
     const SlackReport slack =
         compute_slack(nl, analyzer, *constraints.required);
     out << format_slack(nl, analyzer, slack) << '\n';
-    if (!slack.violations().empty()) return 1;
+    if (!slack.violations().empty()) {
+      ledger.complete("violations");
+      return 1;
+    }
   }
   if (const auto k_opt = opts.get("paths")) {
     const auto k = parse_long(*k_opt);
@@ -358,6 +478,8 @@ int cmd_explain(const Options& opts, std::ostream& out, std::ostream& err) {
 }
 
 int cmd_eco(const Options& opts, std::ostream& out, std::ostream& err) {
+  TelemetryHub::instance().enable();
+  LedgerScope ledger(opts, "eco");
   TraceCapture trace(opts.get("trace"));
   const AnalysisSetup s = open_analysis(
       opts,
@@ -380,6 +502,9 @@ int cmd_eco(const Options& opts, std::ostream& out, std::ostream& err) {
   out << "applied " << applied << " edit(s); incremental re-timing:\n"
       << format_output_arrivals(nl, analyzer) << '\n';
   emit_stats(opts, nl, analyzer, out);
+  note_analysis(ledger, opts, s);
+  ledger.complete("ok");
+  write_prometheus(opts, out);
 
   if (opts.flag("verify")) {
     TimingAnalyzer fresh(nl, tech, model, analyzer_options(opts));
@@ -406,6 +531,7 @@ int cmd_eco(const Options& opts, std::ostream& out, std::ostream& err) {
     if (mismatches > 0) {
       err << "verify FAILED: " << mismatches
           << " arrival(s) differ from a full rebuild\n";
+      ledger.complete("mismatch");
       return 1;
     }
     out << "verify: incremental update is bit-identical to a full "
@@ -574,12 +700,22 @@ int cmd_fuzz(const Options& opts, std::ostream& out, std::ostream& err) {
   }
   if (const auto dir = opts.get("out")) fopts.out_dir = *dir;
 
+  LedgerScope ledger(opts, "fuzz");
   const FuzzReport report = run_fuzz(fopts, err);
   out << report.to_string();
+  if (ledger.active()) {
+    LedgerRecord& r = ledger.record();
+    r.threads = fopts.threads;
+    r.detail = format("%d iteration(s), %zu failure(s)", report.iterations,
+                      report.failures.size());
+  }
+  ledger.complete(report.clean() ? "clean" : "failures");
   return report.clean() ? 0 : 1;
 }
 
 int cmd_compile(const Options& opts, std::ostream& out, std::ostream& err) {
+  TelemetryHub::instance().enable();
+  LedgerScope ledger(opts, "compile");
   if (opts.positional.size() != 1) {
     throw UsageError(
         "usage: compile <file.sim> -o <design.sldc> [--tech ...] "
@@ -619,11 +755,127 @@ int cmd_compile(const Options& opts, std::ostream& out, std::ostream& err) {
       design->netlist().node_count(), design->netlist().device_count(),
       design->components().count(), design->stages().size());
   out << "wrote " << *out_path << '\n';
+
+  // Telemetry for the build phase: compiles have no Session, so the
+  // snapshot is assembled here (same names the session registry uses
+  // where the meaning coincides).
+  TelemetryHub& hub = TelemetryHub::instance();
+  if (hub.enabled()) {
+    MetricsRegistry reg;
+    reg.gauge("extract.seconds").set(design->extract_seconds());
+    reg.counter("compile.stages").set(design->stages().size());
+    reg.counter("compile.cccs").set(design->components().count());
+    TelemetryLabels labels;
+    labels.session = "compile";
+    labels.model = opts.get("model").value_or("slope");
+    labels.threads = aopts.threads;
+    hub.publish(labels, reg);
+  }
+  if (ledger.active()) {
+    LedgerRecord& r = ledger.record();
+    r.source = opts.positional[0];
+    r.model = opts.get("model").value_or("slope");
+    r.threads = aopts.threads;
+    r.fingerprint = design_fingerprint(design->netlist(), design->tech());
+    r.extract_seconds = design->extract_seconds();
+    r.detail = format("%zu stage(s) -> %s", design->stages().size(),
+                      out_path->c_str());
+  }
+  ledger.complete("ok");
+  write_prometheus(opts, out);
   return 0;
 }
 
+int cmd_ledger(const Options& opts, std::ostream& out, std::ostream&) {
+  if (opts.positional.size() != 2 || opts.positional[0] != "summarize") {
+    throw UsageError("usage: ledger summarize <ledger.jsonl>");
+  }
+  out << summarize_ledger(read_ledger_file(opts.positional[1]));
+  return 0;
+}
+
+/// The best (minimum) wall time per bench name in a bench-record JSONL
+/// file (FORMATS.md, "Bench records").  Minimum, not mean: wall-clock
+/// noise is one-sided, so the fastest observation is the stable one.
+std::map<std::string, double> read_bench_best(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open bench records file '" + path + "'");
+  std::map<std::string, double> best;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (trim(line).empty()) continue;
+    JsonValue obj;
+    try {
+      obj = parse_json(line);
+    } catch (const Error& e) {
+      throw Error(path + ":" + std::to_string(lineno) + ": " + e.what());
+    }
+    const std::string name = obj.at("bench").as_string();
+    const double wall = obj.at("wall_seconds").as_number();
+    const auto it = best.find(name);
+    if (it == best.end() || wall < it->second) best[name] = wall;
+  }
+  return best;
+}
+
+int cmd_bench(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (opts.positional.size() != 3 || opts.positional[0] != "diff") {
+    throw UsageError(
+        "usage: bench diff <old.jsonl> <new.jsonl> [--max-regress <pct>]");
+  }
+  double max_regress = 10.0;
+  if (const auto pct = opts.get("max-regress")) {
+    const auto v = parse_double(*pct);
+    if (!v || *v < 0.0) throw Error("bad --max-regress value");
+    max_regress = *v;
+  }
+  const std::map<std::string, double> old_best =
+      read_bench_best(opts.positional[1]);
+  const std::map<std::string, double> new_best =
+      read_bench_best(opts.positional[2]);
+
+  TextTable table({"bench", "old (s)", "new (s)", "delta"});
+  std::size_t joined = 0;
+  std::size_t regressions = 0;
+  for (const auto& [name, new_wall] : new_best) {
+    const auto it = old_best.find(name);
+    if (it == old_best.end()) continue;
+    ++joined;
+    const double old_wall = it->second;
+    const double pct =
+        old_wall > 0.0 ? (new_wall - old_wall) / old_wall * 100.0 : 0.0;
+    const bool regressed = pct > max_regress;
+    if (regressed) ++regressions;
+    table.add_row({name, format("%.4f", old_wall),
+                   format("%.4f", new_wall),
+                   format("%+.1f%%%s", pct,
+                          regressed ? "  REGRESSED" : "")});
+  }
+  if (joined == 0) {
+    err << "bench diff: no bench name appears in both files -- nothing "
+           "was compared, which a gate must treat as failure\n";
+    return 1;
+  }
+  out << table.to_string();
+  for (const auto& [name, wall] : old_best) {
+    if (new_best.find(name) == new_best.end()) {
+      out << "only in " << opts.positional[1] << ": " << name << '\n';
+    }
+  }
+  for (const auto& [name, wall] : new_best) {
+    if (old_best.find(name) == old_best.end()) {
+      out << "only in " << opts.positional[2] << ": " << name << '\n';
+    }
+  }
+  out << format("%zu bench(es) compared, %zu regression(s) beyond +%.1f%%\n",
+                joined, regressions, max_regress);
+  return regressions > 0 ? 1 : 0;
+}
+
 int cmd_version(const Options&, std::ostream& out, std::ostream&) {
-  out << "sldm " << SLDM_VERSION
+  out << "sldm " << sldm_version()
       << " (switch-level delay models, Ousterhout DAC 1984)\n"
       << "snapshot format: .sldc version " << kSnapshotFormatVersion
       << '\n';
@@ -642,7 +894,8 @@ struct CommandSpec {
 
 const CommandSpec kCommands[] = {
     {"check", "check <file.sim>", "structural diagnostics", cmd_check},
-    {"stats", "stats <file.sim>", "netlist census", cmd_stats},
+    {"stats", "stats [<file.sim>] [--json|--prom <file|->]",
+     "netlist census, or the telemetry hub without a file", cmd_stats},
     {"time", "time <file.sim>|--load <design.sldc> [options]",
      "static timing analysis", cmd_time},
     {"explain", "explain <file.sim>|--load <design.sldc> <node> [options]",
@@ -659,6 +912,10 @@ const CommandSpec kCommands[] = {
      "bake a reusable compiled-design snapshot", cmd_compile},
     {"fuzz", "fuzz [options] | fuzz --replay <case.repro|dir>",
      "differential fuzzing campaign", cmd_fuzz},
+    {"ledger", "ledger summarize <ledger.jsonl>",
+     "per-design summary of a run-ledger file", cmd_ledger},
+    {"bench", "bench diff <old.jsonl> <new.jsonl> [--max-regress <pct>]",
+     "bench-record regression gate", cmd_bench},
     {"version", "version", "engine and snapshot format versions",
      cmd_version},
 };

@@ -3,6 +3,12 @@
 //
 //   sldm check <file.sim>                    structural diagnostics
 //   sldm stats <file.sim>                    netlist census
+//   sldm stats [--json|--prom <file|->]      with no file: render the
+//                                            process-wide telemetry hub
+//                                            (human-readable, JSON
+//                                            aggregate, or Prometheus
+//                                            exposition; in-process
+//                                            embedding surface)
 //   sldm time <file.sim> [options]           timing analysis
 //        --load <design.sldc>                analyze a compiled design
 //                                            instead of a .sim file
@@ -30,6 +36,23 @@
 //                                            Chrome trace-event JSON
 //                                            (load in chrome://tracing
 //                                            or Perfetto; see FORMATS.md)
+//        --prom <file|->                     after the analysis, write
+//                                            the telemetry hub in
+//                                            Prometheus text exposition
+//                                            v0.0.4 ("-": stdout;
+//                                            FORMATS.md section 13);
+//                                            also accepted by eco,
+//                                            compile, and stats
+//        --ledger <file>                     append one JSONL run
+//                                            record (design
+//                                            fingerprint, version,
+//                                            model, phase timings,
+//                                            critical path, outcome;
+//                                            FORMATS.md section 12);
+//                                            SLDM_LEDGER env var is the
+//                                            ambient default; also
+//                                            accepted by eco, compile,
+//                                            and fuzz
 //   sldm explain <file.sim> <node> [options] critical-path explain trace
 //        (tech/model/event options above,    re-evaluates each stage of
 //        plus:)                              the critical path into the
@@ -64,6 +87,18 @@
 //        --seed <n> --iterations <n>         campaigns + repro replay
 //        --threads <n> --out <dir>           (see src/fuzz/)
 //        --replay <path>
+//   sldm ledger summarize <file.jsonl>       per-design-fingerprint
+//                                            latency table over a run
+//                                            ledger (--ledger /
+//                                            SLDM_LEDGER output)
+//   sldm bench diff <old.jsonl> <new.jsonl>  regression gate over bench
+//        [--max-regress <pct>]               records (--json output of
+//                                            the bench binaries): joins
+//                                            by bench name on the best
+//                                            wall time per side, exits
+//                                            1 when any bench regressed
+//                                            beyond the bound (default
+//                                            10%) or nothing joined
 //   sldm version                             engine + snapshot-format
 //                                            version
 //

@@ -52,6 +52,39 @@ std::uint64_t tech_fingerprint(const Tech& tech) {
   return hash;
 }
 
+std::uint64_t design_fingerprint(const Netlist& nl, const Tech& tech) {
+  std::uint64_t hash = tech_fingerprint(tech);
+  const std::uint64_t node_count = nl.node_count();
+  const std::uint64_t device_count = nl.device_count();
+  hash = fnv1a(hash, &node_count, sizeof node_count);
+  hash = fnv1a(hash, &device_count, sizeof device_count);
+  for (const NodeId id : nl.all_nodes()) {
+    const Node& n = nl.node(id);
+    hash = fnv1a(hash, n.name.c_str(), n.name.size());
+    hash = fnv1a_double(hash, n.cap);
+    const unsigned char flags =
+        static_cast<unsigned char>((n.is_power ? 1u : 0u) |
+                                   (n.is_ground ? 2u : 0u) |
+                                   (n.is_input ? 4u : 0u) |
+                                   (n.is_output ? 8u : 0u) |
+                                   (n.is_precharged ? 16u : 0u));
+    hash = fnv1a(hash, &flags, sizeof flags);
+    hash = fnv1a(hash, &n.fixed, sizeof n.fixed);
+  }
+  for (const DeviceId id : nl.all_devices()) {
+    const Transistor& t = nl.device(id);
+    const std::uint64_t terms[4] = {
+        static_cast<std::uint64_t>(t.type), t.gate.index(), t.source.index(),
+        t.drain.index()};
+    hash = fnv1a(hash, terms, sizeof terms);
+    hash = fnv1a_double(hash, t.width);
+    hash = fnv1a_double(hash, t.length);
+    const unsigned char flow = static_cast<unsigned char>(t.flow);
+    hash = fnv1a(hash, &flow, sizeof flow);
+  }
+  return hash;
+}
+
 std::shared_ptr<const CompiledDesign> CompiledDesign::compile(
     Netlist nl, Tech tech, const CompileOptions& options) {
   auto design = std::shared_ptr<CompiledDesign>(new CompiledDesign());

@@ -56,6 +56,14 @@ struct CompileOptions {
 /// reject loads against a different process.
 std::uint64_t tech_fingerprint(const Tech& tech);
 
+/// FNV-1a hash over the whole analysis input: tech_fingerprint(tech)
+/// plus every node (name, capacitance, role flags, pinned value) and
+/// every device (type, terminals, dimensions, flow) in id order.  Two
+/// (netlist, tech) pairs fingerprint equal iff analysis over them is
+/// bit-identical, so ledger records and bench results keyed by this
+/// value stay comparable across processes and versions.
+std::uint64_t design_fingerprint(const Netlist& nl, const Tech& tech);
+
 /// Packed arrival/trigger key: (node, dir) -> node * 2 + (rise ? 0 : 1).
 /// The index space of stages_by_trigger() and of every per-(node, dir)
 /// session array.

@@ -1,10 +1,13 @@
 #include "design/session.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 
 #include "util/contracts.h"
 #include "util/error.h"
+#include "util/strings.h"
+#include "util/telemetry.h"
 #include "util/trace.h"
 
 namespace sldm {
@@ -20,13 +23,20 @@ Seconds now_seconds() {
 /// the pool handoff costs more than the evaluations save.
 constexpr std::size_t kMinParallelChunk = 128;
 
+/// Dense process-unique session ids for the telemetry `session` label.
+std::uint64_t next_session_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 Session::Session(std::shared_ptr<const CompiledDesign> design,
                  const DelayModel& model, SessionOptions options)
     : design_(std::move(design)),
       model_(model),
-      options_(options) {
+      options_(options),
+      session_id_(next_session_id()) {
   SLDM_EXPECTS(design_ != nullptr);
   SLDM_EXPECTS(options.threads >= 1);
   const std::size_t nkeys = design_->netlist().node_count() * 2;
@@ -174,6 +184,18 @@ void Session::run() {
   span.arg("stage_evaluations",
            static_cast<double>(ctr_stage_evaluations_.value() -
                                evals_before));
+  publish_telemetry();
+}
+
+void Session::publish_telemetry() const {
+  TelemetryHub& hub = TelemetryHub::instance();
+  if (!hub.enabled()) return;
+  TelemetryLabels labels;
+  labels.session =
+      format("s%llu", static_cast<unsigned long long>(session_id_));
+  labels.model = model_.name();
+  labels.threads = options_.threads;
+  hub.publish(labels, metrics());
 }
 
 void Session::evaluate_batch(std::span<const StageStore::StageId> ids,

@@ -215,6 +215,18 @@ class Session {
     return static_cast<std::size_t>(ctr_stage_evaluations_.value());
   }
 
+  /// Process-unique session id (dense, assigned at construction) --
+  /// the `session` telemetry label is "s<id>".
+  std::uint64_t session_id() const { return session_id_; }
+
+  /// Publishes a labeled snapshot of metrics() into the process-wide
+  /// TelemetryHub (labels: "s<id>", delay-model name, thread count).
+  /// Re-publishing replaces this session's earlier snapshot, so the
+  /// hub always holds the registry's latest cumulative state.  No-op
+  /// (one relaxed atomic load) while the hub is disabled; run() and
+  /// TimingAnalyzer::update() call this at completion.
+  void publish_telemetry() const;
+
  private:
   /// ECO repair (TimingAnalyzer::update()) grows the key arrays,
   /// invalidates damaged arrivals, and re-propagates in place.
@@ -252,6 +264,8 @@ class Session {
   std::shared_ptr<const CompiledDesign> design_;
   const DelayModel& model_;
   SessionOptions options_;
+  /// Dense process-unique id (see session_id()).
+  std::uint64_t session_id_ = 0;
   /// Lazily created pool for batched wavefront evaluation (only when
   /// options_.threads > 1).
   std::unique_ptr<ThreadPool> pool_;

@@ -173,6 +173,7 @@ void TimingAnalyzer::update() {
     // if any, are untouched and stages carry no arrival state).
     session_.g_frontier_keys_.set(0.0);
     session_.g_update_seconds_.set(now_seconds() - t0);
+    session_.publish_telemetry();
     return;
   }
 
@@ -264,6 +265,7 @@ void TimingAnalyzer::update() {
   repropagate_span.arg("seeds", static_cast<double>(work.size()));
   session_.propagate(work, queued);
   session_.g_update_seconds_.set(now_seconds() - t0);
+  session_.publish_telemetry();
 }
 
 }  // namespace sldm

@@ -3,6 +3,7 @@
 #include <mutex>
 #include <sstream>
 
+#include "util/error.h"
 #include "util/json.h"
 #include "util/strings.h"
 
@@ -19,8 +20,38 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
                                       double hi, std::size_t bins) {
   const auto it = histograms_.find(name);
-  if (it != histograms_.end()) return it->second;
+  if (it != histograms_.end()) {
+    if (!it->second.same_layout(Histogram(lo, hi, bins))) {
+      throw Error(format(
+          "histogram '%s' re-registered with mismatched bucket layout: "
+          "have [%g, %g] x %zu, requested [%g, %g] x %zu",
+          name.c_str(), it->second.lo(), it->second.hi(),
+          it->second.bins(), lo, hi, bins));
+    }
+    return it->second;
+  }
   return histograms_.emplace(name, Histogram(lo, hi, bins)).first->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].add(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].set(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      try {
+        it->second.merge(h);
+      } catch (const Error& e) {
+        throw Error("merging histogram '" + name + "': " + e.what());
+      }
+    }
+  }
 }
 
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
@@ -92,6 +123,11 @@ MetricsRegistry& process_metrics() {
 void bump_process_counter(const std::string& name, std::uint64_t n) {
   std::lock_guard<std::mutex> lock(process_metrics_mutex());
   process_metrics().counter(name).add(n);
+}
+
+MetricsRegistry snapshot_process_metrics() {
+  std::lock_guard<std::mutex> lock(process_metrics_mutex());
+  return process_metrics();
 }
 
 std::string MetricsRegistry::to_string() const {

@@ -60,10 +60,19 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
 
   /// The histogram named `name`; created with the given bucket layout
-  /// on first use (subsequent calls ignore the layout and return the
-  /// existing histogram).  Precondition (first call): bins >= 1, hi > lo.
+  /// on first use.  Subsequent calls must repeat the same layout: a
+  /// lo/hi/bins mismatch throws Error instead of silently returning a
+  /// histogram whose buckets mean something else.  Precondition (first
+  /// call): bins >= 1, hi > lo.
   Histogram& histogram(const std::string& name, double lo, double hi,
                        std::size_t bins);
+
+  /// Folds `other` into this registry with per-type semantics: counters
+  /// sum, gauges take `other`'s value (last write wins), histograms sum
+  /// per-bucket counts -- throwing Error when a shared name carries a
+  /// different bucket layout.  Metrics absent on either side are kept
+  /// as-is / copied in, so empty ⊕ x == x.
+  void merge(const MetricsRegistry& other);
 
   /// Lookup without creation; nullptr when absent.
   const Counter* find_counter(const std::string& name) const;
@@ -99,12 +108,19 @@ class MetricsRegistry {
 
 /// The process-wide registry for components that have no analyzer (or
 /// other owner) to hang their metrics on — e.g. the thread pool's
-/// suppressed-exception count.  Unlike MetricsRegistry itself, the two
-/// helpers below are thread-safe; read the registry only from a single
-/// thread (tests, report writers) while no bumps are in flight.
+/// suppressed-exception count.  Unlike MetricsRegistry itself, the
+/// helpers below are thread-safe.  Direct access through this reference
+/// is unsynchronized — readers racing a bump_process_counter() call
+/// must go through snapshot_process_metrics() instead.
 MetricsRegistry& process_metrics();
 
 /// Thread-safe increment of `process_metrics().counter(name)`.
 void bump_process_counter(const std::string& name, std::uint64_t n = 1);
+
+/// A copy of process_metrics() taken under the same mutex
+/// bump_process_counter() holds, so it is safe against concurrent
+/// bumps.  All readers (stats dumpers, the telemetry hub, tests) use
+/// this rather than the live reference.
+MetricsRegistry snapshot_process_metrics();
 
 }  // namespace sldm

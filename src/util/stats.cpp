@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "util/contracts.h"
+#include "util/error.h"
+#include "util/strings.h"
 
 namespace sldm {
 
@@ -63,6 +65,21 @@ void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), std::size_t{0});
   total_ = 0;
   sum_ = 0.0;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (!same_layout(other)) {
+    throw Error(format(
+        "histogram merge: mismatched bucket layout "
+        "([%g, %g] x %zu vs [%g, %g] x %zu)",
+        lo_, hi_, counts_.size(), other.lo_, other.hi_,
+        other.counts_.size()));
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
 }
 
 std::size_t Histogram::count(std::size_t bin) const {

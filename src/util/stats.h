@@ -38,6 +38,20 @@ class Histogram {
   /// Zeroes all counts and the sum; the bucket layout is kept.
   void reset();
 
+  /// Adds `other`'s per-bucket counts, total, and sum into this
+  /// histogram.  Throws Error unless both share the same [lo, hi] x
+  /// bins layout -- summing buckets with different edges would silently
+  /// misattribute samples.
+  void merge(const Histogram& other);
+
+  /// True iff `other` has the same [lo, hi] x bins layout.
+  bool same_layout(const Histogram& other) const {
+    return lo_ == other.lo_ && hi_ == other.hi_ &&
+           counts_.size() == other.counts_.size();
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
   std::size_t bins() const { return counts_.size(); }
   std::size_t count(std::size_t bin) const;
   std::size_t total() const { return total_; }

@@ -1,0 +1,228 @@
+#include "util/telemetry.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace sldm {
+namespace {
+
+/// A Prometheus sample value: finite doubles in shortest round-trip
+/// form, non-finite as the exposition-format spellings (unlike JSON,
+/// the format has them).
+std::string prom_number(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  return format("%.17g", v);
+}
+
+/// A label-value literal: backslash, quote, and newline escaped per the
+/// exposition format.
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// `{labels}` / `{labels,extra}` / `{extra}` / `` as applicable.
+std::string braced(const std::string& label_text, const std::string& extra) {
+  if (label_text.empty() && extra.empty()) return "";
+  std::string body = label_text;
+  if (!extra.empty()) {
+    if (!body.empty()) body += ',';
+    body += extra;
+  }
+  return "{" + body + "}";
+}
+
+void render_counter(std::ostream& os, const std::string& name,
+                    const std::string& label_text, const Counter& c) {
+  os << name << braced(label_text, "") << ' ' << c.value() << '\n';
+}
+
+void render_gauge(std::ostream& os, const std::string& name,
+                  const std::string& label_text, const Gauge& g) {
+  os << name << braced(label_text, "") << ' ' << prom_number(g.value())
+     << '\n';
+}
+
+void render_histogram(std::ostream& os, const std::string& name,
+                      const std::string& label_text, const Histogram& h) {
+  std::size_t cumulative = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) {
+    cumulative += h.count(b);
+    os << name << "_bucket"
+       << braced(label_text,
+                 "le=\"" + prom_number(h.bin_hi(b)) + "\"")
+       << ' ' << cumulative << '\n';
+  }
+  os << name << "_bucket" << braced(label_text, "le=\"+Inf\"") << ' '
+     << h.total() << '\n';
+  os << name << "_sum" << braced(label_text, "") << ' '
+     << prom_number(h.sum()) << '\n';
+  os << name << "_count" << braced(label_text, "") << ' ' << h.total()
+     << '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out = "sldm_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string prometheus_labels(const TelemetryLabels& labels) {
+  return format("session=\"%s\",model=\"%s\",threads=\"%d\"",
+                escape_label_value(labels.session).c_str(),
+                escape_label_value(labels.model).c_str(), labels.threads);
+}
+
+std::string to_prometheus(const MetricsRegistry& registry,
+                          const std::string& label_text) {
+  std::ostringstream os;
+  for (const auto& [name, c] : registry.counters()) {
+    const std::string prom = prometheus_name(name) + "_total";
+    os << "# TYPE " << prom << " counter\n";
+    render_counter(os, prom, label_text, c);
+  }
+  for (const auto& [name, g] : registry.gauges()) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " gauge\n";
+    render_gauge(os, prom, label_text, g);
+  }
+  for (const auto& [name, h] : registry.histograms()) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " histogram\n";
+    render_histogram(os, prom, label_text, h);
+  }
+  return os.str();
+}
+
+TelemetryHub& TelemetryHub::instance() {
+  static TelemetryHub hub;
+  return hub;
+}
+
+void TelemetryHub::publish(const TelemetryLabels& labels,
+                           const MetricsRegistry& registry) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [stored_labels, stored] : snapshots_) {
+    if (stored_labels == labels) {
+      stored = registry;
+      return;
+    }
+  }
+  snapshots_.emplace_back(labels, registry);
+}
+
+std::vector<std::pair<TelemetryLabels, MetricsRegistry>>
+TelemetryHub::snapshots() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshots_;
+}
+
+std::size_t TelemetryHub::snapshot_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return snapshots_.size();
+}
+
+MetricsRegistry TelemetryHub::aggregate() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsRegistry merged;
+  for (const auto& [labels, registry] : snapshots_) {
+    merged.merge(registry);
+  }
+  return merged;
+}
+
+void TelemetryHub::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  snapshots_.clear();
+}
+
+std::string TelemetryHub::to_string() const {
+  const auto snaps = snapshots();
+  std::ostringstream os;
+  os << "telemetry hub: " << snaps.size() << " snapshot(s)\n";
+  MetricsRegistry merged;
+  for (const auto& [labels, registry] : snaps) {
+    os << format("\n[session=\"%s\" model=\"%s\" threads=%d]\n",
+                 labels.session.c_str(), labels.model.c_str(),
+                 labels.threads)
+       << registry.to_string();
+    merged.merge(registry);
+  }
+  if (snaps.size() > 1) {
+    os << "\naggregate over all snapshots:\n" << merged.to_string();
+  }
+  return os.str();
+}
+
+std::string TelemetryHub::to_prometheus() const {
+  const auto snaps = snapshots();
+  // The exposition format wants each family's `# TYPE` line exactly
+  // once, with every labeled sample grouped under it -- so pivot from
+  // per-snapshot registries to per-name sample lists first.
+  std::map<std::string, std::vector<std::pair<std::string, Counter>>>
+      counters;
+  std::map<std::string, std::vector<std::pair<std::string, Gauge>>> gauges;
+  std::map<std::string, std::vector<std::pair<std::string, Histogram>>>
+      histograms;
+  for (const auto& [labels, registry] : snaps) {
+    const std::string label_text = prometheus_labels(labels);
+    for (const auto& [name, c] : registry.counters()) {
+      counters[name].emplace_back(label_text, c);
+    }
+    for (const auto& [name, g] : registry.gauges()) {
+      gauges[name].emplace_back(label_text, g);
+    }
+    for (const auto& [name, h] : registry.histograms()) {
+      histograms[name].emplace_back(label_text, h);
+    }
+  }
+  std::ostringstream os;
+  for (const auto& [name, samples] : counters) {
+    const std::string prom = prometheus_name(name) + "_total";
+    os << "# TYPE " << prom << " counter\n";
+    for (const auto& [label_text, c] : samples) {
+      render_counter(os, prom, label_text, c);
+    }
+  }
+  for (const auto& [name, samples] : gauges) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " gauge\n";
+    for (const auto& [label_text, g] : samples) {
+      render_gauge(os, prom, label_text, g);
+    }
+  }
+  for (const auto& [name, samples] : histograms) {
+    const std::string prom = prometheus_name(name);
+    os << "# TYPE " << prom << " histogram\n";
+    for (const auto& [label_text, h] : samples) {
+      render_histogram(os, prom, label_text, h);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sldm

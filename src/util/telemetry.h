@@ -1,0 +1,128 @@
+// Process-wide telemetry: labeled metric snapshots and Prometheus
+// text exposition.
+//
+// Per-session metrics (design/session.h) die with their session, which
+// is the wrong lifetime for a process serving many analyses: fleet
+// questions ("how much propagation work has this process done, across
+// which models and thread counts?") need an aggregation point that
+// outlives any one session.  The TelemetryHub is that point: Sessions
+// publish a labeled snapshot of their registry at run()/update()
+// completion, the ECO and compile paths do the same, and observers
+// (`sldm stats`, the Prometheus renderer) read the hub instead of
+// chasing individual sessions.
+//
+// Design constraints, in order:
+//   * Zero hot-path cost when disabled.  The hub is off by default;
+//     publish() is gated on one relaxed atomic load, so instrumented
+//     code (Session::run) pays nothing measurable when nobody is
+//     listening (bench_table5_runtime overhead within noise,
+//     EXPERIMENTS.md).  The CLI enables the hub for its analysis
+//     commands.
+//   * Thread-safe.  publish()/snapshots()/aggregate()/clear() take an
+//     internal mutex; N concurrent sessions may publish while another
+//     thread renders (tsan-covered in tests/telemetry_test.cpp and
+//     scripts/check.sh).
+//   * Snapshots replace, aggregation merges.  A session's registry is
+//     cumulative over its lifetime, so re-publishing under the same
+//     labels *replaces* the stored snapshot (summing would double
+//     count); aggregate() then merges *across* label sets with
+//     MetricsRegistry::merge semantics (sum counters, sum histogram
+//     buckets, last-write gauges).
+//
+// The Prometheus renderer (text exposition format v0.0.4) serializes
+// any MetricsRegistry -- or the whole hub, labels included -- as
+// `# TYPE`-annotated families: counters (`sldm_<name>_total`), gauges,
+// and cumulative `_bucket/_sum/_count` histogram series.  Metric names
+// are sanitized to [a-zA-Z_:][a-zA-Z0-9_:]*; schema in FORMATS.md
+// section 13.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace sldm {
+
+/// The identity of one published snapshot.  Equal labels replace each
+/// other in the hub; distinct labels aggregate.
+struct TelemetryLabels {
+  std::string session;  ///< publisher id, e.g. "s12", "compile-4f2a"
+  std::string model;    ///< DelayModel::name(), "-" when not applicable
+  int threads = 1;      ///< worker threads the publisher ran with
+
+  bool operator==(const TelemetryLabels& o) const {
+    return session == o.session && model == o.model && threads == o.threads;
+  }
+};
+
+/// `name` sanitized for Prometheus and prefixed "sldm_": every
+/// character outside [a-zA-Z0-9_:] becomes '_'
+/// ("propagate.batch_size" -> "sldm_propagate_batch_size").
+std::string prometheus_name(const std::string& name);
+
+/// Renders one registry in Prometheus text-exposition v0.0.4.
+/// `label_text` is the pre-rendered label body (e.g.
+/// `session="s1",model="slope",threads="4"`), empty for no labels.
+/// Counters gain the conventional `_total` suffix; histograms emit
+/// cumulative `_bucket{le=...}` series (the layout clamps out-of-range
+/// samples into the edge buckets, so the last finite `le` already
+/// equals `_count`) plus `_sum`/`_count`.
+std::string to_prometheus(const MetricsRegistry& registry,
+                          const std::string& label_text = std::string());
+
+/// The label body for `labels` (values backslash-escaped per the
+/// exposition format).
+std::string prometheus_labels(const TelemetryLabels& labels);
+
+class TelemetryHub {
+ public:
+  /// The process-wide hub.
+  static TelemetryHub& instance();
+
+  /// Off by default; when disabled, publish() is a no-op after one
+  /// relaxed atomic load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+  /// Stores a copy of `registry` under `labels`, replacing any earlier
+  /// snapshot with equal labels (publishers re-publish cumulative
+  /// registries).  No-op when disabled.  Thread-safe.
+  void publish(const TelemetryLabels& labels, const MetricsRegistry& registry);
+
+  /// Copies of every stored (labels, registry) pair, in first-publish
+  /// order.  Thread-safe.
+  std::vector<std::pair<TelemetryLabels, MetricsRegistry>> snapshots() const;
+  std::size_t snapshot_count() const;
+
+  /// All snapshots folded into one registry with MetricsRegistry::merge
+  /// semantics, in first-publish order.  Thread-safe; throws Error if
+  /// two publishers registered the same histogram name with different
+  /// bucket layouts.
+  MetricsRegistry aggregate() const;
+
+  /// Drops every snapshot (the enabled flag is untouched).
+  void clear();
+
+  /// Human-readable rendering: one section per snapshot, then the
+  /// aggregate (`sldm stats`).
+  std::string to_string() const;
+
+  /// The whole hub in Prometheus text exposition: each family's
+  /// `# TYPE` line once, then one labeled sample (set) per snapshot
+  /// that carries the metric.
+  std::string to_prometheus() const;
+
+ private:
+  TelemetryHub() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::vector<std::pair<TelemetryLabels, MetricsRegistry>> snapshots_;
+};
+
+}  // namespace sldm

@@ -1,0 +1,11 @@
+#include "util/version.h"
+
+#ifndef SLDM_VERSION
+#define SLDM_VERSION "0.0.0-unversioned"
+#endif
+
+namespace sldm {
+
+const char* sldm_version() { return SLDM_VERSION; }
+
+}  // namespace sldm

@@ -1,0 +1,12 @@
+// The engine version string, compiled into sldm_util from the CMake
+// project version so every emitter (CLI `sldm version`, bench records,
+// the run ledger) reports the same value without each target carrying
+// its own compile definition.
+#pragma once
+
+namespace sldm {
+
+/// The engine version, e.g. "1.0.0".
+const char* sldm_version();
+
+}  // namespace sldm

@@ -267,7 +267,9 @@ TEST(Json, NumberEmitsNullForNonFinite) {
 
 TEST(ThreadPool, FirstErrorWinsAndExtrasAreCounted) {
   const std::uint64_t before =
-      process_metrics().counter("thread_pool.suppressed_exceptions").value();
+      snapshot_process_metrics()
+          .counter("thread_pool.suppressed_exceptions")
+          .value();
   ThreadPool pool(4);
   std::atomic<int> ran{0};
   for (int i = 0; i < 6; ++i) {
@@ -289,7 +291,9 @@ TEST(ThreadPool, FirstErrorWinsAndExtrasAreCounted) {
   }
   EXPECT_EQ(ran.load(), 6);
   const std::uint64_t after =
-      process_metrics().counter("thread_pool.suppressed_exceptions").value();
+      snapshot_process_metrics()
+          .counter("thread_pool.suppressed_exceptions")
+          .value();
   EXPECT_EQ(after - before, 5u);
 }
 
