@@ -25,7 +25,14 @@
 #      sample, complete _bucket/_sum/_count triads, the analyzer
 #      families present), a run must land in the ledger and summarize,
 #      and the `sldm bench diff` regression gate must pass on an
-#      identity diff and fail on an injected 2x wall-time regression.
+#      identity diff and fail on an injected 2x wall-time regression;
+#   9. a serve smoke under asan: a pipe-mode load/time round-trip whose
+#      report field must match the cold `sldm time` stdout byte-for-
+#      byte, a malformed request line that must come back as a named
+#      error envelope (not a crash), and the checked-in corrupt ledger
+#      corpus (testdata/ledger/) that `sldm ledger summarize` must
+#      reject with a located "bad fingerprint" error.  The serve
+#      concurrency suite itself runs under tsan in stage 3.
 # Any test failure (or sanitizer report, which fails the test) aborts
 # with a nonzero exit.  Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -51,9 +58,9 @@ echo "check.sh: all tests passed under asan+ubsan"
 
 cmake --preset tsan
 cmake --build --preset tsan -j "$jobs" \
-  --target parallel_timing_test eco_timing_test telemetry_test
+  --target parallel_timing_test eco_timing_test telemetry_test serve_test
 ctest --preset tsan -j "$jobs" \
-  -R 'parallel_timing_test|eco_timing_test|telemetry_test'
+  -R 'parallel_timing_test|eco_timing_test|telemetry_test|serve_test'
 echo "check.sh: threaded suites passed under tsan"
 
 cmake --preset ubsan
@@ -226,3 +233,77 @@ if out/ubsan/examples/sldm bench diff "$smoke_dir/bench.json" \
   echo "check.sh: bench diff missed a 2x regression" >&2; exit 1
 fi
 echo "check.sh: bench diff gate passes identity, catches regression"
+
+# Serve smoke under asan: drive the pipe-mode service with a load/time
+# pair plus one malformed line.  The service must answer the malformed
+# line with a named error envelope instead of crashing, and the timing
+# response's report field must be byte-identical to a cold `sldm time`
+# run of the same netlist (the serve parity contract, FORMATS.md
+# section 14).
+out/asan/examples/sldm time "$smoke_dir/chain.sim" --model lumped \
+  > "$smoke_dir/cold_time.txt" 2> /dev/null
+printf '%s\n%s\n%s\n' \
+  '{"id":1,"kind":"load","path":"'"$smoke_dir"'/chain.sim","model":"lumped"}' \
+  '{this line is not json' \
+  '{"id":2,"kind":"stats"}' \
+  | out/asan/examples/sldm serve > "$smoke_dir/serve1.jsonl"
+python3 - "$smoke_dir/serve1.jsonl" "$smoke_dir/serve_time.req" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+by_id = {r.get("id"): r for r in lines}
+load = by_id.get(1)
+if not load or not load.get("ok"):
+    sys.exit(f"serve smoke: load failed: {load}")
+bad = [r for r in lines if r.get("error") == "parse"]
+if not bad:
+    sys.exit("serve smoke: malformed line produced no parse envelope")
+if not by_id.get(2, {}).get("ok"):
+    sys.exit("serve smoke: stats request after the bad line failed")
+fp = load["design"]
+with open(sys.argv[2], "w") as out:
+    out.write(json.dumps({"id": 3, "kind": "time", "design": fp,
+                          "model": "lumped"}) + "\n")
+    out.write(json.dumps({"id": 4, "kind": "explain", "design": fp,
+                          "model": "lumped", "node": "out"}) + "\n")
+    out.write(json.dumps({"id": 5, "kind": "eco", "design": fp,
+                          "model": "lumped",
+                          "script": "addcap out 5\n"}) + "\n")
+EOF
+# Full round-trip at --workers 1 (inline execution), so the eco line
+# deterministically sees no in-flight readers.
+{ printf '%s\n' \
+    '{"id":1,"kind":"load","path":"'"$smoke_dir"'/chain.sim","model":"lumped"}'
+  cat "$smoke_dir/serve_time.req"; } \
+  | out/asan/examples/sldm serve --workers 1 > "$smoke_dir/serve2.jsonl"
+python3 - "$smoke_dir/serve2.jsonl" "$smoke_dir/cold_time.txt" <<'EOF'
+import json, sys
+lines = [json.loads(l) for l in open(sys.argv[1]) if l.strip()]
+by_id = {r.get("id"): r for r in lines}
+time_resp = by_id.get(3)
+if not time_resp or not time_resp.get("ok"):
+    sys.exit(f"serve smoke: time request failed: {time_resp}")
+cold = open(sys.argv[2]).read()
+if time_resp["report"] != cold:
+    sys.exit("serve smoke: serve report differs from cold `sldm time`:\n"
+             f"serve: {time_resp['report']!r}\ncold:  {cold!r}")
+explain = by_id.get(4)
+if not explain or not explain.get("ok") or "explain" not in explain:
+    sys.exit(f"serve smoke: explain request failed: {explain}")
+eco = by_id.get(5)
+if not eco or not eco.get("ok") or eco.get("applied") != 1 \
+   or eco.get("design") == time_resp.get("design"):
+    sys.exit(f"serve smoke: eco request failed or did not re-key: {eco}")
+EOF
+echo "check.sh: serve pipe round-trip matches cold CLI, errors enveloped"
+
+# Malformed-ledger corpus: the checked-in corrupt line must be rejected
+# with a named, located error -- never an uncaught std::exception.
+if out/asan/examples/sldm ledger summarize testdata/ledger/corrupt.jsonl \
+    > /dev/null 2> "$smoke_dir/ledger_err.txt"; then
+  echo "check.sh: corrupt ledger corpus was accepted" >&2; exit 1
+fi
+grep -q 'bad fingerprint' "$smoke_dir/ledger_err.txt" \
+  || { echo "check.sh: corrupt ledger not rejected by name" >&2; exit 1; }
+grep -q 'corrupt.jsonl:2' "$smoke_dir/ledger_err.txt" \
+  || { echo "check.sh: corrupt ledger error lacks file:line" >&2; exit 1; }
+echo "check.sh: corrupt ledger corpus rejected with located error"

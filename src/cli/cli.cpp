@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <iostream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -25,6 +26,8 @@
 #include "netlist/eco_io.h"
 #include "netlist/sim_io.h"
 #include "netlist/stats.h"
+#include "serve/server.h"
+#include "serve/service.h"
 #include "tech/tech_io.h"
 #include "timing/charge_sharing.h"
 #include "timing/constraints.h"
@@ -278,7 +281,7 @@ Constraints seed_events(const Options& opts, const Netlist& nl,
     const auto slope_opt = opts.get("slope-ns");
     double slope_ns = 1.0;
     if (slope_opt) {
-      const auto v = parse_double(*slope_opt);
+      const auto v = parse_finite_double(*slope_opt);
       if (!v || *v < 0.0) throw Error("bad --slope-ns value");
       slope_ns = *v;
     }
@@ -607,7 +610,7 @@ int cmd_sim(const Options& opts, std::ostream& out, std::ostream&) {
   TransientOptions topt;
   double tstop_ns = 40.0;
   if (const auto t = opts.get("tstop-ns")) {
-    const auto v = parse_double(*t);
+    const auto v = parse_finite_double(*t);
     if (!v || *v <= 0.0) throw Error("bad --tstop-ns value");
     tstop_ns = *v;
   }
@@ -694,7 +697,7 @@ int cmd_fuzz(const Options& opts, std::ostream& out, std::ostream& err) {
     fopts.analog_every = static_cast<int>(*v);
   }
   if (const auto slope = opts.get("slope-ns")) {
-    const auto v = parse_double(*slope);
+    const auto v = parse_finite_double(*slope);
     if (!v || *v < 0.0) throw Error("bad --slope-ns value");
     fopts.input_slope = *v * 1e-9;
   }
@@ -812,8 +815,17 @@ std::map<std::string, double> read_bench_best(const std::string& path) {
     } catch (const Error& e) {
       throw Error(path + ":" + std::to_string(lineno) + ": " + e.what());
     }
-    const std::string name = obj.at("bench").as_string();
-    const double wall = obj.at("wall_seconds").as_number();
+    const JsonValue* bench = obj.is_object() ? obj.find("bench") : nullptr;
+    const JsonValue* seconds =
+        obj.is_object() ? obj.find("wall_seconds") : nullptr;
+    if (!bench || bench->kind() != JsonValue::Kind::kString || !seconds ||
+        seconds->kind() != JsonValue::Kind::kNumber) {
+      throw Error(path + ":" + std::to_string(lineno) +
+                  ": bench record needs a string \"bench\" and a numeric "
+                  "\"wall_seconds\" member");
+    }
+    const std::string name = bench->as_string();
+    const double wall = seconds->as_number();
     const auto it = best.find(name);
     if (it == best.end() || wall < it->second) best[name] = wall;
   }
@@ -827,7 +839,7 @@ int cmd_bench(const Options& opts, std::ostream& out, std::ostream& err) {
   }
   double max_regress = 10.0;
   if (const auto pct = opts.get("max-regress")) {
-    const auto v = parse_double(*pct);
+    const auto v = parse_finite_double(*pct);
     if (!v || *v < 0.0) throw Error("bad --max-regress value");
     max_regress = *v;
   }
@@ -874,6 +886,48 @@ int cmd_bench(const Options& opts, std::ostream& out, std::ostream& err) {
   return regressions > 0 ? 1 : 0;
 }
 
+int cmd_serve(const Options& opts, std::ostream& out, std::ostream& err) {
+  if (!opts.positional.empty()) {
+    throw UsageError(
+        "usage: serve [--max-inflight N] [--workers N] [--cache N] "
+        "[--tcp <port>] [--tech <spec>] [--ledger <file>]");
+  }
+  ServeOptions sopts;
+  if (const auto cache = opts.get("cache")) {
+    const auto v = parse_long(*cache);
+    if (!v || *v < 1) throw Error("bad --cache value");
+    sopts.cache_capacity = static_cast<int>(*v);
+  }
+  if (const auto tech = opts.get("tech")) sopts.default_tech = *tech;
+  if (const auto ledger = opts.get("ledger")) {
+    sopts.ledger_path = *ledger;
+  } else if (const char* env = std::getenv("SLDM_LEDGER");
+             env != nullptr && *env != '\0') {
+    sopts.ledger_path = env;
+  }
+  ServeLoopOptions lopts;
+  if (const auto v = opts.get("max-inflight")) {
+    const auto n = parse_long(*v);
+    if (!n || *n < 1) throw Error("bad --max-inflight value");
+    lopts.max_inflight = static_cast<int>(*n);
+  }
+  if (const auto v = opts.get("workers")) {
+    const auto n = parse_long(*v);
+    if (!n || *n < 1) throw Error("bad --workers value");
+    lopts.workers = static_cast<int>(*n);
+  }
+
+  TimingService service(sopts);
+  if (const auto port = opts.get("tcp")) {
+    const auto p = parse_long(*port);
+    if (!p || *p < 0 || *p > 65535) throw Error("bad --tcp port");
+    TcpServer server(service, lopts, static_cast<int>(*p));
+    err << "sldm serve listening on 127.0.0.1:" << server.port() << '\n';
+    return server.run();
+  }
+  return serve_pipe(service, std::cin, out, lopts);
+}
+
 int cmd_version(const Options&, std::ostream& out, std::ostream&) {
   out << "sldm " << sldm_version()
       << " (switch-level delay models, Ousterhout DAC 1984)\n"
@@ -916,6 +970,9 @@ const CommandSpec kCommands[] = {
      "per-design summary of a run-ledger file", cmd_ledger},
     {"bench", "bench diff <old.jsonl> <new.jsonl> [--max-regress <pct>]",
      "bench-record regression gate", cmd_bench},
+    {"serve", "serve [--max-inflight N] [--workers N] [--cache N] "
+     "[--tcp <port>]",
+     "long-lived concurrent timing service (JSON lines)", cmd_serve},
     {"version", "version", "engine and snapshot format versions",
      cmd_version},
 };

@@ -99,6 +99,27 @@
 //                                            1 when any bench regressed
 //                                            beyond the bound (default
 //                                            10%) or nothing joined
+//   sldm serve [options]                     long-lived concurrent timing
+//        --max-inflight <n>                  service speaking line-
+//        --workers <n>                       delimited JSON (FORMATS.md
+//        --cache <n>                         section 14) on stdin/stdout,
+//        --tcp <port>                        or on localhost TCP with
+//        --tech nmos|cmos|<file.tech>        --tcp (port 0 picks an
+//        --ledger <file>                     ephemeral port, announced on
+//                                            stderr); designs load once
+//                                            into an LRU cache (--cache,
+//                                            default 8) and concurrent
+//                                            time/explain/eco requests
+//                                            share them; beyond
+//                                            --max-inflight dispatched
+//                                            requests new lines are
+//                                            answered with a structured
+//                                            "overloaded" error instead
+//                                            of queueing; --tech sets the
+//                                            default for loads that name
+//                                            none; per-request ledger
+//                                            records via --ledger /
+//                                            SLDM_LEDGER
 //   sldm version                             engine + snapshot-format
 //                                            version
 //

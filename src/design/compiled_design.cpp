@@ -87,6 +87,11 @@ std::uint64_t design_fingerprint(const Netlist& nl, const Tech& tech) {
 
 std::shared_ptr<const CompiledDesign> CompiledDesign::compile(
     Netlist nl, Tech tech, const CompileOptions& options) {
+  return compile_owned(std::move(nl), std::move(tech), options);
+}
+
+std::shared_ptr<CompiledDesign> CompiledDesign::compile_owned(
+    Netlist nl, Tech tech, const CompileOptions& options) {
   auto design = std::shared_ptr<CompiledDesign>(new CompiledDesign());
   design->owned_nl_ = std::make_unique<Netlist>(std::move(nl));
   design->owned_tech_ = std::make_unique<Tech>(std::move(tech));

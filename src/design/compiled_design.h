@@ -79,6 +79,13 @@ class CompiledDesign {
   static std::shared_ptr<const CompiledDesign> compile(
       Netlist nl, Tech tech, const CompileOptions& options = {});
 
+  /// compile() keeping the mutable handle: for owners (the serve-layer
+  /// design cache) that hold a self-contained design yet must run
+  /// single-writer ECO updates through TimingAnalyzer.  Readers still
+  /// receive it as shared_ptr<const CompiledDesign>.
+  static std::shared_ptr<CompiledDesign> compile_owned(
+      Netlist nl, Tech tech, const CompileOptions& options = {});
+
   /// Compiles over borrowed references (the TimingAnalyzer facade
   /// path).  `nl` and `tech` must outlive the design.  Returned
   /// non-const so the single owner may run ECO updates through

@@ -195,6 +195,7 @@ void Session::publish_telemetry() const {
       format("s%llu", static_cast<unsigned long long>(session_id_));
   labels.model = model_.name();
   labels.threads = options_.threads;
+  labels.request = telemetry_request_;
   hub.publish(labels, metrics());
 }
 

@@ -220,12 +220,20 @@ class Session {
   std::uint64_t session_id() const { return session_id_; }
 
   /// Publishes a labeled snapshot of metrics() into the process-wide
-  /// TelemetryHub (labels: "s<id>", delay-model name, thread count).
-  /// Re-publishing replaces this session's earlier snapshot, so the
-  /// hub always holds the registry's latest cumulative state.  No-op
-  /// (one relaxed atomic load) while the hub is disabled; run() and
-  /// TimingAnalyzer::update() call this at completion.
+  /// TelemetryHub (labels: "s<id>", delay-model name, thread count,
+  /// plus the request label when set).  Re-publishing replaces this
+  /// session's earlier snapshot, so the hub always holds the registry's
+  /// latest cumulative state.  No-op (one relaxed atomic load) while
+  /// the hub is disabled; run() and TimingAnalyzer::update() call this
+  /// at completion.
   void publish_telemetry() const;
+
+  /// Tags this session's telemetry snapshots with a serve-traffic
+  /// request kind ("time", "explain", "eco"); empty (the default)
+  /// omits the label, keeping CLI-published snapshots unchanged.
+  void set_telemetry_request(std::string request) {
+    telemetry_request_ = std::move(request);
+  }
 
  private:
   /// ECO repair (TimingAnalyzer::update()) grows the key arrays,
@@ -283,6 +291,8 @@ class Session {
   std::vector<int> update_counts_;
   std::vector<std::uint32_t> seeds_;  ///< packed keys, insertion order
   bool ran_ = false;
+  /// Telemetry `request` label; empty outside the serve layer.
+  std::string telemetry_request_;
 
   // Metric storage: plain members, so constructing a session and the
   // hot loops pay a field update and never a map lookup or a string

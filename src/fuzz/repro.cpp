@@ -131,7 +131,7 @@ ReproCase load_repro(const std::string& path) {
       }
       c.threads = static_cast<int>(*v);
     } else if (key == "slope-ns") {
-      const auto v = parse_double(value);
+      const auto v = parse_finite_double(value);
       if (!v || *v < 0.0) {
         throw ParseError(path, lineno, "bad slope-ns '" + value + "'");
       }

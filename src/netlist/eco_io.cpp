@@ -52,11 +52,11 @@ std::vector<DeviceId> require_devices(const Netlist& nl,
 
 double require_positive(const std::string& token, const std::string& origin,
                         int lineno, const char* what) {
-  const auto v = parse_double(token);
-  // NaN fails every ordered comparison, so test finiteness explicitly --
-  // otherwise "nan"/"inf" (which strtod accepts) would slip through the
-  // sign checks and poison downstream resistances.
-  if (!v || !std::isfinite(*v) || *v <= 0.0) {
+  // parse_finite_double rejects "nan"/"inf" (which strtod accepts and
+  // which would slip through the sign check and poison downstream
+  // resistances) before the positivity test.
+  const auto v = parse_finite_double(token);
+  if (!v || *v <= 0.0) {
     throw ParseError(origin, lineno, std::string("bad ") + what + " '" +
                                          token + "' (finite positive number)");
   }
@@ -116,8 +116,8 @@ std::size_t apply_eco(std::istream& in, Netlist& nl,
         throw ParseError(origin, lineno,
                          kind + " record: " + kind + " <node> <fF>");
       }
-      const auto v = parse_double(tokens[2]);
-      if (!v || !std::isfinite(*v) || *v < 0.0) {
+      const auto v = parse_finite_double(tokens[2]);
+      if (!v || *v < 0.0) {
         throw ParseError(origin, lineno, "bad capacitance '" + tokens[2] +
                                              "' (finite non-negative fF)");
       }

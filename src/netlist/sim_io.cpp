@@ -48,7 +48,7 @@ Netlist read_sim(std::istream& in, const std::string& origin) {
       const auto tokens = split_ws(stripped.substr(1));
       for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
         if (to_lower(tokens[i]) == "units:") {
-          const auto v = parse_double(tokens[i + 1]);
+          const auto v = parse_finite_double(tokens[i + 1]);
           if (!v || *v <= 0.0) {
             throw ParseError(origin, lineno, "bad units value");
           }
@@ -66,8 +66,8 @@ Netlist read_sim(std::istream& in, const std::string& origin) {
         throw ParseError(origin, lineno,
                          "transistor record needs gate src drn length width");
       }
-      const auto l = parse_double(tokens[4]);
-      const auto w = parse_double(tokens[5]);
+      const auto l = parse_finite_double(tokens[4]);
+      const auto w = parse_finite_double(tokens[5]);
       if (!l || !w || *l <= 0.0 || *w <= 0.0) {
         throw ParseError(origin, lineno, "bad transistor dimensions");
       }
@@ -100,7 +100,7 @@ Netlist read_sim(std::istream& in, const std::string& origin) {
       if (tokens.size() != 3) {
         throw ParseError(origin, lineno, "cap record: c <node> <cap_fF>");
       }
-      const auto cap = parse_double(tokens[2]);
+      const auto cap = parse_finite_double(tokens[2]);
       if (!cap || *cap < 0.0) throw ParseError(origin, lineno, "bad cap");
       nl.add_cap(intern_node(nl, tokens[1]), *cap * units::fF);
       continue;
@@ -111,7 +111,7 @@ Netlist read_sim(std::istream& in, const std::string& origin) {
         throw ParseError(origin, lineno,
                          "cap record: C <node1> <node2> <cap_fF>");
       }
-      const auto cap = parse_double(tokens[3]);
+      const auto cap = parse_finite_double(tokens[3]);
       if (!cap || *cap < 0.0) throw ParseError(origin, lineno, "bad cap");
       // Crystal lumps internodal capacitance to ground at both ends.
       nl.add_cap(intern_node(nl, tokens[1]), *cap * units::fF);

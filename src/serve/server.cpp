@@ -1,0 +1,211 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+#include "util/strings.h"
+#include "util/thread_pool.h"
+
+namespace sldm {
+
+namespace {
+
+void check_loop_options(const ServeLoopOptions& options) {
+  if (options.max_inflight < 1) {
+    throw Error("serve needs --max-inflight >= 1");
+  }
+  if (options.workers < 1) throw Error("serve needs --workers >= 1");
+}
+
+}  // namespace
+
+int serve_pipe(TimingService& service, std::istream& in, std::ostream& out,
+               const ServeLoopOptions& options) {
+  check_loop_options(options);
+  ThreadPool pool(options.workers);
+  std::mutex out_mutex;
+  std::atomic<int> inflight{0};
+
+  // A shutdown response is written by its worker; the loop then exits
+  // on the flag (or on EOF when the client just closes the pipe).
+  std::string line;
+  while (!service.shutdown_requested() && std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (inflight.load(std::memory_order_acquire) >= options.max_inflight) {
+      const std::string response = service.overload_response(line);
+      std::lock_guard<std::mutex> lock(out_mutex);
+      out << response << '\n' << std::flush;
+      continue;
+    }
+    inflight.fetch_add(1, std::memory_order_acq_rel);
+    pool.submit([&service, &out, &out_mutex, &inflight, line] {
+      const std::string response = service.handle_line(line);
+      {
+        std::lock_guard<std::mutex> lock(out_mutex);
+        out << response << '\n' << std::flush;
+      }
+      inflight.fetch_sub(1, std::memory_order_acq_rel);
+    });
+  }
+  pool.wait();
+  return 0;
+}
+
+// ---- TCP front end -------------------------------------------------------
+
+namespace {
+
+/// Per-connection state shared between the reader thread and the
+/// worker tasks still writing responses for it; the socket closes when
+/// the last holder lets go.
+struct ConnState {
+  explicit ConnState(int f) : fd(f) {}
+  ~ConnState() { ::close(fd); }
+  ConnState(const ConnState&) = delete;
+  ConnState& operator=(const ConnState&) = delete;
+
+  int fd;
+  std::mutex write_mutex;  ///< whole-line response interleaving
+};
+
+/// Writes one response line, riding out partial sends.  A vanished
+/// peer just drops the response (the request still ran and was
+/// ledgered; there is nobody left to read the result).
+void write_line(ConnState& conn, const std::string& response) {
+  std::lock_guard<std::mutex> lock(conn.write_mutex);
+  const std::string framed = response + "\n";
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::send(conn.fd, framed.data() + off,
+                             framed.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+TcpServer::TcpServer(TimingService& service, const ServeLoopOptions& options,
+                     int port)
+    : service_(service), options_(options) {
+  check_loop_options(options_);
+  if (port < 0 || port > 65535) {
+    throw Error("TCP port must be in [0, 65535]");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw Error("cannot create a TCP socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // localhost only
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(format("cannot bind 127.0.0.1:%d", port));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error(format("cannot listen on 127.0.0.1:%d", port));
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+}
+
+TcpServer::~TcpServer() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+int TcpServer::run() {
+  ThreadPool pool(options_.workers);
+  std::atomic<int> inflight{0};
+  std::vector<std::thread> readers;
+  std::vector<std::shared_ptr<ConnState>> conns;
+  std::mutex conns_mutex;
+
+  // One reader thread per connection: splits the byte stream into
+  // lines and dispatches them exactly like the pipe loop; the
+  // admission cap spans all connections.
+  const auto serve_connection = [this, &pool,
+                                 &inflight](std::shared_ptr<ConnState> conn) {
+    std::string buffer;
+    char chunk[4096];
+    while (!service_.shutdown_requested()) {
+      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) break;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      std::size_t pos = 0;
+      while ((pos = buffer.find('\n')) != std::string::npos) {
+        std::string line = buffer.substr(0, pos);
+        buffer.erase(0, pos + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        if (line.empty()) continue;
+        if (inflight.load(std::memory_order_acquire) >=
+            options_.max_inflight) {
+          write_line(*conn, service_.overload_response(line));
+          continue;
+        }
+        inflight.fetch_add(1, std::memory_order_acq_rel);
+        pool.submit([this, conn, line = std::move(line), &inflight] {
+          write_line(*conn, service_.handle_line(line));
+          inflight.fetch_sub(1, std::memory_order_acq_rel);
+        });
+      }
+    }
+  };
+
+  while (!service_.shutdown_requested()) {
+    pollfd p{};
+    p.fd = listen_fd_;
+    p.events = POLLIN;
+    const int ready = ::poll(&p, 1, 200);  // re-check shutdown ~5x/s
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto conn = std::make_shared<ConnState>(fd);
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex);
+      conns.push_back(conn);
+    }
+    readers.emplace_back(serve_connection, std::move(conn));
+  }
+
+  // Drain: stop accepting, let in-flight workers finish their writes
+  // (so the shutdown ack reaches its client), then nudge blocked
+  // readers off recv(), join them, and wait again for anything they
+  // dispatched in between.
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  pool.wait();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex);
+    for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (std::thread& t : readers) t.join();
+  pool.wait();
+  return 0;
+}
+
+}  // namespace sldm

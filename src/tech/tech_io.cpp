@@ -63,7 +63,7 @@ Tech read_tech(std::istream& in, const std::string& origin) {
       if (tokens.size() != 4 || tokens[2] != "vdd") {
         throw ParseError(origin, lineno, "expected: tech <name> vdd <volts>");
       }
-      const auto vdd = parse_double(tokens[3]);
+      const auto vdd = parse_finite_double(tokens[3]);
       if (!vdd || *vdd <= 0.0) throw ParseError(origin, lineno, "bad vdd");
       tech = Tech(tokens[1], *vdd);
       have_header = true;
@@ -81,7 +81,7 @@ Tech read_tech(std::istream& in, const std::string& origin) {
       const TransistorType type = type_from_letter(tokens[1], origin, lineno);
       DeviceParams& p = tech.params(type);
       for (std::size_t i = 2; i + 1 < tokens.size(); i += 2) {
-        const auto v = parse_double(tokens[i + 1]);
+        const auto v = parse_finite_double(tokens[i + 1]);
         if (!v) {
           throw ParseError(origin, lineno, "bad value for " + tokens[i]);
         }

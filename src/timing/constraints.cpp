@@ -55,8 +55,8 @@ Constraints read_constraints(std::istream& in, const std::string& origin) {
         throw ParseError(origin, lineno,
                          "bad transition '" + tokens[2] + "'");
       }
-      const auto t = parse_double(tokens[4]);
-      const auto s = parse_double(tokens[6]);
+      const auto t = parse_finite_double(tokens[4]);
+      const auto s = parse_finite_double(tokens[6]);
       if (!t) throw ParseError(origin, lineno, "bad time");
       if (!s || *s < 0.0) throw ParseError(origin, lineno, "bad slope");
       c.time = *t * units::ns;
@@ -69,7 +69,7 @@ Constraints read_constraints(std::istream& in, const std::string& origin) {
       if (tokens.size() != 2) {
         throw ParseError(origin, lineno, "expected: require <ns>");
       }
-      const auto r = parse_double(tokens[1]);
+      const auto r = parse_finite_double(tokens[1]);
       if (!r || *r <= 0.0) throw ParseError(origin, lineno, "bad budget");
       out.required = *r * units::ns;
       continue;

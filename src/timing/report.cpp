@@ -23,11 +23,16 @@ std::string format_path(const Netlist& nl, const std::vector<PathStep>& path) {
 
 std::string format_output_arrivals(const Netlist& nl,
                                    const TimingAnalyzer& analyzer) {
+  return format_output_arrivals(nl, analyzer.session());
+}
+
+std::string format_output_arrivals(const Netlist& nl,
+                                   const Session& session) {
   TextTable table({"output", "rise (ns)", "fall (ns)"});
   for (NodeId n : nl.all_nodes()) {
     if (!nl.node(n).is_output) continue;
-    const auto rise = analyzer.arrival(n, Transition::kRise);
-    const auto fall = analyzer.arrival(n, Transition::kFall);
+    const auto rise = session.arrival(n, Transition::kRise);
+    const auto fall = session.arrival(n, Transition::kFall);
     table.add_row({nl.node(n).name.str(),
                    rise ? format("%.3f", to_ns(rise->time)) : "-",
                    fall ? format("%.3f", to_ns(fall->time)) : "-"});

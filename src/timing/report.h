@@ -14,6 +14,12 @@ std::string format_path(const Netlist& nl, const std::vector<PathStep>& path);
 std::string format_output_arrivals(const Netlist& nl,
                                    const TimingAnalyzer& analyzer);
 
+/// Session variant of the same table: the serve layer runs bare
+/// Sessions (no facade) and must emit byte-identical report text to
+/// the cold CLI path for the parity contract.
+std::string format_output_arrivals(const Netlist& nl,
+                                   const Session& session);
+
 /// A table of arrivals at every node that has any (Crystal's full
 /// listing); nodes with no arrivals are omitted.
 std::string format_all_arrivals(const Netlist& nl,

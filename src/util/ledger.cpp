@@ -107,7 +107,15 @@ std::vector<LedgerRecord> read_ledger_file(const std::string& path) {
     r.unix_ms = static_cast<std::int64_t>(number_or(obj, "unix_ms"));
     const std::string fp = string_or(obj, "fingerprint");
     if (!fp.empty()) {
-      r.fingerprint = std::stoull(fp, nullptr, 16);
+      // Untrusted field: a hand-edited or corrupt ledger must produce a
+      // diagnostic, not std::invalid_argument out of std::stoull.
+      const auto parsed = parse_hex_u64(fp);
+      if (!parsed) {
+        throw Error(path + ":" + std::to_string(lineno) +
+                    ": bad fingerprint '" + fp +
+                    "' (want 1-16 hex digits)");
+      }
+      r.fingerprint = *parsed;
     }
     r.source = string_or(obj, "source");
     r.model = string_or(obj, "model");

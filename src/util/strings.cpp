@@ -1,6 +1,8 @@
 #include "util/strings.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -57,12 +59,39 @@ bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+namespace {
+
+// True for "0x.."/"0X.." after an optional sign: strtod would parse it
+// as a hex float, which no sldm input format speaks.
+bool looks_hex(std::string_view token) {
+  std::size_t i = 0;
+  if (i < token.size() && (token[i] == '+' || token[i] == '-')) ++i;
+  return i + 1 < token.size() && token[i] == '0' &&
+         (token[i + 1] == 'x' || token[i + 1] == 'X');
+}
+
+}  // namespace
+
 std::optional<double> parse_double(std::string_view token) {
   if (token.empty()) return std::nullopt;
+  if (looks_hex(token)) return std::nullopt;
   std::string buf(token);
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(buf.c_str(), &end);
   if (end != buf.c_str() + buf.size()) return std::nullopt;
+  // ERANGE overflow saturates to +/-HUGE_VAL: an out-of-range literal,
+  // not a representable value.  ERANGE underflow (tiny denormals) is
+  // fine — the nearest representable value was returned.
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+std::optional<double> parse_finite_double(std::string_view token) {
+  const auto v = parse_double(token);
+  if (!v || !std::isfinite(*v)) return std::nullopt;
   return v;
 }
 
@@ -70,8 +99,29 @@ std::optional<long> parse_long(std::string_view token) {
   if (token.empty()) return std::nullopt;
   std::string buf(token);
   char* end = nullptr;
+  errno = 0;
   const long v = std::strtol(buf.c_str(), &end, 10);
   if (end != buf.c_str() + buf.size()) return std::nullopt;
+  if (errno == ERANGE) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> parse_hex_u64(std::string_view token) {
+  if (token.empty() || token.size() > 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : token) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return std::nullopt;
+    }
+    v = (v << 4) | static_cast<std::uint64_t>(digit);
+  }
   return v;
 }
 

@@ -1,5 +1,6 @@
 #include "util/telemetry.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <sstream>
@@ -77,6 +78,24 @@ void render_histogram(std::ostream& os, const std::string& name,
      << '\n';
 }
 
+/// Strict weak order over label identities, the deterministic merge
+/// order for aggregate(): vectors of snapshots sorted with this are a
+/// pure function of the stored set, independent of publish order.
+bool labels_before(const TelemetryLabels& a, const TelemetryLabels& b) {
+  if (a.session != b.session) return a.session < b.session;
+  if (a.model != b.model) return a.model < b.model;
+  if (a.threads != b.threads) return a.threads < b.threads;
+  return a.request < b.request;
+}
+
+void sort_by_labels(
+    std::vector<std::pair<TelemetryLabels, MetricsRegistry>>& snaps) {
+  std::stable_sort(snaps.begin(), snaps.end(),
+                   [](const auto& a, const auto& b) {
+                     return labels_before(a.first, b.first);
+                   });
+}
+
 }  // namespace
 
 std::string prometheus_name(const std::string& name) {
@@ -91,9 +110,15 @@ std::string prometheus_name(const std::string& name) {
 }
 
 std::string prometheus_labels(const TelemetryLabels& labels) {
-  return format("session=\"%s\",model=\"%s\",threads=\"%d\"",
-                escape_label_value(labels.session).c_str(),
-                escape_label_value(labels.model).c_str(), labels.threads);
+  std::string out =
+      format("session=\"%s\",model=\"%s\",threads=\"%d\"",
+             escape_label_value(labels.session).c_str(),
+             escape_label_value(labels.model).c_str(), labels.threads);
+  if (!labels.request.empty()) {
+    out += format(",request=\"%s\"",
+                  escape_label_value(labels.request).c_str());
+  }
+  return out;
 }
 
 std::string to_prometheus(const MetricsRegistry& registry,
@@ -147,9 +172,10 @@ std::size_t TelemetryHub::snapshot_count() const {
 }
 
 MetricsRegistry TelemetryHub::aggregate() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  auto snaps = snapshots();
+  sort_by_labels(snaps);
   MetricsRegistry merged;
-  for (const auto& [labels, registry] : snapshots_) {
+  for (const auto& [labels, registry] : snaps) {
     merged.merge(registry);
   }
   return merged;
@@ -161,18 +187,24 @@ void TelemetryHub::clear() {
 }
 
 std::string TelemetryHub::to_string() const {
-  const auto snaps = snapshots();
+  auto snaps = snapshots();
   std::ostringstream os;
   os << "telemetry hub: " << snaps.size() << " snapshot(s)\n";
-  MetricsRegistry merged;
   for (const auto& [labels, registry] : snaps) {
-    os << format("\n[session=\"%s\" model=\"%s\" threads=%d]\n",
+    os << format("\n[session=\"%s\" model=\"%s\" threads=%d",
                  labels.session.c_str(), labels.model.c_str(),
-                 labels.threads)
-       << registry.to_string();
-    merged.merge(registry);
+                 labels.threads);
+    if (!labels.request.empty()) {
+      os << format(" request=\"%s\"", labels.request.c_str());
+    }
+    os << "]\n" << registry.to_string();
   }
   if (snaps.size() > 1) {
+    // Fold in sorted label order (same as aggregate()) so the rendered
+    // aggregate never depends on which publisher raced in first.
+    sort_by_labels(snaps);
+    MetricsRegistry merged;
+    for (const auto& [labels, registry] : snaps) merged.merge(registry);
     os << "\naggregate over all snapshots:\n" << merged.to_string();
   }
   return os.str();

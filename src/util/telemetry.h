@@ -50,12 +50,24 @@ namespace sldm {
 /// The identity of one published snapshot.  Equal labels replace each
 /// other in the hub; distinct labels aggregate.
 struct TelemetryLabels {
+  TelemetryLabels() = default;
+  TelemetryLabels(std::string session_, std::string model_, int threads_,
+                  std::string request_ = std::string())
+      : session(std::move(session_)),
+        model(std::move(model_)),
+        threads(threads_),
+        request(std::move(request_)) {}
+
   std::string session;  ///< publisher id, e.g. "s12", "compile-4f2a"
   std::string model;    ///< DelayModel::name(), "-" when not applicable
   int threads = 1;      ///< worker threads the publisher ran with
+  /// Serve-traffic request kind ("time", "eco", ...); empty outside the
+  /// service, in which case the label is omitted from renderings.
+  std::string request;
 
   bool operator==(const TelemetryLabels& o) const {
-    return session == o.session && model == o.model && threads == o.threads;
+    return session == o.session && model == o.model &&
+           threads == o.threads && request == o.request;
   }
 };
 
@@ -100,9 +112,13 @@ class TelemetryHub {
   std::size_t snapshot_count() const;
 
   /// All snapshots folded into one registry with MetricsRegistry::merge
-  /// semantics, in first-publish order.  Thread-safe; throws Error if
-  /// two publishers registered the same histogram name with different
-  /// bucket layouts.
+  /// semantics.  The fold visits snapshots in sorted label order
+  /// (session, model, threads, request) -- NOT publish order -- so the
+  /// merge is a pure function of the stored snapshots: last-write gauge
+  /// resolution cannot depend on which publisher raced in first, and
+  /// repeated `sldm stats` renders of the same hub state agree.
+  /// Thread-safe; throws Error if two publishers registered the same
+  /// histogram name with different bucket layouts.
   MetricsRegistry aggregate() const;
 
   /// Drops every snapshot (the enabled flag is untouched).

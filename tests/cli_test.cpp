@@ -406,5 +406,30 @@ TEST(Cli, LoadingGarbageIsAnalysisError) {
   EXPECT_NE(r.err.find("not a .sldc"), std::string::npos);
 }
 
+TEST(Cli, LedgerSummarizeCorruptCorpusIsNamedError) {
+  // The checked-in corpus carries one good record and one with a
+  // non-hex fingerprint; the reader must fail with a located, named
+  // error (exit 1), never an uncaught exception (which would exit
+  // through std::terminate and fail this whole binary).
+  const std::string path =
+      std::string(SLDM_SOURCE_DIR) + "/testdata/ledger/corrupt.jsonl";
+  const CliRun r = run({"ledger", "summarize", path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("bad fingerprint"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find(":2:"), std::string::npos) << r.err;
+}
+
+TEST(Cli, BenchDiffRejectsMalformedRecordsWithLocation) {
+  TempFile good("bench_good.jsonl",
+                "{\"bench\":\"a\",\"wall_seconds\":1.0}\n");
+  TempFile bad("bench_bad.jsonl",
+               "{\"bench\":\"a\",\"wall_seconds\":1.0}\n"
+               "{\"bench\":42,\"wall_seconds\":1.0}\n");
+  const CliRun r = run({"bench", "diff", good.path(), bad.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find(":2:"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("wall_seconds"), std::string::npos) << r.err;
+}
+
 }  // namespace
 }  // namespace sldm

@@ -315,6 +315,51 @@ TEST(TelemetryHub, RepublishReplacesAndAggregateMergesAcrossLabels) {
             std::string::npos);
 }
 
+TEST(TelemetryHub, AggregateIsDeterministicAcrossPublishOrder) {
+  // Gauges are last-write-wins under merge, so the cross-label merge
+  // order must not depend on publish order (snapshot storage is
+  // publish-ordered): aggregate() sorts by labels first.
+  const auto aggregate_after = [](bool reversed) {
+    HubGuard guard;
+    TelemetryHub& hub = TelemetryHub::instance();
+    hub.enable();
+    MetricsRegistry a;
+    a.gauge("g").set(1.0);
+    a.counter("c").add(1);
+    MetricsRegistry b;
+    b.gauge("g").set(2.0);
+    b.counter("c").add(2);
+    if (reversed) {
+      hub.publish({"s2", "m", 1}, b);
+      hub.publish({"s1", "m", 1}, a);
+    } else {
+      hub.publish({"s1", "m", 1}, a);
+      hub.publish({"s2", "m", 1}, b);
+    }
+    return hub.aggregate();
+  };
+  const MetricsRegistry forward = aggregate_after(false);
+  const MetricsRegistry backward = aggregate_after(true);
+  EXPECT_EQ(forward.to_json(), backward.to_json());
+  // Sorted label order puts s2 last, so its gauge value wins.
+  EXPECT_DOUBLE_EQ(forward.find_gauge("g")->value(), 2.0);
+  EXPECT_EQ(forward.find_counter("c")->value(), 3u);
+}
+
+TEST(TelemetryHub, RequestLabelRendersOnlyWhenSet) {
+  TelemetryLabels plain;
+  plain.session = "s1";
+  plain.model = "m";
+  plain.threads = 2;
+  EXPECT_EQ(prometheus_labels(plain),
+            "session=\"s1\",model=\"m\",threads=\"2\"");
+  TelemetryLabels tagged = plain;
+  tagged.request = "time";
+  EXPECT_EQ(prometheus_labels(tagged),
+            "session=\"s1\",model=\"m\",threads=\"2\",request=\"time\"");
+  EXPECT_FALSE(plain == tagged);
+}
+
 TEST(TelemetryHub, ConcurrentPublishersAndReaders) {
   HubGuard guard;
   TelemetryHub& hub = TelemetryHub::instance();
@@ -453,6 +498,36 @@ TEST(Ledger, MalformedLineReportsPathAndLine) {
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
   }
+}
+
+TEST(Ledger, BadFingerprintIsANamedErrorWithLocation) {
+  const std::string path = temp_path("badfp.jsonl");
+  {
+    std::ofstream out(path);
+    out << "{\"kind\":\"run\",\"outcome\":\"ok\",\"threads\":1}\n"
+        << "{\"kind\":\"run\",\"fingerprint\":\"xyzw\","
+           "\"outcome\":\"ok\",\"threads\":1}\n";
+  }
+  try {
+    read_ledger_file(path);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path + ":2:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bad fingerprint"), std::string::npos) << msg;
+  }
+}
+
+TEST(Ledger, OverlongFingerprintIsRejected) {
+  const std::string path = temp_path("longfp.jsonl");
+  {
+    std::ofstream out(path);
+    // 17 hex digits: one past what a u64 can hold; the old stoull path
+    // silently truncated values like this (or aborted on non-hex).
+    out << "{\"kind\":\"run\",\"fingerprint\":\"00000000deadbeef0\","
+           "\"outcome\":\"ok\",\"threads\":1}\n";
+  }
+  EXPECT_THROW(read_ledger_file(path), Error);
 }
 
 TEST(Ledger, MissingKindIsRejected) {

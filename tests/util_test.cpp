@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <string>
 
 #include "util/contracts.h"
@@ -192,9 +193,40 @@ TEST(Strings, ParseDoubleStrict) {
   EXPECT_FALSE(parse_double("").has_value());
 }
 
+TEST(Strings, ParseDoubleRejectsOverflowAndHexFloats) {
+  // Pre-fix, "1e999" sailed through strtod as +inf with errno unset
+  // by the caller, and "0x10" parsed as a C99 hex float.
+  EXPECT_FALSE(parse_double("1e999").has_value());
+  EXPECT_FALSE(parse_double("-1e999").has_value());
+  EXPECT_FALSE(parse_double("0x10").has_value());
+  EXPECT_FALSE(parse_double("-0X1p4").has_value());
+  // Underflow and explicit non-finite spellings stay parseable...
+  EXPECT_DOUBLE_EQ(*parse_double("1e-999"), 0.0);
+  EXPECT_TRUE(std::isinf(*parse_double("inf")));
+  EXPECT_TRUE(std::isnan(*parse_double("nan")));
+  // ...but the finite variant refuses them.
+  EXPECT_FALSE(parse_finite_double("inf").has_value());
+  EXPECT_FALSE(parse_finite_double("-inf").has_value());
+  EXPECT_FALSE(parse_finite_double("nan").has_value());
+  EXPECT_DOUBLE_EQ(*parse_finite_double("2.5e-9"), 2.5e-9);
+}
+
 TEST(Strings, ParseLongStrict) {
   EXPECT_EQ(*parse_long("-17"), -17);
   EXPECT_FALSE(parse_long("17.0").has_value());
+  EXPECT_FALSE(parse_long("99999999999999999999").has_value());
+  EXPECT_FALSE(parse_long("-99999999999999999999").has_value());
+}
+
+TEST(Strings, ParseHexU64) {
+  EXPECT_EQ(*parse_hex_u64("00af"), 0xafu);
+  EXPECT_EQ(*parse_hex_u64("FFFFFFFFFFFFFFFF"), ~std::uint64_t{0});
+  EXPECT_EQ(*parse_hex_u64("0000000000000000"), 0u);
+  EXPECT_FALSE(parse_hex_u64("").has_value());
+  EXPECT_FALSE(parse_hex_u64("0x10").has_value());
+  EXPECT_FALSE(parse_hex_u64("-1").has_value());
+  EXPECT_FALSE(parse_hex_u64("xyzw").has_value());
+  EXPECT_FALSE(parse_hex_u64("00000000deadbeef0").has_value());  // 17 digits
 }
 
 TEST(Strings, Format) {
