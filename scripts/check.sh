@@ -32,7 +32,15 @@
 #      error envelope (not a crash), and the checked-in corrupt ledger
 #      corpus (testdata/ledger/) that `sldm ledger summarize` must
 #      reject with a located "bad fingerprint" error.  The serve
-#      concurrency suite itself runs under tsan in stage 3.
+#      concurrency suite itself runs under tsan in stage 3;
+#  10. a chaos smoke under asan: a fixed-seed failpoint schedule
+#      (FORMATS.md section 15) driven through pipe-mode serve and a
+#      localhost TCP connection must answer exactly one envelope per
+#      request line without crashing, every surviving ledger line must
+#      parse whole, and SIGTERM must drain the TCP server to exit 0.
+#      (tests/chaos_test.cpp is deliberately absent from the tsan
+#      stage: it raises real signals, which interact badly with
+#      sanitizer signal interposition.)
 # Any test failure (or sanitizer report, which fails the test) aborts
 # with a nonzero exit.  Usage: scripts/check.sh [-j N]
 set -euo pipefail
@@ -307,3 +315,86 @@ grep -q 'bad fingerprint' "$smoke_dir/ledger_err.txt" \
 grep -q 'corrupt.jsonl:2' "$smoke_dir/ledger_err.txt" \
   || { echo "check.sh: corrupt ledger error lacks file:line" >&2; exit 1; }
 echo "check.sh: corrupt ledger corpus rejected with located error"
+
+# Chaos smoke under asan: arm a fixed-seed failpoint schedule
+# (FORMATS.md section 15) and drive the same request mix through
+# pipe-mode serve and a localhost TCP connection.  Faults fire at the
+# ledger, cache, pool, and dispatch sites; the contract is exactly one
+# envelope per request line (ok or a named error), a parseable ledger,
+# no crash, and a clean SIGTERM drain to exit 0.
+chaos_fp='ledger.append=error*1in3@7,cache.insert=error*1in5@11'
+chaos_fp="$chaos_fp,cache.evict=partial*1in2@13,pool.submit=error*1in6@17"
+chaos_fp="$chaos_fp,serve.request=error*1in7@19"
+fp=$(printf '%s\n' \
+  '{"id":1,"kind":"load","path":"'"$smoke_dir"'/chain.sim","model":"lumped"}' \
+  | out/asan/examples/sldm serve \
+  | python3 -c 'import json,sys; print(json.load(sys.stdin)["design"])')
+python3 - "$smoke_dir/chain.sim" "$fp" "$smoke_dir/chaos.req" <<'EOF'
+import json, sys
+sim, fp = sys.argv[1], sys.argv[2]
+with open(sys.argv[3], "w") as out:
+    for rnd in range(5):
+        base = rnd * 10
+        out.write(json.dumps({"id": base + 1, "kind": "load", "path": sim,
+                              "model": "lumped"}) + "\n")
+        out.write(json.dumps({"id": base + 2, "kind": "time", "design": fp,
+                              "model": "lumped"}) + "\n")
+        out.write(json.dumps({"id": base + 3, "kind": "frobnicate"}) + "\n")
+        out.write("{this line is not json\n")
+        out.write(json.dumps({"id": base + 5, "kind": "stats"}) + "\n")
+EOF
+out/asan/examples/sldm serve --workers 2 --failpoints "$chaos_fp" \
+  --ledger "$smoke_dir/chaos_ledger.jsonl" \
+  < "$smoke_dir/chaos.req" > "$smoke_dir/chaos_pipe.jsonl" \
+  2> "$smoke_dir/chaos_pipe.err" \
+  || { echo "check.sh: pipe-mode serve crashed under failpoints" >&2
+       exit 1; }
+python3 - "$smoke_dir/chaos.req" "$smoke_dir/chaos_pipe.jsonl" \
+  "$smoke_dir/chaos_ledger.jsonl" <<'EOF'
+import json, os, sys
+requests = [l for l in open(sys.argv[1]) if l.strip()]
+responses = [l for l in open(sys.argv[2]) if l.strip()]
+if len(responses) != len(requests):
+    sys.exit(f"chaos smoke: {len(requests)} request lines but "
+             f"{len(responses)} response lines")
+for line in responses:
+    r = json.loads(line)
+    if not (r.get("ok") or r.get("error")):
+        sys.exit(f"chaos smoke: envelope neither ok nor error: {r}")
+if os.path.exists(sys.argv[3]):
+    for line in open(sys.argv[3]):
+        json.loads(line)  # error appends refuse before writing a byte
+EOF
+echo "check.sh: pipe-mode chaos answered every line, ledger intact"
+
+out/asan/examples/sldm serve --tcp 0 --workers 2 \
+  --failpoints "$chaos_fp" 2> "$smoke_dir/chaos_tcp.err" &
+serve_pid=$!
+port=""
+for _ in $(seq 100); do
+  port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+    "$smoke_dir/chaos_tcp.err")
+  [ -n "$port" ] && break
+  sleep 0.1
+done
+[ -n "$port" ] || { echo "check.sh: chaos TCP server never announced" >&2
+                    kill "$serve_pid" 2> /dev/null; exit 1; }
+python3 - "$port" "$smoke_dir/chaos.req" <<'EOF'
+import json, socket, sys
+with socket.create_connection(("127.0.0.1", int(sys.argv[1])),
+                              timeout=30) as s:
+    f = s.makefile("rw", encoding="utf-8", newline="\n")
+    requests = [l for l in open(sys.argv[2]) if l.strip()]
+    for line in requests:
+        f.write(line)
+    f.flush()
+    for _ in requests:
+        r = json.loads(f.readline())
+        if not (r.get("ok") or r.get("error")):
+            sys.exit(f"chaos smoke: TCP envelope neither ok nor error: {r}")
+EOF
+kill -TERM "$serve_pid"
+wait "$serve_pid" \
+  || { echo "check.sh: SIGTERM did not drain the TCP server to exit 0" >&2
+       exit 1; }
+echo "check.sh: TCP chaos answered every line, SIGTERM drained to exit 0"

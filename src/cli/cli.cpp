@@ -36,6 +36,7 @@
 #include "timing/slack.h"
 #include "util/contracts.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/json.h"
 #include "util/ledger.h"
 #include "util/strings.h"
@@ -250,12 +251,11 @@ class LedgerScope {
   }
   ~LedgerScope() {
     if (!path_) return;
-    try {
-      append_ledger_record(*path_, record_);
-    } catch (const Error&) {
-      // Best-effort by design: a failing ledger append must not turn a
-      // finished analysis into an error exit.
-    }
+    // Best-effort by design: a failing ledger append must not turn a
+    // finished analysis into an error exit -- but it is surfaced
+    // (ledger.append_failures counter, one stderr warning) instead of
+    // silently losing history.
+    try_append_ledger_record(*path_, record_);
   }
   LedgerScope(const LedgerScope&) = delete;
   LedgerScope& operator=(const LedgerScope&) = delete;
@@ -890,7 +890,8 @@ int cmd_serve(const Options& opts, std::ostream& out, std::ostream& err) {
   if (!opts.positional.empty()) {
     throw UsageError(
         "usage: serve [--max-inflight N] [--workers N] [--cache N] "
-        "[--tcp <port>] [--tech <spec>] [--ledger <file>]");
+        "[--tcp <port>] [--tech <spec>] [--ledger <file>] "
+        "[--deadline-ms N] [--max-line-bytes N] [--failpoints <spec>]");
   }
   ServeOptions sopts;
   if (const auto cache = opts.get("cache")) {
@@ -905,6 +906,11 @@ int cmd_serve(const Options& opts, std::ostream& out, std::ostream& err) {
              env != nullptr && *env != '\0') {
     sopts.ledger_path = env;
   }
+  if (const auto v = opts.get("deadline-ms")) {
+    const auto d = parse_finite_double(*v);
+    if (!d || *d < 0.0) throw Error("bad --deadline-ms value");
+    sopts.default_deadline_ms = *d;
+  }
   ServeLoopOptions lopts;
   if (const auto v = opts.get("max-inflight")) {
     const auto n = parse_long(*v);
@@ -915,6 +921,11 @@ int cmd_serve(const Options& opts, std::ostream& out, std::ostream& err) {
     const auto n = parse_long(*v);
     if (!n || *n < 1) throw Error("bad --workers value");
     lopts.workers = static_cast<int>(*n);
+  }
+  if (const auto v = opts.get("max-line-bytes")) {
+    const auto n = parse_long(*v);
+    if (!n || *n < 64) throw Error("bad --max-line-bytes value (need >= 64)");
+    lopts.max_line_bytes = static_cast<std::size_t>(*n);
   }
 
   TimingService service(sopts);
@@ -971,7 +982,7 @@ const CommandSpec kCommands[] = {
     {"bench", "bench diff <old.jsonl> <new.jsonl> [--max-regress <pct>]",
      "bench-record regression gate", cmd_bench},
     {"serve", "serve [--max-inflight N] [--workers N] [--cache N] "
-     "[--tcp <port>]",
+     "[--tcp <port>] [--deadline-ms N] [--max-line-bytes N]",
      "long-lived concurrent timing service (JSON lines)", cmd_serve},
     {"version", "version", "engine and snapshot format versions",
      cmd_version},
@@ -996,6 +1007,23 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   }
   try {
     const Options opts = parse_options(args, 1);
+    // Fault injection is armed before dispatch so every command --
+    // not just serve -- runs its I/O boundaries under the configured
+    // schedule.  The flag wins over the environment; the banner goes
+    // to stderr so piped stdout protocols stay clean.
+    std::optional<std::string> failpoints = opts.get("failpoints");
+    if (!failpoints) {
+      if (const char* env = std::getenv("SLDM_FAILPOINTS");
+          env != nullptr && *env != '\0') {
+        failpoints = std::string(env);
+      }
+    }
+    if (failpoints) {
+      FailpointRegistry::instance().configure(*failpoints);
+      if (failpoints_armed()) {
+        err << "sldm: failpoints armed: " << *failpoints << '\n';
+      }
+    }
     for (const CommandSpec& c : kCommands) {
       if (args[0] == c.name) return c.run(opts, out, err);
     }

@@ -106,8 +106,8 @@
 //        --tcp <port>                        or on localhost TCP with
 //        --tech nmos|cmos|<file.tech>        --tcp (port 0 picks an
 //        --ledger <file>                     ephemeral port, announced on
-//                                            stderr); designs load once
-//                                            into an LRU cache (--cache,
+//        --deadline-ms <n>                   stderr); designs load once
+//        --max-line-bytes <n>                into an LRU cache (--cache,
 //                                            default 8) and concurrent
 //                                            time/explain/eco requests
 //                                            share them; beyond
@@ -119,9 +119,25 @@
 //                                            default for loads that name
 //                                            none; per-request ledger
 //                                            records via --ledger /
-//                                            SLDM_LEDGER
+//                                            SLDM_LEDGER; --deadline-ms
+//                                            sets a server-wide default
+//                                            request deadline (requests
+//                                            override via "deadline_ms";
+//                                            expiry answers the named
+//                                            "deadline" envelope); lines
+//                                            over --max-line-bytes
+//                                            (default 1 MiB) are refused
+//                                            with "too-large"; SIGINT /
+//                                            SIGTERM drain: stop
+//                                            admission, answer in-flight
+//                                            requests, exit 0 (second
+//                                            signal force-exits 130)
 //   sldm version                             engine + snapshot-format
 //                                            version
+//
+// Every command also honors --failpoints <spec> / SLDM_FAILPOINTS for
+// deterministic fault injection at I/O boundaries (grammar and site
+// inventory in FORMATS.md section 15).
 //
 // The command table in cli.cpp (kCommands) is the single source of
 // truth for dispatch and the usage() synopsis list.

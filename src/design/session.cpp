@@ -222,15 +222,16 @@ void Session::evaluate_batch(std::span<const StageStore::StageId> ids,
                           input_slopes.subspan(begin, end - begin),
                           out.subspan(begin, end - begin));
   };
-  for (std::size_t c = 1; c < nchunks; ++c) {
-    pool_->submit([&run_chunk, c] { run_chunk(c); });
-  }
   try {
+    for (std::size_t c = 1; c < nchunks; ++c) {
+      pool_->submit([&run_chunk, c] { run_chunk(c); });
+    }
     run_chunk(0);
   } catch (...) {
-    // The workers still hold references into this frame; drain them
-    // before unwinding (their failures, if any, stay suppressed -- the
-    // inline chunk's exception already carries the diagnosis).
+    // Both a refused submit and a failing inline chunk land here.  The
+    // workers still hold references into this frame; drain them before
+    // unwinding (their failures, if any, stay suppressed -- the first
+    // exception already carries the diagnosis).
     try {
       pool_->wait();
     } catch (...) {
@@ -257,6 +258,10 @@ void Session::propagate(std::deque<std::uint32_t>& work,
   std::vector<DelayEstimate> ests;
 
   while (!work.empty()) {
+    // Cooperative deadline: checked once per wavefront (not per stage),
+    // so the token never perturbs pricing or commit order -- a run that
+    // completes under a deadline is bit-identical to one without.
+    if (cancel_) cancel_->check("propagate");
     const double wave_t0_us = tracing ? tracer.now_us() : 0.0;
 
     // --- Gather: snapshot the ready frontier.  Every event currently

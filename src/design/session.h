@@ -35,6 +35,7 @@
 
 #include "delay/model.h"
 #include "design/compiled_design.h"
+#include "util/cancel.h"
 #include "util/metrics.h"
 #include "util/thread_pool.h"
 
@@ -235,6 +236,15 @@ class Session {
     telemetry_request_ = std::move(request);
   }
 
+  /// Attaches a cooperative cancellation token (deadline-aware serve).
+  /// Propagation consults it once per wavefront batch and aborts with
+  /// CancelledError once expired -- coarse enough that a run which
+  /// *completes* is bit-identical to the same run with no token, since
+  /// the token can only abort work, never reorder or reprice it.  The
+  /// token is borrowed: it must outlive run()/update(), and nullptr
+  /// (the default) detaches.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+
  private:
   /// ECO repair (TimingAnalyzer::update()) grows the key arrays,
   /// invalidates damaged arrivals, and re-propagates in place.
@@ -293,6 +303,8 @@ class Session {
   bool ran_ = false;
   /// Telemetry `request` label; empty outside the serve layer.
   std::string telemetry_request_;
+  /// Borrowed cooperative deadline; null outside deadline-aware serve.
+  const CancelToken* cancel_ = nullptr;
 
   // Metric storage: plain members, so constructing a session and the
   // hot loops pay a field update and never a map lookup or a string

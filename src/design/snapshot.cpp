@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/error.h"
+#include "util/failpoint.h"
 
 namespace sldm {
 namespace {
@@ -619,19 +620,34 @@ LoadedDesign deserialize_design(const std::vector<std::uint8_t>& bytes,
 
 void save_design_file(const CompiledDesign& design, const std::string& path,
                       const SlopeTables* tables) {
+  // Failpoint "snapshot.write": `error` refuses before the file is
+  // touched; `partial` truncates to half the payload and throws --
+  // leaving exactly the torn file a crash mid-write would, which the
+  // loader must reject by section checksum, never accept.
+  const bool partial = failpoint("snapshot.write");
   const Bytes bytes = serialize_design(design, tables);
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) throw Error("cannot create snapshot file " + path);
+  const std::size_t n = partial ? bytes.size() / 2 : bytes.size();
   out.write(reinterpret_cast<const char*>(bytes.data()),
-            static_cast<std::streamsize>(bytes.size()));
+            static_cast<std::streamsize>(n));
+  if (partial) {
+    out.flush();
+    throw Error("short write to snapshot file " + path);
+  }
   if (!out) throw Error("short write to snapshot file " + path);
 }
 
 LoadedDesign load_design_file(const std::string& path) {
+  // Failpoint "snapshot.read": `error` models an unreadable file;
+  // `partial` models a truncated read -- deserialize_design must turn
+  // either into a named rejection, never a crash or a wrong design.
+  const bool partial = failpoint("snapshot.read");
   std::ifstream in(path, std::ios::binary);
   if (!in) throw Error("cannot open snapshot file " + path);
   Bytes bytes((std::istreambuf_iterator<char>(in)),
               std::istreambuf_iterator<char>());
+  if (partial) bytes.resize(bytes.size() / 2);
   return deserialize_design(bytes, path);
 }
 

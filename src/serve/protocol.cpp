@@ -1,6 +1,9 @@
 #include "serve/protocol.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 
 #include "util/json.h"
@@ -74,6 +77,16 @@ double optional_slope_ns(const JsonValue& obj) {
   return v;
 }
 
+double optional_deadline_ms(const JsonValue& obj) {
+  const double v = optional_number(obj, "deadline_ms", 0.0);
+  if (!std::isfinite(v) || v < 0.0) {
+    throw RequestError(
+        kBadRequest,
+        "\"deadline_ms\" must be a finite non-negative number");
+  }
+  return v;
+}
+
 }  // namespace
 
 ServeRequest parse_request(const std::string& line) {
@@ -110,6 +123,7 @@ ServeRequest parse_request(const std::string& line) {
     req.model = optional_string(obj, "model", "slope");
     req.threads = optional_threads(obj);
     req.slope_ns = optional_slope_ns(obj);
+    req.deadline_ms = optional_deadline_ms(obj);
     if (req.kind == RequestKind::kExplain) {
       req.node = require_string(obj, "node");
       req.dir = optional_string(obj, "dir", "");
@@ -146,6 +160,53 @@ std::string request_id_token(const std::string& line) {
   } catch (const Error&) {
     return "";
   }
+}
+
+std::string request_id_token_prefix(const std::string& prefix) {
+  const std::string parsed = request_id_token(prefix);
+  if (!parsed.empty()) return parsed;
+  const auto key = prefix.find("\"id\"");
+  if (key == std::string::npos) return "";
+  std::size_t i = key + 4;
+  const auto skip_ws = [&] {
+    while (i < prefix.size() &&
+           std::isspace(static_cast<unsigned char>(prefix[i]))) {
+      ++i;
+    }
+  };
+  skip_ws();
+  if (i >= prefix.size() || prefix[i] != ':') return "";
+  ++i;
+  skip_ws();
+  if (i >= prefix.size()) return "";
+  if (prefix[i] == '"') {
+    const auto close = prefix.find('"', i + 1);
+    if (close == std::string::npos) return "";
+    // An escape anywhere in the body means `close` may be an escaped
+    // quote, not the terminator; give up rather than guess.
+    const std::string body = prefix.substr(i + 1, close - i - 1);
+    if (body.find('\\') != std::string::npos) return "";
+    return prefix.substr(i, close - i + 1);
+  }
+  std::size_t end = i;
+  while (end < prefix.size()) {
+    const char c = prefix[end];
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+        c == '+' || c == '.' || c == 'e' || c == 'E') {
+      ++end;
+    } else {
+      break;
+    }
+  }
+  // A numeric token running into the truncation point may have lost
+  // digits; only trust one terminated inside the prefix.
+  if (end == i || end == prefix.size()) return "";
+  const std::string token = prefix.substr(i, end - i);
+  char* stop = nullptr;
+  errno = 0;
+  (void)std::strtod(token.c_str(), &stop);
+  if (errno != 0 || stop != token.c_str() + token.size()) return "";
+  return token;
 }
 
 std::string error_response(const std::string& id_token, const char* error,

@@ -31,6 +31,8 @@ inline constexpr const char* kUnknownDesign = "unknown-design";
 inline constexpr const char* kOverloaded = "overloaded";
 inline constexpr const char* kEcoShared = "eco-shared";
 inline constexpr const char* kFailed = "failed";
+inline constexpr const char* kDeadline = "deadline";
+inline constexpr const char* kTooLarge = "too-large";
 }  // namespace serve_errors
 
 enum class RequestKind { kLoad, kTime, kExplain, kEco, kStats, kShutdown };
@@ -53,6 +55,12 @@ struct ServeRequest {
   std::string model = "slope";
   int threads = 1;
   double slope_ns = 1.0;
+  /// Cooperative per-request deadline in milliseconds; 0 (the default)
+  /// means no request-level deadline (the server-wide default, if any,
+  /// still applies).  Expiry aborts propagation between wavefronts and
+  /// answers with the named "deadline" envelope; partial arrivals are
+  /// discarded, so the design cache is untouched.
+  double deadline_ms = 0.0;
 
   // explain
   std::string node;
@@ -83,6 +91,13 @@ ServeRequest parse_request(const std::string& line);
 /// for envelopes written before parsing completes (overload rejection).
 /// Returns a rendered JSON token, or "" when absent or unrecoverable.
 std::string request_id_token(const std::string& line);
+
+/// Like request_id_token, but for a *truncated* prefix of an oversized
+/// line (the too-large envelope): falls back to scanning for a
+/// complete `"id":<scalar>` member when the full parse fails.  A value
+/// that may itself be cut off by the truncation yields "" rather than
+/// a corrupt id.
+std::string request_id_token_prefix(const std::string& prefix);
 
 /// The error envelope for `id_token` (may be empty) and a named error.
 std::string error_response(const std::string& id_token, const char* error,

@@ -1,13 +1,18 @@
 #include "serve/server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <istream>
 #include <memory>
 #include <mutex>
@@ -15,7 +20,9 @@
 #include <thread>
 #include <vector>
 
+#include "serve/protocol.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 #include "util/thread_pool.h"
 
@@ -28,6 +35,113 @@ void check_loop_options(const ServeLoopOptions& options) {
     throw Error("serve needs --max-inflight >= 1");
   }
   if (options.workers < 1) throw Error("serve needs --workers >= 1");
+  if (options.max_line_bytes < 64) {
+    throw Error("serve needs --max-line-bytes >= 64");
+  }
+}
+
+// ---- Signal drain --------------------------------------------------------
+//
+// Classic self-pipe: the handler only flips an atomic and writes one
+// byte to a nonblocking pipe the accept loop polls.  sa_flags
+// deliberately omits SA_RESTART so a read blocked in recv()/getline()
+// wakes with EINTR and notices the flag.  A second signal means the
+// operator insists: _exit immediately (128 + SIGINT's 2 = 130, the
+// shell convention for a signal death).
+
+std::atomic<bool> g_drain_signalled{false};
+std::atomic<int> g_signal_pipe_write{-1};
+
+extern "C" void serve_drain_handler(int /*sig*/) {
+  if (g_drain_signalled.exchange(true)) _exit(130);
+  const int fd = g_signal_pipe_write.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    const char byte = 1;
+    // Best-effort wake; a full pipe already woke the loop.
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
+  }
+}
+
+bool drain_signalled() {
+  return g_drain_signalled.load(std::memory_order_acquire);
+}
+
+/// Installs the drain handlers for the lifetime of one serve loop and
+/// restores the previous dispositions on exit (tests run loops
+/// back-to-back in one process).
+class SignalDrain {
+ public:
+  SignalDrain() {
+    if (::pipe(fds_) != 0) fds_[0] = fds_[1] = -1;
+    for (const int fd : fds_) {
+      if (fd >= 0) ::fcntl(fd, F_SETFL, O_NONBLOCK);
+    }
+    g_drain_signalled.store(false, std::memory_order_release);
+    g_signal_pipe_write.store(fds_[1], std::memory_order_release);
+    struct sigaction sa{};
+    sa.sa_handler = serve_drain_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: blocked reads must see EINTR
+    ::sigaction(SIGINT, &sa, &old_int_);
+    ::sigaction(SIGTERM, &sa, &old_term_);
+  }
+
+  ~SignalDrain() {
+    ::sigaction(SIGINT, &old_int_, nullptr);
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+    g_signal_pipe_write.store(-1, std::memory_order_release);
+    for (const int fd : fds_) {
+      if (fd >= 0) ::close(fd);
+    }
+  }
+
+  SignalDrain(const SignalDrain&) = delete;
+  SignalDrain& operator=(const SignalDrain&) = delete;
+
+  bool signalled() const { return drain_signalled(); }
+  /// The read end the accept loop polls alongside the listen socket.
+  int fd() const { return fds_[0]; }
+
+ private:
+  int fds_[2] = {-1, -1};
+  struct sigaction old_int_ {};
+  struct sigaction old_term_ {};
+};
+
+// ---- EINTR-safe syscall wrappers -----------------------------------------
+//
+// Every blocking call retries on EINTR *unless* the interrupt was our
+// own drain signal, in which case the call returns its error so the
+// caller's loop condition can exit.  Without these, any signal -- a
+// harmless SIGWINCH under a debugger, a profiler's SIGPROF -- would
+// sporadically sever connections.
+
+ssize_t recv_intr(int fd, void* buf, std::size_t len) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, len, 0);
+    if (n >= 0 || errno != EINTR || drain_signalled()) return n;
+  }
+}
+
+ssize_t send_intr(int fd, const void* buf, std::size_t len) {
+  while (true) {
+    const ssize_t n = ::send(fd, buf, len, MSG_NOSIGNAL);
+    if (n >= 0 || errno != EINTR || drain_signalled()) return n;
+  }
+}
+
+int accept_intr(int fd) {
+  while (true) {
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0 || errno != EINTR || drain_signalled()) return conn;
+  }
+}
+
+int poll_intr(pollfd* fds, nfds_t nfds, int timeout_ms) {
+  while (true) {
+    const int ready = ::poll(fds, nfds, timeout_ms);
+    if (ready >= 0 || errno != EINTR || drain_signalled()) return ready;
+  }
 }
 
 }  // namespace
@@ -35,32 +149,61 @@ void check_loop_options(const ServeLoopOptions& options) {
 int serve_pipe(TimingService& service, std::istream& in, std::ostream& out,
                const ServeLoopOptions& options) {
   check_loop_options(options);
-  ThreadPool pool(options.workers);
+  SignalDrain drain;
   std::mutex out_mutex;
   std::atomic<int> inflight{0};
+  // The pool is declared after every object its tasks reference, so if
+  // anything below ever unwinds, ~ThreadPool drains the queue first.
+  ThreadPool pool(options.workers);
+
+  const auto write_response = [&out, &out_mutex](const std::string& response) {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    out << response << '\n' << std::flush;
+  };
 
   // A shutdown response is written by its worker; the loop then exits
-  // on the flag (or on EOF when the client just closes the pipe).
+  // on the flag (or on EOF when the client just closes the pipe, or on
+  // a drain signal interrupting the blocked read).
   std::string line;
-  while (!service.shutdown_requested() && std::getline(in, line)) {
+  while (!service.shutdown_requested() && !drain.signalled() &&
+         std::getline(in, line)) {
     if (line.empty()) continue;
+    if (line.size() > options.max_line_bytes) {
+      // istream already buffered the oversized line (the hard byte
+      // bound is the TCP front end's); reclaim its capacity after the
+      // envelope so one huge line does not pin memory for the rest of
+      // the session.
+      write_response(service.too_large_response(line.substr(0, 64),
+                                                options.max_line_bytes));
+      std::string().swap(line);
+      continue;
+    }
     if (inflight.load(std::memory_order_acquire) >= options.max_inflight) {
-      const std::string response = service.overload_response(line);
-      std::lock_guard<std::mutex> lock(out_mutex);
-      out << response << '\n' << std::flush;
+      write_response(service.overload_response(line));
       continue;
     }
     inflight.fetch_add(1, std::memory_order_acq_rel);
-    pool.submit([&service, &out, &out_mutex, &inflight, line] {
-      const std::string response = service.handle_line(line);
-      {
-        std::lock_guard<std::mutex> lock(out_mutex);
-        out << response << '\n' << std::flush;
-      }
+    try {
+      pool.submit([&service, &write_response, &inflight, line] {
+        write_response(service.handle_line(line));
+        inflight.fetch_sub(1, std::memory_order_acq_rel);
+      });
+    } catch (const Error& e) {
+      // A refused dispatch (injected pool.submit, say) still owes the
+      // client its one envelope; answer inline on the reader thread.
       inflight.fetch_sub(1, std::memory_order_acq_rel);
-    });
+      write_response(error_response(request_id_token(line),
+                                    serve_errors::kFailed, e.what()));
+    }
   }
-  pool.wait();
+  if (drain.signalled()) service.note_shutdown();
+  // In-flight requests are answered before exit; their tasks never
+  // throw (handle_line guarantees it), but a drain must reach exit 0
+  // even if that invariant ever breaks.
+  try {
+    pool.wait();
+  } catch (const std::exception&) {
+  }
   return 0;
 }
 
@@ -83,14 +226,21 @@ struct ConnState {
 
 /// Writes one response line, riding out partial sends.  A vanished
 /// peer just drops the response (the request still ran and was
-/// ledgered; there is nobody left to read the result).
+/// ledgered; there is nobody left to read the result).  Injected
+/// "socket.send": error behaves as a vanished peer; partial sends half
+/// the frame then stops, the torn write a mid-send crash would leave.
 void write_line(ConnState& conn, const std::string& response) {
   std::lock_guard<std::mutex> lock(conn.write_mutex);
   const std::string framed = response + "\n";
+  std::size_t limit = framed.size();
+  try {
+    if (failpoint("socket.send")) limit = framed.size() / 2;
+  } catch (const Error&) {
+    return;
+  }
   std::size_t off = 0;
-  while (off < framed.size()) {
-    const ssize_t n = ::send(conn.fd, framed.data() + off,
-                             framed.size() - off, MSG_NOSIGNAL);
+  while (off < limit) {
+    const ssize_t n = send_intr(conn.fd, framed.data() + off, limit - off);
     if (n <= 0) return;
     off += static_cast<std::size_t>(n);
   }
@@ -139,50 +289,106 @@ TcpServer::~TcpServer() {
 }
 
 int TcpServer::run() {
-  ThreadPool pool(options_.workers);
+  SignalDrain drain;
   std::atomic<int> inflight{0};
   std::vector<std::thread> readers;
   std::vector<std::shared_ptr<ConnState>> conns;
   std::mutex conns_mutex;
+  // Declared last so an unwind drains worker tasks before any state
+  // they reference goes away.
+  ThreadPool pool(options_.workers);
 
   // One reader thread per connection: splits the byte stream into
   // lines and dispatches them exactly like the pipe loop; the
-  // admission cap spans all connections.
-  const auto serve_connection = [this, &pool,
-                                 &inflight](std::shared_ptr<ConnState> conn) {
-    std::string buffer;
-    char chunk[4096];
-    while (!service_.shutdown_requested()) {
-      const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
-      if (n <= 0) break;
-      buffer.append(chunk, static_cast<std::size_t>(n));
-      std::size_t pos = 0;
-      while ((pos = buffer.find('\n')) != std::string::npos) {
-        std::string line = buffer.substr(0, pos);
-        buffer.erase(0, pos + 1);
-        if (!line.empty() && line.back() == '\r') line.pop_back();
-        if (line.empty()) continue;
-        if (inflight.load(std::memory_order_acquire) >=
-            options_.max_inflight) {
-          write_line(*conn, service_.overload_response(line));
-          continue;
+  // admission cap spans all connections.  The line buffer is bounded:
+  // once it exceeds max_line_bytes with no newline in sight, the
+  // client gets one "too-large" envelope, the buffer's memory is
+  // reclaimed, and bytes are discarded until the newline finally
+  // arrives.  A reader must never take down the server, so its whole
+  // body is fenced.
+  const auto serve_connection = [this, &pool, &inflight,
+                                 &drain](std::shared_ptr<ConnState> conn) {
+    try {
+      std::string buffer;
+      bool discarding = false;
+      char chunk[4096];
+      while (!service_.shutdown_requested() && !drain.signalled()) {
+        std::size_t want = sizeof(chunk);
+        try {
+          // Injected "socket.recv": error is a vanished peer (close the
+          // connection); partial dribbles one byte per read, the
+          // pathological-framing case line splitting must survive.
+          if (failpoint("socket.recv")) want = 1;
+        } catch (const Error&) {
+          break;
         }
-        inflight.fetch_add(1, std::memory_order_acq_rel);
-        pool.submit([this, conn, line = std::move(line), &inflight] {
-          write_line(*conn, service_.handle_line(line));
-          inflight.fetch_sub(1, std::memory_order_acq_rel);
-        });
+        const ssize_t n = recv_intr(conn->fd, chunk, want);
+        if (n <= 0) break;
+        if (!discarding) {
+          buffer.append(chunk, static_cast<std::size_t>(n));
+        } else {
+          // Mid-discard: keep only what follows the terminating
+          // newline, if it is here yet.
+          const char* nl = static_cast<const char*>(
+              std::memchr(chunk, '\n', static_cast<std::size_t>(n)));
+          if (!nl) continue;
+          buffer.assign(nl + 1, static_cast<const char*>(chunk) + n);
+          discarding = false;
+        }
+        std::size_t pos = 0;
+        while ((pos = buffer.find('\n')) != std::string::npos) {
+          std::string line = buffer.substr(0, pos);
+          buffer.erase(0, pos + 1);
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          if (line.empty()) continue;
+          if (line.size() > options_.max_line_bytes) {
+            write_line(*conn,
+                       service_.too_large_response(line.substr(0, 64),
+                                                   options_.max_line_bytes));
+            continue;
+          }
+          if (inflight.load(std::memory_order_acquire) >=
+              options_.max_inflight) {
+            write_line(*conn, service_.overload_response(line));
+            continue;
+          }
+          inflight.fetch_add(1, std::memory_order_acq_rel);
+          try {
+            pool.submit([this, conn, line = std::move(line), &inflight] {
+              write_line(*conn, service_.handle_line(line));
+              inflight.fetch_sub(1, std::memory_order_acq_rel);
+            });
+          } catch (const Error& e) {
+            inflight.fetch_sub(1, std::memory_order_acq_rel);
+            write_line(*conn,
+                       error_response(request_id_token(line),
+                                      serve_errors::kFailed, e.what()));
+          }
+        }
+        if (!discarding && buffer.size() > options_.max_line_bytes) {
+          write_line(*conn,
+                     service_.too_large_response(buffer.substr(0, 64),
+                                                 options_.max_line_bytes));
+          std::string().swap(buffer);  // reclaim, then discard to newline
+          discarding = true;
+        }
       }
+    } catch (const std::exception&) {
+      // Connection-local failure: drop the connection, keep serving.
     }
   };
 
-  while (!service_.shutdown_requested()) {
-    pollfd p{};
-    p.fd = listen_fd_;
-    p.events = POLLIN;
-    const int ready = ::poll(&p, 1, 200);  // re-check shutdown ~5x/s
+  while (!service_.shutdown_requested() && !drain.signalled()) {
+    pollfd p[2] = {};
+    p[0].fd = listen_fd_;
+    p[0].events = POLLIN;
+    p[1].fd = drain.fd();
+    p[1].events = POLLIN;
+    const int ready = poll_intr(p, 2, 200);  // re-check shutdown ~5x/s
     if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (p[1].revents != 0) break;  // drain signal: stop accepting
+    if ((p[0].revents & POLLIN) == 0) continue;
+    const int fd = accept_intr(listen_fd_);
     if (fd < 0) continue;
     auto conn = std::make_shared<ConnState>(fd);
     {
@@ -191,20 +397,28 @@ int TcpServer::run() {
     }
     readers.emplace_back(serve_connection, std::move(conn));
   }
+  if (drain.signalled()) service_.note_shutdown();
 
   // Drain: stop accepting, let in-flight workers finish their writes
   // (so the shutdown ack reaches its client), then nudge blocked
   // readers off recv(), join them, and wait again for anything they
-  // dispatched in between.
+  // dispatched in between.  Both waits are fenced: a drain must reach
+  // exit 0 even if a task ever leaks an exception.
   ::close(listen_fd_);
   listen_fd_ = -1;
-  pool.wait();
+  try {
+    pool.wait();
+  } catch (const std::exception&) {
+  }
   {
     std::lock_guard<std::mutex> lock(conns_mutex);
     for (const auto& conn : conns) ::shutdown(conn->fd, SHUT_RDWR);
   }
   for (std::thread& t : readers) t.join();
-  pool.wait();
+  try {
+    pool.wait();
+  } catch (const std::exception&) {
+  }
   return 0;
 }
 

@@ -6,11 +6,21 @@
 // requests are already dispatched, a newly read line is answered
 // immediately with the structured "overloaded" envelope on the reader
 // thread -- the server never blocks the input stream and never buffers
-// unbounded work.  Responses are written one per line, each under the
-// output mutex, so concurrent completions interleave by whole lines
-// (clients correlate via the echoed "id").
+// unbounded work.  Input is bounded too: a request line longer than
+// `max_line_bytes` is answered with the "too-large" envelope and (on
+// TCP) discarded without ever being buffered whole, so a hostile or
+// broken client cannot balloon the server.  Responses are written one
+// per line, each under the output mutex, so concurrent completions
+// interleave by whole lines (clients correlate via the echoed "id").
+//
+// Both loops install SIGINT/SIGTERM drain handlers (self-pipe, no
+// SA_RESTART so blocked reads wake with EINTR): the first signal stops
+// admission, answers every in-flight request, flushes ledger and
+// telemetry as a side effect of those answers, and exits 0; a second
+// signal force-exits immediately with status 130.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 
@@ -24,6 +34,9 @@ struct ServeLoopOptions {
   int max_inflight = 64;
   /// Worker threads executing requests.  Must be >= 1.
   int workers = 4;
+  /// Maximum bytes in one request line; longer lines are rejected with
+  /// {"error":"too-large"} and their bytes discarded.  Must be >= 64.
+  std::size_t max_line_bytes = std::size_t{1} << 20;
 };
 
 /// Runs the line-delimited JSON loop over a pipe: reads request lines

@@ -19,6 +19,8 @@
 #include "timing/analyzer.h"
 #include "timing/explain.h"
 #include "timing/report.h"
+#include "util/cancel.h"
+#include "util/failpoint.h"
 #include "util/json.h"
 #include "util/ledger.h"
 #include "util/strings.h"
@@ -162,6 +164,15 @@ bool ends_with(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
+/// The effective deadline for one request: the request's own
+/// deadline_ms when present, else the server-wide default; an inert
+/// token when neither is set.
+CancelToken deadline_for(const ServeRequest& req, const ServeOptions& opts) {
+  const double ms =
+      req.deadline_ms > 0.0 ? req.deadline_ms : opts.default_deadline_ms;
+  return ms > 0.0 ? CancelToken::deadline_after(ms * 1e-3) : CancelToken();
+}
+
 }  // namespace
 
 // ---- Lease ---------------------------------------------------------------
@@ -217,6 +228,12 @@ TimingService::Lease TimingService::lease(const std::string& fingerprint) {
 
 void TimingService::insert_entry(const std::string& fingerprint,
                                  std::shared_ptr<Lease::CacheEntry> entry) {
+  // Injected "cache.insert" refuses before any state changes, so the
+  // cache is exactly as consistent as if the request never arrived (the
+  // design simply is not cached; the caller's envelope says why).
+  // Evaluated before taking the lock so an injected delay never holds
+  // mutex_.
+  failpoint("cache.insert");
   std::lock_guard<std::mutex> lock(mutex_);
   entry->last_used = ++use_clock_;
   cache_[fingerprint] = entry;
@@ -234,6 +251,10 @@ void TimingService::insert_entry(const std::string& fingerprint,
       }
     }
     if (victim == cache_.end()) break;  // everything is leased
+    // Injected "cache.evict" leaves the victim cached: the insert above
+    // already happened, so the cache ends over capacity but internally
+    // consistent -- every entry still resolves and leases still pin.
+    failpoint("cache.evict");
     cache_.erase(victim);
   }
 }
@@ -266,12 +287,12 @@ std::size_t TimingService::design_count() const {
 void TimingService::append_ledger(const LedgerRecord& record) {
   if (options_.ledger_path.empty()) return;
   std::lock_guard<std::mutex> lock(ledger_mutex_);
-  try {
-    append_ledger_record(options_.ledger_path, record);
-  } catch (const Error&) {
-    // Best-effort by design, like the CLI's LedgerScope: a failing
-    // ledger append must not fail the request it describes.
-  }
+  // Best-effort by design, like the CLI's LedgerScope: a failing ledger
+  // append must not fail the request it describes.  It is *surfaced*,
+  // though -- try_append bumps ledger.append_failures and warns once --
+  // so operators see silent history loss instead of discovering it at
+  // the next `sldm ledger` read.
+  try_append_ledger_record(options_.ledger_path, record);
 }
 
 void TimingService::publish_service_metrics() {
@@ -388,7 +409,24 @@ struct TimingService::ServeRequestDispatch {
                                           SessionOptions{64, req.threads});
     a.session->set_telemetry_request(request_label);
     a.session->add_all_input_events(req.slope_ns * 1e-9);
-    a.session->run();
+    const CancelToken deadline = deadline_for(req, svc.options_);
+    if (deadline.armed()) {
+      // The token is a stack local and Analysis outlives this frame, so
+      // the session must be detached before it escapes -- on the throw
+      // path the whole Analysis (lease included) unwinds instead, which
+      // is exactly the "partial state discarded, lease released"
+      // contract of the deadline envelope.
+      a.session->set_cancel_token(&deadline);
+      try {
+        a.session->run();
+      } catch (...) {
+        a.session->set_cancel_token(nullptr);
+        throw;
+      }
+      a.session->set_cancel_token(nullptr);
+    } else {
+      a.session->run();
+    }
     return a;
   }
 
@@ -460,6 +498,9 @@ struct TimingService::ServeRequestDispatch {
     auto entry = svc.take_for_eco(req.design);
     const std::weak_ptr<CompiledDesign> master = entry->design;
     const auto model = make_request_model(req.model, entry->tables);
+    // Declared before the analyzer so the analyzer (which borrows it)
+    // dies first on every exit path.
+    const CancelToken deadline = deadline_for(req, svc.options_);
 
     // Move the cache's owning pointer into the analyzer so use_count
     // lands at exactly facade + session: the PR 6 single-writer check
@@ -469,10 +510,14 @@ struct TimingService::ServeRequestDispatch {
                             AnalyzerOptions{{}, 64, req.threads});
     analyzer.session().set_telemetry_request("eco");
     analyzer.add_all_input_events(req.slope_ns * 1e-9);
-    analyzer.run();
+    if (deadline.armed()) analyzer.set_cancel_token(&deadline);
 
     std::size_t applied = 0;
     try {
+      // run() is inside the salvage scope: a deadline (or any failure)
+      // before the script mutates anything must put the untouched
+      // design back under its old fingerprint.
+      analyzer.run();
       if (!req.script.empty()) {
         std::istringstream script(req.script);
         applied = apply_eco(script, analyzer.mutable_netlist(),
@@ -556,6 +601,11 @@ std::string TimingService::handle_line(const std::string& line) {
 
   std::string response;
   try {
+    // Injected "serve.request": error fails the whole request with a
+    // "failed" envelope before any handler state is touched; delay
+    // models a slow handler (and, under a deadline, pushes the request
+    // past it).
+    failpoint("serve.request");
     switch (req.kind) {
       case RequestKind::kLoad:
         response = ServeRequestDispatch::load(*this, req);
@@ -579,6 +629,9 @@ std::string TimingService::handle_line(const std::string& line) {
   } catch (const RequestError& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     response = error_response(req.id_token, e.name(), e.what());
+  } catch (const CancelledError& e) {
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    response = error_response(req.id_token, kDeadline, e.what());
   } catch (const Error& e) {
     errors_.fetch_add(1, std::memory_order_relaxed);
     response = error_response(req.id_token, kFailed, e.what());
@@ -598,6 +651,18 @@ std::string TimingService::overload_response(const std::string& line) {
   return error_response(request_id_token(line), kOverloaded,
                         "server is at its --max-inflight admission limit; "
                         "retry after in-flight requests drain");
+}
+
+std::string TimingService::too_large_response(const std::string& line_prefix,
+                                              std::size_t limit) {
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  publish_service_metrics();
+  return error_response(
+      request_id_token_prefix(line_prefix), kTooLarge,
+      format("request line exceeds --max-line-bytes (%zu); split the "
+             "request or raise the limit",
+             limit));
 }
 
 }  // namespace sldm

@@ -48,6 +48,11 @@ struct ServeOptions {
   std::string default_tech = "nmos";
   /// Run-ledger file for per-request records; empty disables.
   std::string ledger_path;
+  /// Server-wide default deadline for time/explain/eco requests, in
+  /// milliseconds; 0 disables.  A request's own "deadline_ms" member
+  /// overrides it.  Expiry is cooperative (checked between propagation
+  /// wavefronts) and answers with the named "deadline" envelope.
+  double default_deadline_ms = 0.0;
 };
 
 class TimingService {
@@ -65,11 +70,23 @@ class TimingService {
   /// the id recovered best-effort.  Counts the rejection.
   std::string overload_response(const std::string& line);
 
+  /// The "too-large" envelope for a line that exceeded the serve loop's
+  /// --max-line-bytes bound.  `line_prefix` is whatever prefix the loop
+  /// retained (the id is recovered best-effort from it, usually empty
+  /// because the JSON is truncated).  Counts as an error.
+  std::string too_large_response(const std::string& line_prefix,
+                                 std::size_t limit);
+
   /// True once a shutdown request has been processed (the pipe loop /
   /// TCP accept loop exit condition).
   bool shutdown_requested() const {
     return shutdown_.load(std::memory_order_acquire);
   }
+
+  /// Marks the service shutting down without a protocol request -- the
+  /// serve loops call this when a SIGINT/SIGTERM drain begins, so any
+  /// concurrent loop sharing the service also stops admitting.
+  void note_shutdown() { shutdown_.store(true, std::memory_order_release); }
 
   /// A reader's hold on a cached design: while alive, `eco` against
   /// the same fingerprint is refused with "eco-shared".  Exposed so

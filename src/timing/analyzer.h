@@ -170,6 +170,13 @@ class TimingAnalyzer {
   Session& session() { return session_; }
   const Session& session() const { return session_; }
 
+  /// Forwards a cooperative deadline token to the session, covering
+  /// both run() and the re-propagation inside update().  Borrowed; pass
+  /// nullptr to detach (callers must detach before the token dies).
+  void set_cancel_token(const CancelToken* token) {
+    session_.set_cancel_token(token);
+  }
+
   /// Phase timings and work counters (see AnalyzerStats); refreshed
   /// from the metrics registry on each call.
   const AnalyzerStats& stats() const { return session_.stats(); }

@@ -1,0 +1,248 @@
+#include "util/failpoint.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "util/strings.h"
+
+namespace sldm {
+
+namespace failpoint_detail {
+std::atomic<bool> g_armed{false};
+}  // namespace failpoint_detail
+
+namespace {
+
+/// splitmix-style seeding so small user seeds still give well-mixed
+/// streams, then xorshift64 per draw.  Fixed algorithm: the firing
+/// pattern for a given spec is part of the format contract
+/// (FORMATS.md section 15), because chaos runs must be replayable.
+std::uint64_t seed_state(std::uint64_t seed) {
+  std::uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return (z ^ (z >> 31)) | 1ull;  // xorshift state must be nonzero
+}
+
+std::uint64_t xorshift64(std::uint64_t& state) {
+  state ^= state << 13;
+  state ^= state >> 7;
+  state ^= state << 17;
+  return state;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty() || text.size() > 19) return false;
+  std::uint64_t v = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = v;
+  return true;
+}
+
+FailpointConfig parse_term(const std::string& term) {
+  const auto eq = term.find('=');
+  if (eq == std::string::npos || eq == 0) {
+    throw Error("failpoint term '" + term +
+                "' is not of the form <site>=<action>");
+  }
+  FailpointConfig cfg;
+  cfg.site = trim(term.substr(0, eq));
+  std::string rest = trim(term.substr(eq + 1));
+  if (cfg.site.empty() || rest.empty()) {
+    throw Error("failpoint term '" + term +
+                "' is not of the form <site>=<action>");
+  }
+
+  // Split off the optional '*' modifier first; '*' never appears in an
+  // action token.
+  std::string modifier;
+  if (const auto star = rest.find('*'); star != std::string::npos) {
+    modifier = rest.substr(star + 1);
+    rest = rest.substr(0, star);
+    if (modifier.empty()) {
+      throw Error("failpoint term '" + term + "' has an empty modifier");
+    }
+  }
+
+  if (rest == "error") {
+    cfg.action = FailpointAction::kError;
+  } else if (rest == "partial") {
+    cfg.action = FailpointAction::kPartial;
+  } else if (rest.rfind("delay:", 0) == 0) {
+    cfg.action = FailpointAction::kDelay;
+    std::uint64_t ms = 0;
+    if (!parse_u64(rest.substr(6), ms) || ms > 60000) {
+      throw Error("failpoint term '" + term +
+                  "' needs delay:<ms> with ms in [0, 60000]");
+    }
+    cfg.delay_ms = static_cast<int>(ms);
+  } else {
+    throw Error("failpoint term '" + term +
+                "' has unknown action '" + rest +
+                "' (want error, delay:<ms>, or partial)");
+  }
+
+  if (!modifier.empty()) {
+    if (modifier.rfind("1in", 0) == 0) {
+      const auto at = modifier.find('@');
+      if (at == std::string::npos) {
+        throw Error("failpoint term '" + term +
+                    "' probabilistic modifier needs 1in<K>@<seed>");
+      }
+      std::uint64_t k = 0, seed = 0;
+      if (!parse_u64(modifier.substr(3, at - 3), k) || k < 1 ||
+          k > 1000000 || !parse_u64(modifier.substr(at + 1), seed)) {
+        throw Error("failpoint term '" + term +
+                    "' probabilistic modifier needs 1in<K>@<seed> with "
+                    "K in [1, 1000000]");
+      }
+      cfg.one_in = static_cast<std::uint32_t>(k);
+      cfg.seed = seed;
+    } else {
+      std::uint64_t count = 0;
+      if (!parse_u64(modifier, count) || count < 1) {
+        throw Error("failpoint term '" + term +
+                    "' hit-count modifier must be a positive integer "
+                    "or 1in<K>@<seed>");
+      }
+      cfg.max_hits = count;
+    }
+  }
+  return cfg;
+}
+
+std::string describe(const FailpointConfig& cfg) {
+  std::string action;
+  switch (cfg.action) {
+    case FailpointAction::kError:
+      action = "error";
+      break;
+    case FailpointAction::kDelay:
+      action = format("delay:%d", cfg.delay_ms);
+      break;
+    case FailpointAction::kPartial:
+      action = "partial";
+      break;
+    case FailpointAction::kNone:
+      action = "none";
+      break;
+  }
+  if (cfg.one_in > 0) {
+    action += format("*1in%u@%llu", cfg.one_in,
+                     static_cast<unsigned long long>(cfg.seed));
+  } else if (cfg.max_hits != UINT64_MAX) {
+    action += format("*%llu", static_cast<unsigned long long>(cfg.max_hits));
+  }
+  return cfg.site + "=" + action;
+}
+
+}  // namespace
+
+FailpointRegistry& FailpointRegistry::instance() {
+  static FailpointRegistry registry;
+  return registry;
+}
+
+std::vector<FailpointConfig> FailpointRegistry::parse_spec(
+    const std::string& spec) {
+  std::vector<FailpointConfig> configs;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const auto comma = spec.find(',', begin);
+    const std::string term =
+        trim(spec.substr(begin, comma == std::string::npos
+                                    ? std::string::npos
+                                    : comma - begin));
+    if (!term.empty()) configs.push_back(parse_term(term));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return configs;
+}
+
+void FailpointRegistry::configure(const std::string& spec) {
+  std::vector<FailpointConfig> configs = parse_spec(spec);  // may throw
+  std::lock_guard<std::mutex> lock(mutex_);
+  order_.clear();
+  points_.clear();
+  for (FailpointConfig& cfg : configs) {
+    if (points_.count(cfg.site) == 0) order_.push_back(cfg.site);
+    Point& p = points_[cfg.site];  // last term for a site wins
+    p.rng = seed_state(cfg.seed);
+    p.config = std::move(cfg);
+  }
+  failpoint_detail::g_armed.store(!points_.empty(),
+                                  std::memory_order_relaxed);
+}
+
+void FailpointRegistry::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  order_.clear();
+  points_.clear();
+  failpoint_detail::g_armed.store(false, std::memory_order_relaxed);
+}
+
+FailpointCounts FailpointRegistry::counts(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = points_.find(site);
+  return it == points_.end() ? FailpointCounts{} : it->second.counts;
+}
+
+std::string FailpointRegistry::summary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  for (const std::string& site : order_) {
+    const Point& p = points_.at(site);
+    os << describe(p.config)
+       << format(" (%llu/%llu)\n",
+                 static_cast<unsigned long long>(p.counts.fires),
+                 static_cast<unsigned long long>(p.counts.visits));
+  }
+  return os.str();
+}
+
+FailpointAction FailpointRegistry::evaluate(const char* site) {
+  int delay_ms = 0;
+  FailpointAction action = FailpointAction::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = points_.find(site);
+    if (it == points_.end()) return FailpointAction::kNone;
+    Point& p = it->second;
+    ++p.counts.visits;
+    const bool fire = p.config.one_in > 0
+                          ? xorshift64(p.rng) % p.config.one_in == 0
+                          : p.counts.fires < p.config.max_hits;
+    if (!fire) return FailpointAction::kNone;
+    ++p.counts.fires;
+    action = p.config.action;
+    delay_ms = p.config.delay_ms;
+  }
+  if (action == FailpointAction::kDelay) {
+    // Sleep outside the registry lock so a delay on one site never
+    // serializes unrelated sites.
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return FailpointAction::kNone;
+  }
+  return action;
+}
+
+bool failpoint(const char* site) {
+  if (!failpoint_detail::g_armed.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  switch (FailpointRegistry::instance().evaluate(site)) {
+    case FailpointAction::kError:
+      throw FailpointError(site);
+    case FailpointAction::kPartial:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace sldm

@@ -1,0 +1,137 @@
+// Deterministic fault injection: a process-wide registry of named
+// *failpoints* compiled into every I/O and lifecycle boundary the
+// service layer depends on (ledger append, snapshot read/write, socket
+// send/recv, design-cache insert/evict, thread-pool submit, the serve
+// request path -- site inventory in FORMATS.md section 15).
+//
+// A disarmed process pays exactly one relaxed atomic load per site
+// visit -- no lock, no lookup, no allocation -- so the hooks stay
+// compiled into release builds and the chaos suite exercises the very
+// binary that ships.  Arming happens once, at startup, from a spec
+// string (`--failpoints` / `SLDM_FAILPOINTS`):
+//
+//   spec   := term (',' term)*
+//   term   := site '=' action [ '*' modifier ]
+//   action := 'error' | 'delay:<ms>' | 'partial'
+//   modifier := <count>              fire on the first <count> visits
+//             | '1in<K>@<seed>'      fire ~1-in-K visits, drawn from a
+//                                    private xorshift64 stream seeded
+//                                    with <seed> (deterministic: equal
+//                                    specs fire on equal visit indices)
+//
+// Actions at a firing site: `error` throws FailpointError (an
+// sldm::Error, so every boundary's existing failure handling engages);
+// `delay:<ms>` sleeps the calling thread (overload and deadline
+// rehearsal); `partial` asks the site to perform its operation
+// truncated (a torn ledger line, a half-written snapshot, a short
+// socket write) -- each site documents its partial behavior next to
+// its failpoint() call.  Without a modifier the point fires on every
+// visit.
+//
+// tests/chaos_test.cpp drives randomized fixed-seed schedules through
+// the registry and asserts the service invariants; FORMATS.md section
+// 15 is the user-facing contract.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace sldm {
+
+/// The injected failure an armed `error` failpoint throws.  Derives
+/// from Error so call-site failure paths treat it like any real fault.
+class FailpointError : public Error {
+ public:
+  explicit FailpointError(const std::string& site)
+      : Error("failpoint '" + site + "' injected a fault") {}
+};
+
+enum class FailpointAction { kNone, kError, kDelay, kPartial };
+
+/// One parsed spec term (exposed for tests and the summary renderer).
+struct FailpointConfig {
+  std::string site;
+  FailpointAction action = FailpointAction::kError;
+  int delay_ms = 0;  ///< kDelay only
+  /// `*<count>` modifier: fire on the first max_hits visits.  The
+  /// default (no modifier) fires on every visit.
+  std::uint64_t max_hits = UINT64_MAX;
+  /// `*1in<K>@<seed>` modifier: fire when the next xorshift64 draw is
+  /// divisible by K.  0 = not probabilistic (use max_hits).
+  std::uint32_t one_in = 0;
+  std::uint64_t seed = 0;
+};
+
+/// Per-site visit/fire counters (chaos-test introspection).
+struct FailpointCounts {
+  std::uint64_t visits = 0;  ///< evaluations while armed
+  std::uint64_t fires = 0;   ///< visits on which the action fired
+};
+
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& instance();
+
+  /// Parses `spec` (grammar above) and replaces the active
+  /// configuration.  Throws Error naming the offending term on any
+  /// grammar violation; an empty spec disarms.  Not thread-safe
+  /// against concurrent evaluate() -- configure at startup or between
+  /// requests, like the CLI and the tests do.
+  void configure(const std::string& spec);
+
+  /// Disarms every failpoint and discards the counters.
+  void clear();
+
+  /// Parses without installing (grammar unit tests).
+  static std::vector<FailpointConfig> parse_spec(const std::string& spec);
+
+  /// Counters for one site (zeroes when the site is not configured).
+  FailpointCounts counts(const std::string& site) const;
+
+  /// "site=action[*modifier] (fires/visits)" per armed point, one per
+  /// line, in configuration order -- for startup banners and logs.
+  std::string summary() const;
+
+  /// Slow path behind failpoint(); call only when armed.  Performs the
+  /// kDelay sleep itself (outside the registry lock) and reports what
+  /// the caller still has to do: kError (throw) or kPartial (truncate).
+  FailpointAction evaluate(const char* site);
+
+ private:
+  struct Point {
+    FailpointConfig config;
+    std::uint64_t rng = 0;
+    FailpointCounts counts;
+  };
+
+  FailpointRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::vector<std::string> order_;       ///< configuration order
+  std::map<std::string, Point> points_;  ///< keyed by site name
+};
+
+namespace failpoint_detail {
+/// The one-load fast path: true while any failpoint is configured.
+extern std::atomic<bool> g_armed;
+}  // namespace failpoint_detail
+
+/// Applies the armed action for `site`, if any: sleeps on delay,
+/// throws FailpointError on error, returns true on partial (the caller
+/// performs its operation truncated).  Returns false -- after one
+/// relaxed atomic load -- when the process is disarmed or the site is
+/// not configured or does not fire this visit.
+bool failpoint(const char* site);
+
+/// True when any failpoint is configured (banner/telemetry checks).
+inline bool failpoints_armed() {
+  return failpoint_detail::g_armed.load(std::memory_order_relaxed);
+}
+
+}  // namespace sldm

@@ -1,13 +1,17 @@
 #include "util/ledger.h"
 
+#include <atomic>
 #include <chrono>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <set>
 #include <sstream>
 
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/json.h"
+#include "util/metrics.h"
 #include "util/strings.h"
 #include "util/text_table.h"
 
@@ -67,6 +71,10 @@ std::string LedgerRecord::to_json() const {
 }
 
 void append_ledger_record(const std::string& path, LedgerRecord record) {
+  // Injected `error` refuses the append outright; `partial` leaves the
+  // torn line a mid-append crash would -- both must surface to the
+  // caller as the same Error a real I/O fault raises.
+  const bool partial = failpoint("ledger.append");
   if (record.unix_ms == 0) {
     record.unix_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
                          std::chrono::system_clock::now().time_since_epoch())
@@ -74,8 +82,30 @@ void append_ledger_record(const std::string& path, LedgerRecord record) {
   }
   std::ofstream out(path, std::ios::app);
   if (!out) throw Error("cannot open ledger file '" + path + "' for append");
-  out << record.to_json() << '\n';
+  const std::string line = record.to_json();
+  if (partial) {
+    out << line.substr(0, line.size() / 2) << std::flush;
+    throw Error("short write to ledger file '" + path + "'");
+  }
+  out << line << '\n';
   if (!out) throw Error("short write to ledger file '" + path + "'");
+}
+
+bool try_append_ledger_record(const std::string& path,
+                              const LedgerRecord& record) {
+  try {
+    append_ledger_record(path, record);
+    return true;
+  } catch (const Error& e) {
+    bump_process_counter("ledger.append_failures");
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::cerr << "sldm: warning: ledger append failed (" << e.what()
+                << "); further failures are counted in "
+                   "ledger.append_failures without this warning\n";
+    }
+    return false;
+  }
 }
 
 std::vector<LedgerRecord> read_ledger_file(const std::string& path) {

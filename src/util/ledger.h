@@ -63,8 +63,20 @@ struct LedgerRecord {
 
 /// Appends one record (stamping unix_ms if unset) to the JSONL file at
 /// `path`, creating it if needed.  Throws Error when the file cannot
-/// be opened for append.
+/// be opened for append or the write comes up short.  Fault-injection
+/// site "ledger.append" (FORMATS.md section 15): `error` throws before
+/// touching the file, `partial` writes a torn line (half the record,
+/// no newline) and then throws -- the torn-line shape a crash mid-
+/// append leaves behind.
 void append_ledger_record(const std::string& path, LedgerRecord record);
+
+/// Best-effort append for callers whose primary work must not fail on
+/// a ledger fault (the CLI's destructor-append, the serve per-request
+/// records).  A failure is *surfaced*, not swallowed: it bumps the
+/// process metric "ledger.append_failures" and warns to stderr once
+/// per process.  Returns true when the record landed.
+bool try_append_ledger_record(const std::string& path,
+                              const LedgerRecord& record);
 
 /// Parses every record in the JSONL file at `path` (blank lines
 /// skipped).  Throws Error on I/O failure or, with `path:line:`

@@ -4,6 +4,7 @@
 
 #include "util/contracts.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 #include "util/metrics.h"
 #include "util/strings.h"
 #include "util/trace.h"
@@ -60,6 +61,12 @@ void ThreadPool::run_one(std::function<void()>& task) {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Failpoint "pool.submit" (error only): the task is refused *before*
+  // it is enqueued or counted, modeling resource exhaustion at
+  // dispatch.  Callers own the recovery -- the serve loops answer the
+  // request inline, batched propagation drains its in-flight chunks
+  // before rethrowing.
+  failpoint("pool.submit");
   if (threads_ == 1) {
     // Inline path: execution order is submission order; the only shared
     // state touched is the error slot.
@@ -153,8 +160,19 @@ int ThreadPool::hardware_threads() {
 
 void parallel_for(ThreadPool& pool, std::size_t count,
                   const std::function<void(std::size_t)>& fn) {
-  for (std::size_t i = 0; i < count; ++i) {
-    pool.submit([&fn, i] { fn(i); });
+  try {
+    for (std::size_t i = 0; i < count; ++i) {
+      pool.submit([&fn, i] { fn(i); });
+    }
+  } catch (...) {
+    // A refused submit must not unwind past tasks already in flight:
+    // they still reference `fn` in this frame.  Drain them (their own
+    // failures stay suppressed; the submit error is the diagnosis).
+    try {
+      pool.wait();
+    } catch (...) {
+    }
+    throw;
   }
   pool.wait();
 }

@@ -1,11 +1,17 @@
-// Tests for the `sldm serve` layer: protocol error envelopes, the
-// design cache's lease / single-writer-eco discipline, bounded
-// admission in the pipe loop, and the headline concurrency guarantee --
-// mixed-model request streams answered concurrently are bit-identical
-// to cold single-shot CLI runs (run under tsan by scripts/check.sh).
+// Tests for the `sldm serve` layer: protocol error envelopes (including
+// the "deadline" and "too-large" goldens), the design cache's lease /
+// single-writer-eco discipline, bounded admission in the pipe loop,
+// client-disconnect survival on the TCP front end, and the headline
+// concurrency guarantee -- mixed-model request streams answered
+// concurrently are bit-identical to cold single-shot CLI runs (run
+// under tsan by scripts/check.sh).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
@@ -167,6 +173,195 @@ TEST(ServeService, AnalysisFailuresAreNamedNotThrown) {
       "{\"kind\":\"load\",\"path\":\"" + json_escape(sim.path()) +
       "\",\"model\":\"quantum\"}");
   EXPECT_NE(r2.find("\"error\":\"bad-request\""), std::string::npos) << r2;
+}
+
+// --- deadline + too-large goldens ----------------------------------------
+
+TEST(ServeDeadline, ExpiredDeadlineIsTheNamedEnvelope) {
+  HubGuard guard;
+  TimingService service;
+  TempFile sim("deadline_inv.sim", kInverterSim);
+  const std::string fp = load_design(service, sim.path(), "lumped");
+  ASSERT_EQ(fp.size(), 16u);
+  // A sub-microsecond deadline has expired by the first wavefront
+  // check, so the envelope is fully deterministic -- pin it whole.
+  const std::string r = service.handle_line(
+      "{\"id\":9,\"kind\":\"time\",\"design\":\"" + fp +
+      "\",\"model\":\"lumped\",\"deadline_ms\":1e-6}");
+  EXPECT_EQ(r,
+            "{\"id\":9,\"error\":\"deadline\",\"detail\":\"deadline "
+            "expired during propagate\"}");
+  // The partial run was discarded and the lease released: the same
+  // design still answers an undeadlined request, and an eco (which
+  // needs zero outstanding leases) is not blocked.
+  const std::string ok = service.handle_line(
+      "{\"kind\":\"time\",\"design\":\"" + fp + "\",\"model\":\"lumped\"}");
+  EXPECT_NE(ok.find("\"ok\":true"), std::string::npos) << ok;
+  const std::string eco = service.handle_line(
+      "{\"kind\":\"eco\",\"design\":\"" + fp +
+      "\",\"model\":\"lumped\",\"script\":\"addcap out 5\\n\"}");
+  EXPECT_NE(eco.find("\"kind\":\"eco\",\"ok\":true"), std::string::npos)
+      << eco;
+}
+
+TEST(ServeDeadline, CompletedRunIsByteIdenticalToUndeadlinedRun) {
+  HubGuard guard;
+  TimingService service;
+  TempFile sim("deadline_chain.sim", kChainSim);
+  const std::string fp = load_design(service, sim.path(), "lumped");
+  const std::string without = service.handle_line(
+      "{\"id\":1,\"kind\":\"time\",\"design\":\"" + fp +
+      "\",\"model\":\"lumped\"}");
+  // A generous deadline never fires mid-run; the cooperative check is
+  // between wavefronts only, so completion implies bit-identity.
+  const std::string with = service.handle_line(
+      "{\"id\":1,\"kind\":\"time\",\"design\":\"" + fp +
+      "\",\"model\":\"lumped\",\"deadline_ms\":60000}");
+  ASSERT_NE(without.find("\"ok\":true"), std::string::npos) << without;
+  EXPECT_EQ(deterministic_prefix(with), deterministic_prefix(without));
+}
+
+TEST(ServeDeadline, ServerDefaultAppliesAndRequestsOverrideIt) {
+  HubGuard guard;
+  ServeOptions options;
+  options.default_deadline_ms = 1e-6;  // every request expires instantly
+  TimingService service(options);
+  TempFile sim("deadline_default.sim", kInverterSim);
+  const std::string fp = load_design(service, sim.path(), "lumped");
+  const std::string r = service.handle_line(
+      "{\"kind\":\"time\",\"design\":\"" + fp + "\",\"model\":\"lumped\"}");
+  EXPECT_NE(r.find("\"error\":\"deadline\""), std::string::npos) << r;
+  // A request-level deadline wins over the server default.
+  const std::string wide = service.handle_line(
+      "{\"kind\":\"time\",\"design\":\"" + fp +
+      "\",\"model\":\"lumped\",\"deadline_ms\":60000}");
+  EXPECT_NE(wide.find("\"ok\":true"), std::string::npos) << wide;
+}
+
+TEST(ServePipe, OversizedLineGetsTheTooLargeGolden) {
+  HubGuard guard;
+  TimingService service;
+  std::string big = "{\"kind\":\"stats\",\"pad\":\"";
+  big.append(200, 'x');
+  big += "\"}";
+  std::istringstream in(big + "\n{\"id\":2,\"kind\":\"shutdown\"}\n");
+  std::ostringstream out;
+  ServeLoopOptions options;
+  options.workers = 1;
+  options.max_line_bytes = 64;
+  EXPECT_EQ(serve_pipe(service, in, out, options), 0);
+  const std::string text = out.str();
+  // The oversized line's id is unrecoverable from a 64-byte prefix of
+  // truncated JSON, so the golden envelope has no id member.
+  EXPECT_NE(text.find("{\"error\":\"too-large\",\"detail\":\"request line "
+                      "exceeds --max-line-bytes (64); split the request or "
+                      "raise the limit\"}"),
+            std::string::npos)
+      << text;
+  // Exactly one envelope per line: the oversized line and the shutdown.
+  EXPECT_NE(text.find("\"id\":2,\"kind\":\"shutdown\",\"ok\":true"),
+            std::string::npos)
+      << text;
+}
+
+TEST(ServePipe, OversizedLineEchoesAnIdRecoverableFromItsPrefix) {
+  HubGuard guard;
+  TimingService service;
+  std::string big = "{\"id\":41,\"kind\":\"stats\",\"pad\":\"";
+  big.append(200, 'x');
+  big += "\"}";
+  std::istringstream in(big + "\n{\"id\":2,\"kind\":\"shutdown\"}\n");
+  std::ostringstream out;
+  ServeLoopOptions options;
+  options.workers = 1;
+  options.max_line_bytes = 64;
+  EXPECT_EQ(serve_pipe(service, in, out, options), 0);
+  // The id member fits inside the 64-byte prefix, so the envelope
+  // echoes it even though the full line never parsed.
+  EXPECT_NE(out.str().find("{\"id\":41,\"error\":\"too-large\","),
+            std::string::npos)
+      << out.str();
+}
+
+TEST(ServeProtocol, PrefixIdRecoveryRefusesAnythingPossiblyTruncated) {
+  // Complete scalar ids are recovered from truncated prefixes...
+  EXPECT_EQ(request_id_token_prefix("{\"id\":41,\"kind\":\"st"), "41");
+  EXPECT_EQ(request_id_token_prefix("{\"id\" : -2.5e3 ,\"pad"), "-2.5e3");
+  EXPECT_EQ(request_id_token_prefix("{\"id\":\"r-7\",\"pad\":\"xx"),
+            "\"r-7\"");
+  // ...but a value that may itself be cut off yields no id at all.
+  EXPECT_EQ(request_id_token_prefix("{\"id\":41"), "");
+  EXPECT_EQ(request_id_token_prefix("{\"id\":\"r-7"), "");
+  EXPECT_EQ(request_id_token_prefix("{\"id\":\"a\\"), "");
+  EXPECT_EQ(request_id_token_prefix("{\"pad\":\"x\",\"i"), "");
+  // A prefix that happens to parse whole still goes through the full
+  // parser (object ids and such are rejected there, not echoed).
+  EXPECT_EQ(request_id_token_prefix("{\"id\":7}"), "7");
+}
+
+// --- TCP: client disconnect mid-request ----------------------------------
+
+namespace {
+
+int connect_localhost(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  return fd;
+}
+
+void send_all(int fd, const std::string& text) {
+  std::size_t off = 0;
+  while (off < text.size()) {
+    const ssize_t n =
+        ::send(fd, text.data() + off, text.size() - off, MSG_NOSIGNAL);
+    ASSERT_GT(n, 0);
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+TEST(ServeTcp, ClientDisconnectMidRequestDoesNotKillTheServer) {
+  HubGuard guard;
+  TimingService service;
+  ServeLoopOptions options;
+  options.workers = 2;
+  TcpServer server(service, options, 0);
+  const int port = server.port();
+  std::thread server_thread([&server] { EXPECT_EQ(server.run(), 0); });
+
+  // Client 1 fires a request and slams the connection before the
+  // response can be written: the worker's send hits EPIPE/ECONNRESET
+  // (MSG_NOSIGNAL, so no SIGPIPE) and must simply drop the response.
+  {
+    const int fd = connect_localhost(port);
+    send_all(fd, "{\"id\":1,\"kind\":\"stats\"}\n");
+    struct linger hard = {1, 0};  // RST on close: the rudest disconnect
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard, sizeof(hard));
+    ::close(fd);
+  }
+
+  // Client 2 proves the server is still alive and orderly, then shuts
+  // it down; run() returning 0 is the survival assertion.
+  {
+    const int fd = connect_localhost(port);
+    send_all(fd, "{\"id\":2,\"kind\":\"shutdown\"}\n");
+    std::string response;
+    char c = 0;
+    while (::recv(fd, &c, 1, 0) == 1 && c != '\n') response += c;
+    EXPECT_NE(response.find("\"kind\":\"shutdown\",\"ok\":true"),
+              std::string::npos)
+        << response;
+    ::close(fd);
+  }
+  server_thread.join();
 }
 
 // --- cache + single-writer eco -------------------------------------------
